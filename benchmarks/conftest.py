@@ -1,0 +1,74 @@
+"""Shared campaign fixtures for the benchmark harness.
+
+Every table/figure bench needs instrumented campaigns; they are produced
+once per session here and shared.  Runs-per-scenario defaults to 3 to
+keep the full bench suite in the minutes range — raise
+``WAVM3_BENCH_RUNS`` (environment) to 10 for the paper's full protocol.
+
+Rendered tables and figure panels are written to
+``benchmarks/artifacts/`` so the regenerated evaluation can be inspected
+after a run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.comparison import compare_models
+from repro.analysis.validation import validate_wavm3
+from repro.experiments.design import all_scenarios
+from repro.experiments.runner import ScenarioRunner
+
+BENCH_RUNS = int(os.environ.get("WAVM3_BENCH_RUNS", "3"))
+BENCH_SEED = int(os.environ.get("WAVM3_BENCH_SEED", "7"))
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> pathlib.Path:
+    """Directory collecting the regenerated tables and figures."""
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+def save_artifact(name: str, content: str) -> None:
+    """Write a rendered table/figure for post-run inspection."""
+    ARTIFACTS.mkdir(exist_ok=True)
+    (ARTIFACTS / name).write_text(content + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def m_campaign():
+    """The full Table IIa campaign on the m-pair."""
+    runner = ScenarioRunner(seed=BENCH_SEED)
+    return runner.run_campaign(
+        all_scenarios("m"), min_runs=BENCH_RUNS, max_runs=BENCH_RUNS
+    )
+
+
+@pytest.fixture(scope="session")
+def o_campaign():
+    """The full Table IIa campaign on the o-pair."""
+    runner = ScenarioRunner(seed=BENCH_SEED + 1)
+    return runner.run_campaign(
+        all_scenarios("o"), min_runs=max(2, BENCH_RUNS - 1), max_runs=max(2, BENCH_RUNS - 1)
+    )
+
+
+@pytest.fixture(scope="session")
+def comparison(m_campaign):
+    """The Table VI/VII model comparison on the shared m-campaign."""
+    return compare_models(result=m_campaign, seed=BENCH_SEED, training_fraction=0.25)
+
+
+@pytest.fixture(scope="session")
+def validation(m_campaign, o_campaign):
+    """The Table V validation on the shared campaigns."""
+    return validate_wavm3(
+        m_result=m_campaign, o_result=o_campaign, seed=BENCH_SEED,
+        training_fraction=0.25,
+    )

@@ -1,0 +1,61 @@
+"""Fig. 2 bench: the four-phase energy structure of both migration kinds.
+
+Success criteria (DESIGN.md F2): both kinds show the phase structure;
+non-live shows a suspend *drop* on the source at initiation; live shows a
+source *peak*; the transfer phase dominates the window.
+"""
+
+import numpy as np
+from conftest import BENCH_SEED, save_artifact
+
+from repro.analysis.figures import build_fig2_series
+from repro.plotting import plot_figure_series
+
+
+def _window_mean(series, t0, t1):
+    mask = (series.times >= t0) & (series.times <= t1)
+    return float(series.watts[mask].mean())
+
+
+def test_bench_fig2_phase_structure(benchmark, artifacts_dir):
+    """Regenerate Fig. 2 and assert the per-phase power signatures."""
+    data = benchmark.pedantic(
+        lambda: build_fig2_series(seed=BENCH_SEED, runs=3),
+        rounds=1, iterations=1,
+    )
+    chunks = []
+    for kind, roles in data.items():
+        chunks.append(
+            plot_figure_series(
+                f"Fig. 2 ({kind} migration)",
+                [(role, series) for role, series in roles.items()],
+            )
+        )
+    save_artifact("fig2_phases.txt", "\n\n".join(chunks))
+
+    nonlive_src = data["non-live"]["source"]
+    live_src = data["live"]["source"]
+
+    # Non-live: suspending the VM at ms drops source power below baseline.
+    baseline = _window_mean(nonlive_src, 0.0, nonlive_src.mark_ms - 2.0)
+    initiation = _window_mean(
+        nonlive_src, nonlive_src.mark_ms + 0.5, nonlive_src.mark_ts + 1.5
+    )
+    assert initiation < baseline - 5.0, "non-live initiation must show the suspend drop"
+
+    # Live: preparation tasks push the source to a new peak at initiation.
+    live_baseline = _window_mean(live_src, 0.0, live_src.mark_ms - 2.0)
+    live_transfer = _window_mean(live_src, live_src.mark_ts + 2.0, live_src.mark_te - 2.0)
+    assert live_transfer > live_baseline + 10.0, "live transfer must sit above baseline"
+
+    # Phase ordering is visible in the marks of every panel.
+    for roles in data.values():
+        for series in roles.values():
+            assert series.mark_ms < series.mark_ts < series.mark_te < series.mark_me
+
+    # Transfer dominates the migration window for both kinds.
+    for roles in data.values():
+        series = roles["source"]
+        transfer = series.mark_te - series.mark_ts
+        total = series.mark_me - series.mark_ms
+        assert transfer / total > 0.7

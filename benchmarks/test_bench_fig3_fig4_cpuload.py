@@ -1,0 +1,89 @@
+"""Figs. 3–4 benches: CPULOAD-SOURCE and CPULOAD-TARGET trace families.
+
+Success criteria (DESIGN.md F3/F4):
+
+* F3 — the transfer lengthens when the source CPU saturates; the 8-VM
+  multiplexed case pins source power at a flat ceiling; pre-migration
+  source power grows monotonically with the load level.
+* F4 — the target shows a clear power step once the VM runs there
+  (activation); a fully loaded target flattens at its CPU limit.
+"""
+
+import numpy as np
+import pytest
+from conftest import save_artifact
+
+from repro.analysis.figures import build_figure_panels
+from repro.models.features import HostRole
+from repro.plotting import plot_figure_series
+
+
+def _save_panels(name, panels):
+    chunks = [plot_figure_series(title, entries) for title, entries in panels.items()]
+    save_artifact(name, "\n\n".join(chunks))
+
+
+def _series_map(panels, panel_title):
+    return dict(panels[panel_title])
+
+
+def test_bench_fig3_cpuload_source(benchmark, m_campaign, artifacts_dir):
+    """Regenerate Fig. 3 from the shared campaign; assert its claims."""
+    panels = benchmark.pedantic(
+        lambda: build_figure_panels("fig3", result=m_campaign),
+        rounds=1, iterations=1,
+    )
+    _save_panels("fig3_cpuload_source.txt", panels)
+    assert len(panels) == 4
+
+    live_source = _series_map(panels, "(c) Live source")
+
+    # Pre-migration source power grows with the load level.
+    baselines = [
+        float(series.watts[(series.times < series.mark_ms - 2.0)].mean())
+        for _, series in sorted(live_source.items(), key=lambda kv: int(kv[0].split()[0]))
+    ]
+    assert all(b2 > b1 - 3.0 for b1, b2 in zip(baselines, baselines[1:]))
+    assert baselines[-1] - baselines[0] > 200.0  # idle -> saturated spread
+
+    # Saturation lengthens the transfer (paper Section VI-A conclusion).
+    idle_transfer = live_source["0 VM"].mark_te - live_source["0 VM"].mark_ts
+    loaded_transfer = live_source["8 VM"].mark_te - live_source["8 VM"].mark_ts
+    assert loaded_transfer > idle_transfer * 1.15
+
+    # Multiplexed source pins at a flat ceiling during transfer.
+    s8 = live_source["8 VM"]
+    window = (s8.times > s8.mark_ts + 3.0) & (s8.times < s8.mark_te - 3.0)
+    ceiling = s8.watts[window]
+    assert float(ceiling.std()) < 0.05 * float(ceiling.mean())
+
+
+def test_bench_fig4_cpuload_target(benchmark, m_campaign, artifacts_dir):
+    """Regenerate Fig. 4 from the shared campaign; assert its claims."""
+    panels = benchmark.pedantic(
+        lambda: build_figure_panels("fig4", result=m_campaign),
+        rounds=1, iterations=1,
+    )
+    _save_panels("fig4_cpuload_target.txt", panels)
+
+    nonlive_target = _series_map(panels, "(b) Non-live target")
+
+    # Activation step: target power after me exceeds its pre-migration level
+    # (the VM now runs there) for the idle-target case.
+    s0 = nonlive_target["0 VM"]
+    before = float(s0.watts[s0.times < s0.mark_ms - 2.0].mean())
+    after = float(s0.watts[s0.times > s0.mark_me + 4.0].mean())
+    assert after > before + 15.0
+
+    # A fully loaded target cannot step up: it is already at its CPU limit.
+    s8 = nonlive_target["8 VM"]
+    before8 = float(s8.watts[s8.times < s8.mark_ms - 2.0].mean())
+    after8 = float(s8.watts[s8.times > s8.mark_me + 4.0].mean())
+    assert abs(after8 - before8) < abs(after - before)
+
+    # Live migrations take longer than non-live ones (Section VI-B).
+    live_target = _series_map(panels, "(d) Live target")
+    for label in ("0 VM", "5 VM"):
+        live_span = live_target[label].mark_me - live_target[label].mark_ms
+        nonlive_span = nonlive_target[label].mark_me - nonlive_target[label].mark_ms
+        assert live_span > nonlive_span

@@ -1,0 +1,107 @@
+"""Figs. 5–7 benches: the MEMLOAD trace families.
+
+Success criteria (DESIGN.md F5–F7):
+
+* F5 — transfer duration and moved data grow with the dirtying ratio; the
+  end-of-transfer power drop (stop-and-copy suspension) grows with DR.
+* F6 — CPU load on the source lengthens the transfer even with a
+  memory-intensive guest; high-DR live migration degenerates towards
+  non-live behaviour (long downtime).
+* F7 — CPU load on the target lengthens the transfer; the loaded target
+  trends flat (CPU limit).
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.analysis.figures import build_figure_panels
+from repro.models.features import HostRole
+from repro.phases.timeline import MigrationPhase
+from repro.plotting import plot_figure_series
+
+
+def _save_panels(name, panels):
+    chunks = [plot_figure_series(title, entries) for title, entries in panels.items()]
+    save_artifact(name, "\n\n".join(chunks))
+
+
+def test_bench_fig5_memload_vm(benchmark, m_campaign, artifacts_dir):
+    """Regenerate Fig. 5; assert the dirtying-ratio effects."""
+    panels = benchmark.pedantic(
+        lambda: build_figure_panels("fig5", result=m_campaign),
+        rounds=1, iterations=1,
+    )
+    _save_panels("fig5_memload_vm.txt", panels)
+    source = dict(panels["(a) Source"])
+
+    # Transfer grows with DR (multiple pre-copy rounds re-sending state).
+    spans = {
+        label: series.mark_te - series.mark_ts for label, series in source.items()
+    }
+    assert spans["95%"] > spans["5%"] * 0.9  # both pay the 3x data cap …
+    assert spans["35%"] > spans["5%"] * 0.8
+
+    # Moved data grows with DR, bounded by Xen's 3x cap.
+    results = {
+        sr.scenario.dirty_percent: sr
+        for sr in m_campaign.scenario_results
+        if sr.scenario.experiment == "MEMLOAD-VM"
+    }
+    data_5 = np.mean([r.timeline.bytes_total for r in results[5.0].runs])
+    data_95 = np.mean([r.timeline.bytes_total for r in results[95.0].runs])
+    ram_bytes = results[5.0].runs[0].vm_ram_mb * 1024 * 1024
+    assert data_95 > data_5
+    assert data_95 <= 3.0 * ram_bytes + ram_bytes
+
+    # The stop-and-copy suspension (downtime) grows with DR — the power
+    # drop near the end of transfer the paper highlights.
+    downtimes = {pct: results[pct].mean_downtime_s() for pct in (5.0, 55.0, 95.0)}
+    assert downtimes[95.0] > downtimes[55.0] > downtimes[5.0]
+
+
+def test_bench_fig6_memload_source(benchmark, m_campaign, artifacts_dir):
+    """Regenerate Fig. 6; assert the CPU-load interaction with MEMLOAD."""
+    panels = benchmark.pedantic(
+        lambda: build_figure_panels("fig6", result=m_campaign),
+        rounds=1, iterations=1,
+    )
+    _save_panels("fig6_memload_source.txt", panels)
+    source = dict(panels["(a) MEMLOAD-SOURCE source"])
+
+    # CPU load on the source lengthens the transfer even for MEMLOAD
+    # (reduced bandwidth -> longer rounds; Section VI-D).
+    spans = {label: s.mark_te - s.mark_ts for label, s in source.items()}
+    assert spans["8 VM"] > spans["0 VM"] * 1.1
+
+    # High-DR live migrations end in a substantial stop-and-copy: downtime
+    # far beyond the pure-CPU case (the "transforms into non-live" effect).
+    memload = [
+        sr for sr in m_campaign.scenario_results
+        if sr.scenario.experiment == "MEMLOAD-SOURCE"
+    ]
+    cpu_live = [
+        sr for sr in m_campaign.scenario_results
+        if sr.scenario.experiment == "CPULOAD-SOURCE" and sr.scenario.live
+    ]
+    mem_downtime = np.mean([sr.mean_downtime_s() for sr in memload])
+    cpu_downtime = np.mean([sr.mean_downtime_s() for sr in cpu_live])
+    assert mem_downtime > cpu_downtime * 2.0
+
+
+def test_bench_fig7_memload_target(benchmark, m_campaign, artifacts_dir):
+    """Regenerate Fig. 7; assert the target-load effects."""
+    panels = benchmark.pedantic(
+        lambda: build_figure_panels("fig7", result=m_campaign),
+        rounds=1, iterations=1,
+    )
+    _save_panels("fig7_memload_target.txt", panels)
+    target = dict(panels["(b) MEMLOAD-TARGET target"])
+
+    # Loaded target: reduced bandwidth lengthens the transfer.
+    spans = {label: s.mark_te - s.mark_ts for label, s in target.items()}
+    assert spans["8 VM"] > spans["0 VM"] * 1.1
+
+    # Fully loaded target trends flat (CPU ceiling) during transfer.
+    s8 = target["8 VM"]
+    window = (s8.times > s8.mark_ts + 5.0) & (s8.times < s8.mark_te - 5.0)
+    assert float(s8.watts[window].std()) < 0.06 * float(s8.watts[window].mean())

@@ -1,0 +1,64 @@
+"""D5 bench: sensitivity of trace shape to the pre-copy termination knobs.
+
+Expected responses on a high-DR live migration (the regime where every
+stop condition is active):
+
+* more allowed iterations ⇒ more rounds, but Xen's 3× data cap ends up
+  binding, so moved data plateaus;
+* a looser transfer cap ⇒ more data moved and a longer transfer;
+* a larger dirty-page threshold ⇒ earlier stop ⇒ no more rounds than the
+  tight-threshold run.
+"""
+
+from conftest import BENCH_SEED, save_artifact
+
+from repro.analysis.report import format_table
+from repro.analysis.sensitivity import sweep_precopy_knob
+
+
+def _render(study):
+    return format_table(
+        ("value", "rounds", "transfer [s]", "downtime [s]", "data [GiB]", "E_src [kJ]"),
+        [
+            (p.value, p.rounds, p.transfer_s, p.downtime_s, p.data_gib,
+             p.source_energy_kj)
+            for p in study.points
+        ],
+        title=f"Sensitivity: {study.knob}",
+        precision=2,
+    )
+
+
+def test_bench_sensitivity_max_iterations(benchmark, artifacts_dir):
+    study = benchmark.pedantic(
+        lambda: sweep_precopy_knob("max_iterations", (2, 5, 29), seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    save_artifact("sensitivity_max_iterations.txt", _render(study))
+    rounds = study.column("rounds")
+    assert rounds[0] < rounds[-1] or study.column("data_gib")[0] < study.column("data_gib")[-1]
+    # Fewer allowed iterations force an earlier, larger stop-and-copy.
+    assert study.column("downtime_s")[0] >= study.column("downtime_s")[-1] * 0.8
+
+
+def test_bench_sensitivity_transfer_cap(benchmark, artifacts_dir):
+    study = benchmark.pedantic(
+        lambda: sweep_precopy_knob("max_transfer_factor", (1.5, 2.0, 3.0), seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    save_artifact("sensitivity_transfer_cap.txt", _render(study))
+    # A looser cap moves more data over a longer transfer.
+    assert study.monotone_response("data_gib")
+    assert study.column("transfer_s")[-1] > study.column("transfer_s")[0]
+
+
+def test_bench_sensitivity_dirty_threshold(benchmark, artifacts_dir):
+    study = benchmark.pedantic(
+        lambda: sweep_precopy_knob(
+            "dirty_threshold_pages", (50, 20_000, 400_000), seed=BENCH_SEED
+        ),
+        rounds=1, iterations=1,
+    )
+    save_artifact("sensitivity_dirty_threshold.txt", _render(study))
+    # A huge threshold converges immediately: minimal rounds.
+    assert study.column("rounds")[-1] <= study.column("rounds")[0]

@@ -1,0 +1,92 @@
+"""Tables III–V benches: WAVM3 coefficients and cross-testbed validation.
+
+Success criteria (DESIGN.md T3/T4/T5): positive CPU coefficients, the
+structural zeroes of the paper's tables (β(i)(target)=0 during initiation
+is *fitted*, not imposed, on the live table; γ(t)(target)=0 always),
+rebias shrinking constants toward the o-pair idle, and Table V's ordering
+(trained pair more accurate than the transfer pair).
+"""
+
+from conftest import BENCH_SEED, save_artifact
+
+from repro.analysis.tables import render_table3_4, render_table5
+from repro.analysis.validation import fit_wavm3_per_kind
+from repro.models.features import HostRole
+from repro.phases.timeline import MigrationPhase
+
+
+def _fit_models(m_campaign):
+    train, _, _ = m_campaign.train_test_split(training_fraction=0.25)
+    return fit_wavm3_per_kind(train)
+
+
+def test_bench_table3_coefficients_nonlive(benchmark, m_campaign, artifacts_dir):
+    """Regenerate Table III (non-live WAVM3 coefficients)."""
+    models = benchmark.pedantic(lambda: _fit_models(m_campaign), rounds=1, iterations=1)
+    model = models["non-live"]
+    save_artifact("table3_coefficients_nonlive.txt", render_table3_4(model, live=False))
+
+    coefs = model.coefficients
+    for role in (HostRole.SOURCE, HostRole.TARGET):
+        for phase in (MigrationPhase.INITIATION, MigrationPhase.TRANSFER,
+                      MigrationPhase.ACTIVATION):
+            alpha = coefs.coefficient(role, phase, "cpu_host")
+            assert alpha > 0.5, f"CPU slope must be positive ({role}, {phase})"
+            constant = coefs.coefficient(role, phase, "const")
+            assert 250.0 < constant < 700.0, "constants sit near the idle draw"
+    # Non-live: the VM is suspended, so its features never vary and the
+    # VM-CPU and DR coefficients pin at zero — exactly the paper's
+    # structure of Table III vs Table IV.
+    assert coefs.coefficient(HostRole.SOURCE, MigrationPhase.TRANSFER, "dr") == 0.0
+    assert coefs.coefficient(HostRole.SOURCE, MigrationPhase.TRANSFER, "cpu_vm") == 0.0
+
+
+def test_bench_table4_coefficients_live(benchmark, m_campaign, artifacts_dir):
+    """Regenerate Table IV (live WAVM3 coefficients)."""
+    models = benchmark.pedantic(lambda: _fit_models(m_campaign), rounds=1, iterations=1)
+    model = models["live"]
+    save_artifact("table4_coefficients_live.txt", render_table3_4(model, live=True))
+
+    coefs = model.coefficients
+    # The workload-aware terms are identifiable from the live campaign:
+    gamma = coefs.coefficient(HostRole.SOURCE, MigrationPhase.TRANSFER, "dr")
+    assert gamma > 0.0, "dirtying-ratio coefficient must be identified (Table IV)"
+    # Bandwidth: on the source, BW anti-correlates with CPU (saturation is
+    # what reduces it), so the non-negative fit may fold the NIC power into
+    # α there; the *target* (constant receive CPU) identifies it cleanly.
+    beta_bw_src = coefs.coefficient(HostRole.SOURCE, MigrationPhase.TRANSFER, "bw")
+    beta_bw_tgt = coefs.coefficient(HostRole.TARGET, MigrationPhase.TRANSFER, "bw")
+    assert beta_bw_src >= 0.0
+    assert beta_bw_tgt > 0.0, "bandwidth coefficient must be identified on the target"
+    # γ(t) = 0 on the target: no VM runs there during transfer.
+    assert coefs.coefficient(HostRole.TARGET, MigrationPhase.TRANSFER, "dr") == 0.0
+    # β(a) on the target reflects the VM starting there (paper: 17.01).
+    beta_act = coefs.coefficient(HostRole.TARGET, MigrationPhase.ACTIVATION, "cpu_vm")
+    assert beta_act >= 0.0
+
+
+def test_bench_table5_validation(benchmark, validation, artifacts_dir):
+    """Regenerate Table V (NRMSE on both machine pairs)."""
+    result = benchmark.pedantic(lambda: validation, rounds=1, iterations=1)
+    save_artifact("table5_validation.txt", render_table5(result))
+
+    for kind in ("non-live", "live"):
+        for role in ("source", "target"):
+            m_err = result.nrmse_percent("m", kind, role)
+            o_err = result.nrmse_percent("o", kind, role)
+            # Trained pair beats the ported pair (paper: 11.8-12 vs 12.5-17.2).
+            assert m_err < o_err, f"m must beat o for {kind}/{role}"
+            # Both land in the paper's low-tens-of-percent band.
+            assert m_err < 20.0
+            assert o_err < 45.0
+
+    # The C1->C2 rebias is what makes the o-pair numbers possible at all:
+    # without it predictions carry the m-pair idle (~345 W too high).
+    live_model = result.models["live"]
+    c1 = live_model.coefficients.coefficient(
+        HostRole.SOURCE, MigrationPhase.TRANSFER, "const"
+    )
+    c2 = live_model.coefficients.rebias(112.0).coefficient(
+        HostRole.SOURCE, MigrationPhase.TRANSFER, "const"
+    )
+    assert c2 < c1 - 250.0

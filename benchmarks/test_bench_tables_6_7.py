@@ -1,0 +1,83 @@
+"""Tables VI–VII benches: the model comparison headline.
+
+Success criteria (DESIGN.md T7 — the paper's central claim):
+
+* WAVM3 ≤ HUANG on every (kind, role) cell, with a visible live-source
+  advantage (the DR/bandwidth/VM-CPU terms HUANG lacks);
+* LIU and STRUNK trail far behind both CPU-aware models;
+* HUANG's error grows markedly from non-live to live while WAVM3 degrades
+  less (paper: +18 % NRMSE for HUANG on the source);
+* WAVM3's RMSE−MAE spread stays at most around HUANG's (error variance).
+"""
+
+from conftest import save_artifact
+
+from repro.analysis.tables import render_table6, render_table7
+
+
+def test_bench_table6_baseline_coefficients(benchmark, comparison, artifacts_dir):
+    """Regenerate Table VI (HUANG/LIU/STRUNK training coefficients)."""
+    result = benchmark.pedantic(lambda: comparison, rounds=1, iterations=1)
+    save_artifact("table6_baseline_coefficients.txt", render_table6(result))
+
+    huang = result.models["HUANG"]["live"]
+    for role, (alpha, c) in huang.coefficients.items():
+        # Paper Table VI: alpha 2.27-2.56 W/%, C ~ 645-672 W on the m-pair.
+        assert 0.5 < alpha < 10.0
+        assert 300.0 < c < 700.0
+
+    liu = result.models["LIU"]["live"]
+    for role, (alpha, c) in liu.coefficients.items():
+        assert alpha >= 0.0  # more data never costs less energy
+
+    strunk = result.models["STRUNK"]["live"]
+    for role, (alpha, beta, c) in strunk.coefficients.items():
+        # Paper Table VI: beta < 0 — more bandwidth => shorter migration
+        # => less energy.  The sign must reproduce.
+        assert beta < 0.0, "STRUNK's bandwidth coefficient must be negative"
+
+
+def test_bench_table7_model_comparison(benchmark, comparison, artifacts_dir):
+    """Regenerate Table VII and assert the paper's accuracy ordering."""
+    result = benchmark.pedantic(lambda: comparison, rounds=1, iterations=1)
+    save_artifact("table7_comparison.txt", render_table7(result))
+
+    # WAVM3 at least matches HUANG everywhere (small slack for noise) ...
+    for kind in ("non-live", "live"):
+        for role in ("source", "target"):
+            wavm3 = result.nrmse_percent("WAVM3", kind, role)
+            huang = result.nrmse_percent("HUANG", kind, role)
+            assert wavm3 <= huang + 0.4, f"WAVM3 must match HUANG ({kind}/{role})"
+
+    # ... and clearly beats it on the live source, where the workload
+    # terms matter (paper: 11.8 vs 15.7 NRMSE).
+    assert result.improvement_over("HUANG", "live", "source") > 0.3
+
+    # HUANG degrades more from non-live to live than WAVM3 (RMSE ratios).
+    wavm3_growth = (
+        result.errors["WAVM3"]["live"]["source"].rmse_j
+        / result.errors["WAVM3"]["non-live"]["source"].rmse_j
+    )
+    huang_growth = (
+        result.errors["HUANG"]["live"]["source"].rmse_j
+        / result.errors["HUANG"]["non-live"]["source"].rmse_j
+    )
+    assert huang_growth > wavm3_growth
+
+    # LIU and STRUNK trail far behind the CPU-aware models (paper: 25-36 %
+    # vs 5-16 %).
+    for kind in ("non-live", "live"):
+        for role in ("source", "target"):
+            wavm3 = result.nrmse_percent("WAVM3", kind, role)
+            for other in ("LIU", "STRUNK"):
+                assert result.nrmse_percent(other, kind, role) > wavm3 * 1.8
+
+    # Up-to-24 % headline: the largest improvement across the grid is
+    # substantial.
+    best_gain = max(
+        result.improvement_over(other, kind, role)
+        for other in ("HUANG", "LIU", "STRUNK")
+        for kind in ("non-live", "live")
+        for role in ("source", "target")
+    )
+    assert best_gain > 15.0

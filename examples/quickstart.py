@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: measure the energy of one live VM migration.
+
+Boots the paper's m01–m02 testbed, runs a 4 GB ``migrating-cpu`` guest,
+issues a live migration, and prints the phase timeline and per-phase
+energies — the minimal end-to-end use of the library.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import quick_migration_energy
+from repro.models.features import HostRole
+from repro.phases.timeline import MigrationPhase
+
+
+def main() -> None:
+    result = quick_migration_energy(live=True, seed=7)
+    timeline = result.timeline
+
+    print("One live migration of a 4 GB VM (m01 -> m02)")
+    print(f"  initiation : {timeline.initiation_duration:6.1f} s")
+    print(
+        f"  transfer   : {timeline.transfer_duration:6.1f} s "
+        f"({timeline.n_rounds} pre-copy rounds, "
+        f"{timeline.bytes_total / 2**30:.2f} GiB moved)"
+    )
+    print(f"  activation : {timeline.activation_duration:6.1f} s")
+    print(f"  downtime   : {timeline.downtime:6.2f} s")
+    print()
+
+    for role in (HostRole.SOURCE, HostRole.TARGET):
+        print(f"  {role.value} host energy:")
+        for phase in (MigrationPhase.INITIATION, MigrationPhase.TRANSFER,
+                      MigrationPhase.ACTIVATION):
+            energy = result.phase_energy_j(role, phase)
+            print(f"    {phase.value:11s} {energy / 1000:7.2f} kJ")
+        print(f"    {'total':11s} {result.total_energy_j(role) / 1000:7.2f} kJ")
+
+
+if __name__ == "__main__":
+    main()

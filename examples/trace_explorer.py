@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Explore migration power traces: phases, rounds, detector cross-check.
+
+Runs one live MEMLOAD migration (high dirtying ratio — the most dramatic
+trace in the paper), plots both hosts' power as ASCII with the phase
+boundaries, lists the pre-copy rounds, and cross-checks the engine's
+ground-truth timeline against the meter-only phase detector.
+
+Run:  python examples/trace_explorer.py
+"""
+
+from repro.experiments.design import MigrationScenario
+from repro.experiments.runner import ScenarioRunner
+from repro.phases import detect_phases
+from repro.plotting import ascii_plot
+
+
+def main() -> None:
+    scenario = MigrationScenario(
+        experiment="MEMLOAD-VM",
+        label="explorer/live/dr75",
+        live=True,
+        dirty_percent=75.0,
+    )
+    run = ScenarioRunner(seed=3).run_once(scenario)
+    timeline = run.timeline
+
+    marks = [
+        ("ms", timeline.ms), ("ts", timeline.ts),
+        ("te", timeline.te), ("me", timeline.me),
+    ]
+    print(ascii_plot(
+        [
+            ("source", run.source_trace.times, run.source_trace.watts),
+            ("target", run.target_trace.times, run.target_trace.watts),
+        ],
+        marks=[(n, float(v)) for n, v in marks if v is not None],
+        title=f"Live migration, pagedirtier DR=75% ({scenario.family}-pair)",
+        height=20,
+    ))
+
+    print("\nPre-copy rounds (Xen log-dirty iterations):")
+    for record in timeline.rounds:
+        tag = "stop-and-copy" if record.stop_and_copy else f"round {record.index}"
+        print(
+            f"  {tag:14s} t={record.start:7.1f}s  {record.duration:6.2f}s  "
+            f"{record.pages_sent:8d} pages ({record.bytes_sent / 2**20:8.1f} MiB)"
+        )
+    print(f"  total moved: {timeline.bytes_total / 2**30:.2f} GiB "
+          f"(memory image is {run.vm_ram_mb / 1024:.0f} GiB); "
+          f"downtime {timeline.downtime:.2f}s")
+
+    print("\nMeter-only phase detection vs engine ground truth:")
+    detected = detect_phases(run.target_trace)
+    print(f"  ground truth: ms={timeline.ms:7.2f}  me={timeline.me:7.2f}")
+    print(f"  detector    : ms={detected.ms:7.2f}  me={detected.me:7.2f}")
+    assert timeline.ms is not None and timeline.me is not None
+    drift_ms = abs(detected.ms - timeline.ms)
+    drift_me = abs(detected.me - timeline.me)
+    print(f"  deviation   : {drift_ms:.2f}s / {drift_me:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

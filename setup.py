@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline reproduction environment lacks the ``wheel`` package, which
+setuptools' PEP-517 editable builds require; keeping a ``setup.py`` (and no
+``[build-system]`` table in pyproject.toml) lets ``pip install -e .`` fall
+back to the classic ``setup.py develop`` path.  All metadata lives in
+pyproject.toml's ``[project]`` table.
+"""
+
+from setuptools import setup
+
+setup()

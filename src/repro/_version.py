@@ -1,0 +1,3 @@
+"""Single-source version for the :mod:`repro` package."""
+
+__version__ = "1.0.0"

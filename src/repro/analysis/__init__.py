@@ -1,0 +1,53 @@
+"""Analysis & reporting (subsystem S10).
+
+Generators for every table and figure of the paper's evaluation:
+
+* :mod:`repro.analysis.tables` — text rendering of Tables I–VII in the
+  paper's row/column structure;
+* :mod:`repro.analysis.figures` — Fig. 2–7 data series (run-averaged,
+  migration-aligned power traces per scenario);
+* :mod:`repro.analysis.validation` — the Table V pipeline: train on
+  m01–m02, validate on both pairs with the C1→C2 rebias;
+* :mod:`repro.analysis.comparison` — the Table VII pipeline: all four
+  models on a common split, MAE/RMSE/NRMSE per kind and role;
+* :mod:`repro.analysis.workload_impact` — Table I's qualitative matrix
+  plus measured verification of each claim;
+* :mod:`repro.analysis.report` — fixed-width table rendering helpers.
+"""
+
+from repro.analysis.comparison import ComparisonResult, compare_models
+from repro.analysis.figures import (
+    build_fig2_series,
+    build_figure_panels,
+    FIGURE_SPECS,
+)
+from repro.analysis.report import format_table
+from repro.analysis.tables import (
+    render_table1,
+    render_table2,
+    render_table3_4,
+    render_table5,
+    render_table6,
+    render_table7,
+)
+from repro.analysis.validation import ValidationResult, validate_wavm3
+from repro.analysis.workload_impact import WORKLOAD_IMPACT_MATRIX, verify_workload_impact
+
+__all__ = [
+    "ComparisonResult",
+    "compare_models",
+    "build_fig2_series",
+    "build_figure_panels",
+    "FIGURE_SPECS",
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_table3_4",
+    "render_table5",
+    "render_table6",
+    "render_table7",
+    "ValidationResult",
+    "validate_wavm3",
+    "WORKLOAD_IMPACT_MATRIX",
+    "verify_workload_impact",
+]

@@ -1,0 +1,193 @@
+"""Data series for Figures 2–7.
+
+Every figure in the paper's evaluation is a set of power-vs-time panels;
+this module builds the matching :class:`~repro.experiments.results.FigureSeries`
+collections from scenario campaigns:
+
+========  =============================  =====================================
+figure    panels                         series within a panel
+========  =============================  =====================================
+Fig. 2    non-live, live                 source & target of an unloaded run
+Fig. 3    non-live/live × source/target  one per load-VM count (CPULOAD-SOURCE)
+Fig. 4    idem                           CPULOAD-TARGET
+Fig. 5    source, target                 one per dirty percentage (MEMLOAD-VM)
+Fig. 6    source, target                 one per load-VM count (MEMLOAD-SOURCE)
+Fig. 7    source, target                 one per load-VM count (MEMLOAD-TARGET)
+========  =============================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ExperimentError
+from repro.experiments.design import (
+    MigrationScenario,
+    cpuload_source_scenarios,
+    cpuload_target_scenarios,
+    memload_source_scenarios,
+    memload_target_scenarios,
+    memload_vm_scenarios,
+)
+from repro.experiments.results import ExperimentResult, FigureSeries
+from repro.experiments.runner import ScenarioRunner
+from repro.models.features import HostRole
+
+__all__ = ["FigureSpec", "FIGURE_SPECS", "build_fig2_series", "build_figure_panels"]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """How to build one of Figures 3–7 from scenarios."""
+
+    figure_id: str
+    title: str
+    experiment: str  # Table IIa family the figure draws from
+    scenario_factory: Callable[[str], list[MigrationScenario]]
+    panels: tuple[tuple[str, Optional[bool], HostRole], ...]
+    series_key: str  # scenario attribute labelling each series
+
+    def scenarios(self, family: str) -> list[MigrationScenario]:
+        """The scenarios this figure needs."""
+        return self.scenario_factory(family)
+
+
+FIGURE_SPECS: dict[str, FigureSpec] = {
+    "fig3": FigureSpec(
+        figure_id="fig3",
+        experiment="CPULOAD-SOURCE",
+        title="Fig. 3: CPULOAD-SOURCE results",
+        scenario_factory=cpuload_source_scenarios,
+        panels=(
+            ("(a) Non-live source", False, HostRole.SOURCE),
+            ("(b) Non-live target", False, HostRole.TARGET),
+            ("(c) Live source", True, HostRole.SOURCE),
+            ("(d) Live target", True, HostRole.TARGET),
+        ),
+        series_key="load_vm_count",
+    ),
+    "fig4": FigureSpec(
+        figure_id="fig4",
+        experiment="CPULOAD-TARGET",
+        title="Fig. 4: CPULOAD-TARGET results",
+        scenario_factory=cpuload_target_scenarios,
+        panels=(
+            ("(a) Non-live source", False, HostRole.SOURCE),
+            ("(b) Non-live target", False, HostRole.TARGET),
+            ("(c) Live source", True, HostRole.SOURCE),
+            ("(d) Live target", True, HostRole.TARGET),
+        ),
+        series_key="load_vm_count",
+    ),
+    "fig5": FigureSpec(
+        figure_id="fig5",
+        experiment="MEMLOAD-VM",
+        title="Fig. 5: MEMLOAD-VM results",
+        scenario_factory=memload_vm_scenarios,
+        panels=(
+            ("(a) Source", True, HostRole.SOURCE),
+            ("(b) Target", True, HostRole.TARGET),
+        ),
+        series_key="dirty_percent",
+    ),
+    "fig6": FigureSpec(
+        figure_id="fig6",
+        experiment="MEMLOAD-SOURCE",
+        title="Fig. 6: MEMLOAD-SOURCE results",
+        scenario_factory=memload_source_scenarios,
+        panels=(
+            ("(a) MEMLOAD-SOURCE source", True, HostRole.SOURCE),
+            ("(b) MEMLOAD-SOURCE target", True, HostRole.TARGET),
+        ),
+        series_key="load_vm_count",
+    ),
+    "fig7": FigureSpec(
+        figure_id="fig7",
+        experiment="MEMLOAD-TARGET",
+        title="Fig. 7: MEMLOAD-TARGET results",
+        scenario_factory=memload_target_scenarios,
+        panels=(
+            ("(a) MEMLOAD-TARGET source", True, HostRole.SOURCE),
+            ("(b) MEMLOAD-TARGET target", True, HostRole.TARGET),
+        ),
+        series_key="load_vm_count",
+    ),
+}
+
+
+def build_fig2_series(
+    seed: int = 0,
+    family: str = "m",
+    runs: int = 3,
+) -> dict[str, dict[str, FigureSeries]]:
+    """Fig. 2: phase structure of one unloaded migration, per kind.
+
+    Returns ``{"non-live"|"live": {"source"|"target": FigureSeries}}``.
+    """
+    runner = ScenarioRunner(seed=seed)
+    out: dict[str, dict[str, FigureSeries]] = {}
+    for kind, live in (("non-live", False), ("live", True)):
+        scenario = MigrationScenario(
+            experiment="FIG2",
+            label=f"fig2/{kind}/{family}",
+            live=live,
+            load_vm_count=0,
+            family=family,
+        )
+        result = runner.run_scenario(scenario, min_runs=runs, max_runs=runs)
+        out[kind] = {
+            role.value: result.figure_series(role)
+            for role in (HostRole.SOURCE, HostRole.TARGET)
+        }
+    return out
+
+
+def build_figure_panels(
+    figure_id: str,
+    result: Optional[ExperimentResult] = None,
+    seed: int = 0,
+    family: str = "m",
+    runs: int = 3,
+) -> dict[str, list[tuple[str, FigureSeries]]]:
+    """Build all panels of one of Figures 3–7.
+
+    Returns ``{panel_title: [(series_label, FigureSeries), …]}`` with
+    series ordered by the sweep variable (load VMs or dirty percent).
+
+    Parameters
+    ----------
+    figure_id:
+        One of ``fig3`` … ``fig7``.
+    result:
+        Pre-computed campaign over the figure's scenarios (reused when
+        several tables/figures share runs); run here when ``None``.
+    """
+    try:
+        spec = FIGURE_SPECS[figure_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown figure {figure_id!r}; have {sorted(FIGURE_SPECS)}"
+        ) from None
+    if result is None:
+        runner = ScenarioRunner(seed=seed)
+        result = runner.run_campaign(spec.scenarios(family), min_runs=runs, max_runs=runs)
+
+    panels: dict[str, list[tuple[str, FigureSeries]]] = {}
+    for title, live, role in spec.panels:
+        entries: list[tuple[float, str, FigureSeries]] = []
+        for sr in result.scenario_results:
+            if sr.scenario.experiment != spec.experiment:
+                continue  # shared campaigns carry other families too
+            if live is not None and sr.scenario.live is not live:
+                continue
+            sweep = getattr(sr.scenario, spec.series_key)
+            label = (
+                f"{int(sweep)} VM"
+                if spec.series_key == "load_vm_count"
+                else f"{int(sweep)}%"
+            )
+            entries.append((float(sweep), label, sr.figure_series(role)))
+        entries.sort(key=lambda e: e[0])
+        panels[title] = [(label, series) for _, label, series in entries]
+    return panels

@@ -1,0 +1,73 @@
+"""Fixed-width text table rendering.
+
+All tables the library emits (CLI, benches, EXPERIMENTS.md) go through
+:func:`format_table`, which renders GitHub-flavoured markdown-ish pipes
+with right-aligned numeric columns — readable both in a terminal and in a
+markdown document.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Render one cell: floats with sensible precision, rest via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render rows as a pipe table with aligned columns.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Cell values; every row must match the header length.
+    title:
+        Optional caption printed above the table.
+    precision:
+        Decimal places for floats (trailing zeros trimmed).
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+    text_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        text_rows.append([format_value(v, precision) for v in row])
+
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.rjust(w) for c, w in zip(cells, widths)) + " |"
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    out.extend(line(r) for r in text_rows)
+    return "\n".join(out)

@@ -1,0 +1,161 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples
+--------
+::
+
+    wavm3 quickstart                      # one instrumented migration
+    wavm3 table 7 --runs 4 --seed 1      # Table VII with 4 runs/scenario
+    wavm3 figure fig5 --runs 3           # Fig. 5 panels as ASCII charts
+    wavm3 scenarios                      # list the Table IIa campaign
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The wavm3 argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="wavm3",
+        description="Reproduce De Maio et al., 'A Workload-Aware Energy "
+        "Model for Virtual Machine Migration' (CLUSTER 2015).",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quick = sub.add_parser("quickstart", help="run one instrumented migration")
+    quick.add_argument("--non-live", action="store_true", help="suspend/resume migration")
+    quick.add_argument("--family", choices=("m", "o"), default="m")
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("table_id", choices=("1", "2", "3", "4", "5", "6", "7"))
+    table.add_argument("--runs", type=int, default=4, help="runs per scenario")
+    table.add_argument("--family", choices=("m", "o"), default="m")
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure (ASCII)")
+    figure.add_argument(
+        "figure_id", choices=("fig2", "fig3", "fig4", "fig5", "fig6", "fig7")
+    )
+    figure.add_argument("--runs", type=int, default=3, help="runs per scenario")
+    figure.add_argument("--family", choices=("m", "o"), default="m")
+
+    sub.add_parser("scenarios", help="list the Table IIa campaign")
+    return parser
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro import quick_migration_energy
+    from repro.models.features import HostRole
+
+    result = quick_migration_energy(
+        live=not args.non_live, seed=args.seed, family=args.family
+    )
+    tl = result.timeline
+    print(f"migration finished: {tl}")
+    print(
+        f"  initiation {tl.initiation_duration:.1f}s | transfer "
+        f"{tl.transfer_duration:.1f}s ({tl.n_rounds} rounds, "
+        f"{tl.bytes_total / 2**30:.2f} GiB) | activation "
+        f"{tl.activation_duration:.1f}s | downtime {tl.downtime:.2f}s"
+    )
+    for role in (HostRole.SOURCE, HostRole.TARGET):
+        print(f"  {role.value} migration energy: {result.total_energy_j(role) / 1000:.1f} kJ")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.analysis import tables
+
+    if args.table_id == "1":
+        print(tables.render_table1())
+        return 0
+    if args.table_id == "2":
+        print(tables.render_table2())
+        return 0
+
+    from repro.analysis.comparison import compare_models
+    from repro.analysis.validation import fit_wavm3_per_kind, validate_wavm3
+    from repro.experiments.design import all_scenarios
+    from repro.experiments.runner import ScenarioRunner
+
+    runner = ScenarioRunner(seed=args.seed)
+    if args.table_id in ("3", "4"):
+        result = runner.run_campaign(
+            all_scenarios(args.family), min_runs=args.runs, max_runs=args.runs
+        )
+        train, _, _ = result.train_test_split()
+        models = fit_wavm3_per_kind(train)
+        live = args.table_id == "4"
+        print(tables.render_table3_4(models["live" if live else "non-live"], live=live))
+        return 0
+    if args.table_id == "5":
+        validation = validate_wavm3(seed=args.seed, runs_per_scenario=args.runs)
+        print(tables.render_table5(validation))
+        return 0
+    comparison = compare_models(
+        seed=args.seed, runs_per_scenario=args.runs, family=args.family
+    )
+    if args.table_id == "6":
+        print(tables.render_table6(comparison))
+    else:
+        print(tables.render_table7(comparison))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import build_fig2_series, build_figure_panels
+    from repro.plotting import plot_figure_series
+
+    if args.figure_id == "fig2":
+        data = build_fig2_series(seed=args.seed, family=args.family, runs=args.runs)
+        for kind, roles in data.items():
+            entries = [(role, series) for role, series in roles.items()]
+            print(plot_figure_series(f"Fig. 2 ({kind} migration)", entries))
+            print()
+        return 0
+    panels = build_figure_panels(
+        args.figure_id, seed=args.seed, family=args.family, runs=args.runs
+    )
+    for title, entries in panels.items():
+        print(plot_figure_series(title, entries))
+        print()
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.experiments.design import all_scenarios
+
+    for scenario in all_scenarios("m"):
+        sweep = (
+            f"DR={scenario.dirty_percent:.0f}%"
+            if scenario.dirty_percent is not None
+            else f"{scenario.load_vm_count} load VMs on {scenario.load_on}"
+        )
+        print(f"{scenario.label:42s} {scenario.kind_name:8s} {sweep}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (console script ``wavm3``)."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "quickstart": _cmd_quickstart,
+        "table": _cmd_table,
+        "figure": _cmd_figure,
+        "scenarios": _cmd_scenarios,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output truncated by a downstream pager (`wavm3 … | head`): normal.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

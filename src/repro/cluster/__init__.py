@@ -1,0 +1,47 @@
+"""Physical cluster substrate (subsystem S2).
+
+Models the *physical* side of the testbed in Table II(c) of the paper:
+
+* :mod:`repro.cluster.machines` — the machine catalog (m01/m02 Opteron
+  pair, o1/o2 Xeon pair), NIC and switch specifications;
+* :mod:`repro.cluster.cpu` — a credit-scheduler-like CPU accountant with
+  proportional sharing under overcommit (the "multiplexing" the paper
+  observes with 8 load VMs);
+* :mod:`repro.cluster.network` — the source→target network path whose
+  effective bandwidth degrades when an endpoint's CPU saturates;
+* :mod:`repro.cluster.power` — the ground-truth host power model sampled by
+  the simulated power meters;
+* :mod:`repro.cluster.host` — the physical host tying the above together.
+"""
+
+from repro.cluster.cpu import CpuAccountant
+from repro.cluster.host import PhysicalHost
+from repro.cluster.machines import (
+    MachineSpec,
+    NicSpec,
+    SwitchSpec,
+    machine_spec,
+    machine_pair,
+    switch_spec,
+    MACHINE_CATALOG,
+    SWITCH_CATALOG,
+)
+from repro.cluster.network import NetworkPath
+from repro.cluster.power import HostPowerModel, PowerModelParams, TransientPool
+
+__all__ = [
+    "CpuAccountant",
+    "PhysicalHost",
+    "MachineSpec",
+    "NicSpec",
+    "SwitchSpec",
+    "machine_spec",
+    "machine_pair",
+    "switch_spec",
+    "MACHINE_CATALOG",
+    "SWITCH_CATALOG",
+    "NetworkPath",
+    "HostPowerModel",
+    "PowerModelParams",
+    "TransientPool",
+]

@@ -1,0 +1,178 @@
+"""The physical host: CPU accounting, NIC flows, memory activity, power.
+
+:class:`PhysicalHost` is the junction between the static machine catalog
+and the dynamic simulation: the hypervisor and migration jobs register CPU
+demand, NIC flows and memory activity under string keys, and the telemetry
+subsystem reads aggregate utilisations and ground-truth power from here.
+
+Utilisation reads carry deterministic, time-quantised jitter (see
+:mod:`repro.simulator.noise`) so that repeated reads at one instant agree
+while consecutive samples fluctuate like a real ``dstat`` trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.cpu import CpuAccountant
+from repro.cluster.machines import MachineSpec
+from repro.cluster.power import HostPowerModel
+from repro.errors import CapacityError
+from repro.simulator.noise import ou_like_noise
+
+__all__ = ["PhysicalHost"]
+
+#: Correlation quantum of utilisation jitter (scheduler-tick timescale).
+_JITTER_QUANTUM_S = 0.5
+
+#: Standard deviation of CPU utilisation jitter as a fraction of capacity,
+#: scaled by how busy the host is (an idle host barely fluctuates).
+_CPU_JITTER_SIGMA = 0.016
+
+
+class PhysicalHost:
+    """A physical machine participating in the simulated testbed.
+
+    Parameters
+    ----------
+    spec:
+        Static description from the machine catalog.
+    noise_seed:
+        Seed for the host's deterministic jitter processes (derived from
+        the experiment's master seed by the testbed builder).
+    """
+
+    def __init__(self, spec: MachineSpec, noise_seed: int = 0) -> None:
+        self.spec = spec
+        self.cpu = CpuAccountant(spec.capacity_threads)
+        self.power_model = HostPowerModel(spec.power)
+        self._noise_seed = int(noise_seed)
+        self._nic_flows: dict[str, tuple[float, float]] = {}
+        self._memory_activity: dict[str, float] = {}
+        # Per-run thermal state: constant for this host instance's lifetime
+        # (a fresh host is built per experimental run), clamped to ±2.5 σ.
+        sigma = spec.power.thermal_sigma
+        raw = ou_like_noise(self._noise_seed, f"thermal:{spec.name}", 0.0, 1e9, sigma=sigma, blend=0.0) if sigma else 0.0
+        self._thermal_factor = 1.0 + min(max(raw, -2.5 * sigma), 2.5 * sigma)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Catalog name of the machine (``m01`` …)."""
+        return self.spec.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PhysicalHost {self.name} cpu={self.cpu.utilisation_percent():.1f}%>"
+
+    # ------------------------------------------------------------------
+    # NIC flows
+    # ------------------------------------------------------------------
+    def set_nic_flow(self, key: str, tx_bps: float = 0.0, rx_bps: float = 0.0) -> None:
+        """Register or update a named traffic flow on the host NIC."""
+        if tx_bps < 0 or rx_bps < 0:
+            raise CapacityError(f"flow rates must be non-negative ({key!r})")
+        self._nic_flows[key] = (float(tx_bps), float(rx_bps))
+
+    def clear_nic_flow(self, key: str) -> None:
+        """Remove a named traffic flow; missing keys are ignored."""
+        self._nic_flows.pop(key, None)
+
+    def nic_tx_bps(self) -> float:
+        """Aggregate transmit rate in bytes/s (clamped to NIC goodput)."""
+        total = sum(tx for tx, _ in self._nic_flows.values())
+        return min(total, self.spec.nic.goodput_bps)
+
+    def nic_rx_bps(self) -> float:
+        """Aggregate receive rate in bytes/s (clamped to NIC goodput)."""
+        total = sum(rx for _, rx in self._nic_flows.values())
+        return min(total, self.spec.nic.goodput_bps)
+
+    def nic_utilisation_fraction(self) -> float:
+        """NIC busy fraction in [0, 1] (max of the two directions)."""
+        return max(self.nic_tx_bps(), self.nic_rx_bps()) / self.spec.nic.goodput_bps
+
+    # ------------------------------------------------------------------
+    # Memory activity
+    # ------------------------------------------------------------------
+    def set_memory_activity(self, key: str, fraction: float) -> None:
+        """Register memory-bus activity of a component as a [0, 1] fraction.
+
+        Contributions add up and the aggregate is clamped to 1 (the bus
+        saturates), mirroring how dirty-page writes and migration copies
+        contend for the same memory bandwidth.
+        """
+        if fraction < 0:
+            raise CapacityError(f"memory activity must be non-negative ({key!r})")
+        self._memory_activity[key] = float(fraction)
+
+    def clear_memory_activity(self, key: str) -> None:
+        """Remove a memory-activity contribution; missing keys are ignored."""
+        self._memory_activity.pop(key, None)
+
+    def memory_activity_fraction(self) -> float:
+        """Aggregate memory-bus activity in [0, 1]."""
+        return min(1.0, sum(self._memory_activity.values()))
+
+    # ------------------------------------------------------------------
+    # Utilisation views (what dstat and the power model see)
+    # ------------------------------------------------------------------
+    def cpu_utilisation_fraction(self, t: Optional[float] = None) -> float:
+        """Host CPU utilisation in [0, 1], optionally with read jitter at ``t``.
+
+        Passing ``t`` adds the deterministic time-quantised jitter used by
+        telemetry; ``t=None`` returns the noise-free accounting value.
+        """
+        base = self.cpu.utilisation_fraction()
+        if t is None:
+            return base
+        # Idle hosts barely fluctuate; busy hosts fluctuate most mid-range
+        # (at the pinned ceiling the scheduler cannot exceed capacity).
+        scale = min(base / 0.1, 1.0) if base < 0.1 else 1.0
+        jitter = ou_like_noise(
+            self._noise_seed,
+            f"cpu:{self.name}",
+            t,
+            _JITTER_QUANTUM_S,
+            sigma=_CPU_JITTER_SIGMA * scale,
+        )
+        return min(max(base + jitter, 0.0), 1.0)
+
+    def cpu_utilisation_percent(self, t: Optional[float] = None) -> float:
+        """Host CPU utilisation in percent [0, 100] (model feature units)."""
+        return self.cpu_utilisation_fraction(t) * 100.0
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+    def instantaneous_power(self, t: float) -> float:
+        """Ground-truth wall power (W) at simulated time ``t``.
+
+        Includes the slow thermal/fan drift process — deliberately
+        *absent* from every model feature, so the fitted models face the
+        same unexplained low-frequency structure as real meters record.
+        """
+        power = self.power_model.instantaneous_power(
+            t,
+            cpu_utilisation_fraction=self.cpu_utilisation_fraction(t),
+            memory_activity_fraction=self.memory_activity_fraction(),
+            nic_utilisation_fraction=self.nic_utilisation_fraction(),
+        )
+        params = self.spec.power
+        # Run-constant thermal scaling of the dynamic (above-idle) draw.
+        power = params.idle_w + (power - params.idle_w) * self._thermal_factor
+        if params.drift_sigma_w > 0:
+            power += ou_like_noise(
+                self._noise_seed,
+                f"drift:{self.name}",
+                t,
+                params.drift_quantum_s,
+                sigma=params.drift_sigma_w,
+                blend=0.75,
+            )
+        return max(power, 0.3 * params.idle_w)
+
+    def idle_power_w(self) -> float:
+        """Catalogued idle draw of the machine."""
+        return self.spec.power.idle_w

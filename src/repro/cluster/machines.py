@@ -1,0 +1,268 @@
+"""Machine, NIC and switch catalog reproducing Table II(c) of the paper.
+
+Two homogeneous pairs are modelled:
+
+========  ================================  =======  ========  ===========
+machine   CPU                               threads  RAM       NIC / switch
+========  ================================  =======  ========  ===========
+m01, m02  16 x AMD Opteron 8356 (2 thr)     32       32 GB     Broadcom BCM5704 / Cisco Catalyst 3750
+o1, o2    20 x Intel Xeon E5-2690 (2 thr)   40       128 GB    Intel 82574L / HP 1810-8G
+========  ================================  =======  ========  ===========
+
+The paper does not publish the idle/dynamic power envelope of the machines;
+the figures, however, bound them (m-pair traces range roughly 420–900 W).
+The catalogued :class:`~repro.cluster.power.PowerModelParams` are chosen to
+land in those bands and are documented per machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.power import PowerModelParams
+from repro.errors import ConfigurationError
+from repro.units import gbit_to_bytes_per_s
+
+__all__ = [
+    "NicSpec",
+    "SwitchSpec",
+    "MachineSpec",
+    "MACHINE_CATALOG",
+    "SWITCH_CATALOG",
+    "machine_spec",
+    "switch_spec",
+    "machine_pair",
+    "pair_switch",
+]
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """A network interface card.
+
+    ``efficiency`` is the fraction of the raw line rate achievable as TCP
+    goodput for a single bulk stream (protocol overheads, interrupt
+    moderation); older NICs such as the Broadcom BCM5704 sit slightly lower
+    than modern Intel parts.
+    """
+
+    model: str
+    rate_bps: float
+    efficiency: float = 0.94
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ConfigurationError(f"NIC rate must be positive, got {self.rate_bps!r}")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError(
+                f"NIC efficiency must be in (0, 1], got {self.efficiency!r}"
+            )
+
+    @property
+    def goodput_bps(self) -> float:
+        """Achievable single-stream TCP goodput in bytes/s."""
+        return self.rate_bps * self.efficiency
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """A network switch connecting the two hosts of a pair."""
+
+    model: str
+    rate_bps: float
+    port_efficiency: float = 0.98
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ConfigurationError(
+                f"switch rate must be positive, got {self.rate_bps!r}"
+            )
+        if not 0.0 < self.port_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"switch port efficiency must be in (0, 1], got {self.port_efficiency!r}"
+            )
+
+    @property
+    def goodput_bps(self) -> float:
+        """Per-port achievable goodput in bytes/s."""
+        return self.rate_bps * self.port_efficiency
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a physical machine.
+
+    Parameters
+    ----------
+    name:
+        Catalog identifier (``m01`` … ``o2``).
+    family:
+        Homogeneity class; Xen only migrates between machines of the same
+        family (paper Section I).  ``m`` = Opteron pair, ``o`` = Xeon pair.
+    cpu_model:
+        Marketing name, for reports only.
+    n_cores, threads_per_core:
+        Physical core count and SMT width; ``capacity_threads`` is their
+        product and is the unit in which CPU demand is accounted.
+    ram_mb:
+        Installed physical memory in MiB.
+    nic:
+        The machine's gigabit NIC.
+    power:
+        Ground-truth power envelope parameters.
+    """
+
+    name: str
+    family: str
+    cpu_model: str
+    n_cores: int
+    threads_per_core: int
+    ram_mb: int
+    nic: NicSpec
+    power: PowerModelParams = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0 or self.threads_per_core <= 0:
+            raise ConfigurationError("core/thread counts must be positive")
+        if self.ram_mb <= 0:
+            raise ConfigurationError("ram_mb must be positive")
+
+    @property
+    def capacity_threads(self) -> int:
+        """Total hardware threads (the paper's 'available virtual cpus')."""
+        return self.n_cores * self.threads_per_core
+
+    def compatible_with(self, other: "MachineSpec") -> bool:
+        """Whether Xen would allow migration between the two machines."""
+        return self.family == other.family
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+_BROADCOM = NicSpec(model="Broadcom BCM5704", rate_bps=gbit_to_bytes_per_s(1.0) * 8 / 8, efficiency=0.915)
+_INTEL = NicSpec(model="Intel 82574L", rate_bps=gbit_to_bytes_per_s(1.0) * 8 / 8, efficiency=0.94)
+
+#: Ground-truth power envelope of the Opteron pair.  Idle ≈ 455 W and a
+#: fully loaded draw ≈ 900 W reproduce the 420–900 W band of Figs. 3–7.
+#: The pronounced curvature, CPU×memory interaction and slow fan/thermal
+#: drift are the unmodelled structure that gives the *fitted* linear
+#: models their realistic double-digit NRMSE (cf. Table V/VII).
+_M_POWER = PowerModelParams(
+    idle_w=455.0,
+    cpu_linear_w=230.0,
+    cpu_curved_w=185.0,
+    cpu_curve_exponent=2.2,
+    memory_w=85.0,
+    nic_w=30.0,
+    suspend_dip_w=18.0,
+    interaction_w=55.0,
+    drift_sigma_w=11.0,
+    drift_quantum_s=40.0,
+    fan_steps=((0.25, 22.0), (0.55, 48.0), (0.82, 80.0)),
+    thermal_sigma=0.12,
+)
+
+#: Ground-truth power envelope of the Xeon pair: far lower idle (this is
+#: what drives the paper's C1→C2 bias correction) with a broadly similar
+#: dynamic range — the paper's premise for porting slopes unchanged.
+_O_POWER = PowerModelParams(
+    idle_w=112.0,
+    cpu_linear_w=205.0,
+    cpu_curved_w=165.0,
+    cpu_curve_exponent=2.15,
+    memory_w=62.0,
+    nic_w=21.0,
+    suspend_dip_w=7.0,
+    interaction_w=38.0,
+    drift_sigma_w=6.0,
+    drift_quantum_s=40.0,
+    fan_steps=((0.28, 14.0), (0.58, 32.0), (0.84, 52.0)),
+    thermal_sigma=0.09,
+)
+
+MACHINE_CATALOG: dict[str, MachineSpec] = {
+    "m01": MachineSpec(
+        name="m01",
+        family="m",
+        cpu_model="AMD Opteron 8356",
+        n_cores=16,
+        threads_per_core=2,
+        ram_mb=32 * 1024,
+        nic=_BROADCOM,
+        power=_M_POWER,
+    ),
+    "m02": MachineSpec(
+        name="m02",
+        family="m",
+        cpu_model="AMD Opteron 8356",
+        n_cores=16,
+        threads_per_core=2,
+        ram_mb=32 * 1024,
+        nic=_BROADCOM,
+        # The two machines of a pair are nominally identical; a ~1 % spread
+        # in idle draw mimics real unit-to-unit variation ([21] in the paper
+        # notes homogeneous hosts do not consume identically).
+        power=replace(_M_POWER, idle_w=459.0),
+    ),
+    "o1": MachineSpec(
+        name="o1",
+        family="o",
+        cpu_model="Intel Xeon E5-2690",
+        n_cores=20,
+        threads_per_core=2,
+        ram_mb=128 * 1024,
+        nic=_INTEL,
+        power=_O_POWER,
+    ),
+    "o2": MachineSpec(
+        name="o2",
+        family="o",
+        cpu_model="Intel Xeon E5-2690",
+        n_cores=20,
+        threads_per_core=2,
+        ram_mb=128 * 1024,
+        nic=_INTEL,
+        power=replace(_O_POWER, idle_w=113.5),
+    ),
+}
+
+SWITCH_CATALOG: dict[str, SwitchSpec] = {
+    "m": SwitchSpec(model="Cisco Catalyst 3750", rate_bps=gbit_to_bytes_per_s(1.0)),
+    "o": SwitchSpec(model="HP 1810-8G", rate_bps=gbit_to_bytes_per_s(1.0)),
+}
+
+
+def machine_spec(name: str) -> MachineSpec:
+    """Look up a machine by catalog name (``m01``, ``m02``, ``o1``, ``o2``)."""
+    try:
+        return MACHINE_CATALOG[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; catalog has {sorted(MACHINE_CATALOG)}"
+        ) from None
+
+
+def switch_spec(family: str) -> SwitchSpec:
+    """Look up the switch used by a machine family (``m`` or ``o``)."""
+    try:
+        return SWITCH_CATALOG[family]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown switch family {family!r}; catalog has {sorted(SWITCH_CATALOG)}"
+        ) from None
+
+
+def machine_pair(family: str) -> tuple[MachineSpec, MachineSpec]:
+    """The (source, target) machine pair of a family, as used in the paper."""
+    if family == "m":
+        return machine_spec("m01"), machine_spec("m02")
+    if family == "o":
+        return machine_spec("o1"), machine_spec("o2")
+    raise ConfigurationError(f"unknown machine family {family!r}; expected 'm' or 'o'")
+
+
+def pair_switch(family: str) -> SwitchSpec:
+    """Alias of :func:`switch_spec` reading like the experiment tables."""
+    return switch_spec(family)

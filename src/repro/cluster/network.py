@@ -1,0 +1,164 @@
+"""Source→target network path with CPU-coupled effective bandwidth.
+
+The paper's key bandwidth observation (Sections VI-A/B/D/E): when the CPU
+of an endpoint saturates, the migration daemon cannot drive the NIC at
+line rate, so the transfer slows down — lengthening the transfer phase and
+*lowering* instantaneous power on the peer (less data to receive per
+second).  WAVM3's β(t)·BW term models exactly this, which is why the model
+beats HUANG in the saturated scenarios.
+
+The path model therefore computes::
+
+    effective = nominal_goodput × min(endpoint_factor(S), endpoint_factor(T))
+
+with ``endpoint_factor`` a piecewise-linear function of host CPU
+utilisation (excluding the migration daemon's own demand): 1.0 below a
+knee, degrading linearly to a floor at/above full saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.host import PhysicalHost
+from repro.cluster.machines import SwitchSpec
+from repro.errors import ConfigurationError
+from repro.simulator.noise import hash_normal
+
+__all__ = ["BandwidthDegradation", "NetworkPath"]
+
+
+@dataclass(frozen=True)
+class BandwidthDegradation:
+    """Shape of the CPU-saturation → bandwidth coupling.
+
+    Parameters
+    ----------
+    knee_utilisation:
+        Host CPU utilisation (fraction of capacity, migration excluded)
+        below which the full nominal bandwidth is available.
+    floor_factor:
+        Fraction of nominal bandwidth still achievable when the host CPU is
+        completely saturated (the daemon gets a proportional share but
+        cannot keep the pipe full).
+    """
+
+    knee_utilisation: float = 0.85
+    floor_factor: float = 0.60
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.knee_utilisation <= 1.0:
+            raise ConfigurationError(
+                f"knee_utilisation must be in (0, 1], got {self.knee_utilisation!r}"
+            )
+        if not 0.0 < self.floor_factor <= 1.0:
+            raise ConfigurationError(
+                f"floor_factor must be in (0, 1], got {self.floor_factor!r}"
+            )
+
+    def factor(self, utilisation_fraction: float) -> float:
+        """Bandwidth multiplier in [floor, 1] for a host utilisation."""
+        u = min(max(utilisation_fraction, 0.0), 1.0)
+        if u <= self.knee_utilisation:
+            return 1.0
+        span = 1.0 - self.knee_utilisation
+        progress = (u - self.knee_utilisation) / span
+        return 1.0 - (1.0 - self.floor_factor) * progress
+
+
+class NetworkPath:
+    """The switched gigabit path between a source and a target host.
+
+    Parameters
+    ----------
+    source, target:
+        Endpoints of the path.
+    switch:
+        The switch connecting them (Table IIc: Cisco Catalyst 3750 for the
+        m-pair, HP 1810-8G for the o-pair).
+    degradation:
+        CPU-saturation coupling parameters.
+    jitter_seed:
+        Seed for the small deterministic bandwidth jitter (TCP dynamics).
+    """
+
+    #: Relative sigma of per-quantum bandwidth jitter.
+    JITTER_SIGMA = 0.02
+    #: Correlation quantum of bandwidth jitter, seconds.
+    JITTER_QUANTUM_S = 2.0
+
+    def __init__(
+        self,
+        source: PhysicalHost,
+        target: PhysicalHost,
+        switch: SwitchSpec,
+        degradation: BandwidthDegradation | None = None,
+        jitter_seed: int = 0,
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.switch = switch
+        self.degradation = degradation or BandwidthDegradation()
+        self._jitter_seed = int(jitter_seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def nominal_goodput_bps(self) -> float:
+        """Best-case end-to-end goodput: min of both NICs and the switch."""
+        return min(
+            self.source.spec.nic.goodput_bps,
+            self.target.spec.nic.goodput_bps,
+            self.switch.goodput_bps,
+        )
+
+    def _endpoint_factor(self, host: PhysicalHost, migration_keys: tuple[str, ...]) -> float:
+        """Degradation factor of one endpoint, ignoring the daemon's own load."""
+        other_demand = host.cpu.total_demand_excluding(*migration_keys)
+        utilisation = min(other_demand, host.cpu.capacity_threads) / host.cpu.capacity_threads
+        # Multiplexed hosts (demand beyond capacity) are treated as fully
+        # saturated regardless of the clamp above.
+        if other_demand > host.cpu.capacity_threads:
+            utilisation = 1.0
+        return self.degradation.factor(utilisation)
+
+    def effective_bandwidth_bps(
+        self,
+        t: float,
+        migration_keys: tuple[str, ...] = (),
+        with_jitter: bool = True,
+    ) -> float:
+        """Achievable state-transfer goodput (bytes/s) at time ``t``.
+
+        Parameters
+        ----------
+        t:
+            Simulated time (drives the deterministic jitter).
+        migration_keys:
+            CPU-accountant keys belonging to the migration itself; they are
+            excluded when computing each endpoint's saturation so the
+            daemon's own demand does not throttle its own pipe.
+        with_jitter:
+            Disable to get the noise-free value (used by feature traces and
+            analytical tests).
+        """
+        factor = min(
+            self._endpoint_factor(self.source, migration_keys),
+            self._endpoint_factor(self.target, migration_keys),
+        )
+        bandwidth = self.nominal_goodput_bps * factor
+        if with_jitter:
+            rel = hash_normal(
+                self._jitter_seed,
+                f"bw:{self.source.name}->{self.target.name}",
+                t,
+                self.JITTER_QUANTUM_S,
+                sigma=self.JITTER_SIGMA,
+            )
+            bandwidth *= max(0.5, 1.0 + rel)
+        return max(bandwidth, 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NetworkPath {self.source.name}->{self.target.name} "
+            f"via {self.switch.model}>"
+        )

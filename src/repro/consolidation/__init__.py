@@ -1,0 +1,39 @@
+"""Consolidation manager (subsystem S11) — the model's intended use.
+
+The paper's conclusion motivates WAVM3 with consolidation decisions:
+*"one may think not to consolidate a VM with an high dirtying ratio to a
+host that is running a lot of CPU intensive workloads since … this is
+going to increase the energy consumption of VM migration."*
+
+This package implements that loop:
+
+* :mod:`repro.consolidation.datacenter` — a multi-host data centre view;
+* :mod:`repro.consolidation.estimator` — planning-time migration-energy
+  estimates driven by a fitted WAVM3 coefficient set (phase powers ×
+  predicted phase durations, including the pre-copy round geometry);
+* :mod:`repro.consolidation.manager` — the consolidation-manager actor of
+  Section III-B(a): monitors load, asks a policy for the best
+  (VM, target) pair, and issues the migration;
+* :mod:`repro.consolidation.policies` — placement policies, including the
+  energy-aware one built on the estimator.
+"""
+
+from repro.consolidation.datacenter import DataCenter
+from repro.consolidation.estimator import MigrationPlan, Wavm3PlanningEstimator
+from repro.consolidation.manager import ConsolidationDecision, ConsolidationManager
+from repro.consolidation.policies import (
+    EnergyAwarePolicy,
+    FirstFitPolicy,
+    PlacementPolicy,
+)
+
+__all__ = [
+    "DataCenter",
+    "MigrationPlan",
+    "Wavm3PlanningEstimator",
+    "ConsolidationDecision",
+    "ConsolidationManager",
+    "EnergyAwarePolicy",
+    "FirstFitPolicy",
+    "PlacementPolicy",
+]

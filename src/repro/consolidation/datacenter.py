@@ -1,0 +1,131 @@
+"""A multi-host data-centre view for consolidation decisions.
+
+The experiment harness works with exactly two hosts; consolidation works
+over a fleet.  :class:`DataCenter` composes hosts (with their hypervisors
+and pairwise network paths) and provides the aggregate views the
+consolidation manager monitors: per-host utilisation, placement maps and
+data-centre-level power.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.cluster.host import PhysicalHost
+from repro.cluster.machines import machine_spec, switch_spec
+from repro.cluster.network import NetworkPath
+from repro.errors import ClusterError
+from repro.hypervisor.toolstack import Toolstack
+from repro.hypervisor.vm import VirtualMachine
+from repro.hypervisor.vmm import XenHypervisor
+from repro.simulator.engine import Simulator
+from repro.simulator.rng import RandomStreams, derive_seed
+
+__all__ = ["DataCenter"]
+
+
+class DataCenter:
+    """A homogeneous fleet of simulated hosts under one toolstack.
+
+    Parameters
+    ----------
+    sim:
+        The driving simulator.
+    machine_names:
+        Catalog machines to instantiate; they must all belong to one
+        family (Xen's homogeneity restriction).  Duplicate physical boxes
+        can be expressed by repeating a name — instances get unique host
+        names (``m01``, ``m01-2``, …).
+    seed:
+        Master seed for host noise and migration randomness.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine_names: Iterable[str],
+        seed: int = 0,
+    ) -> None:
+        names = list(machine_names)
+        if len(names) < 2:
+            raise ClusterError("a data centre needs at least two hosts")
+        families = {machine_spec(n).family for n in names}
+        if len(families) != 1:
+            raise ClusterError(
+                f"hosts must share one family (Xen homogeneity), got {sorted(families)}"
+            )
+        self.family = families.pop()
+        self.sim = sim
+        self.streams = RandomStreams(seed)
+
+        self.hosts: dict[str, PhysicalHost] = {}
+        self.hypervisors: dict[str, XenHypervisor] = {}
+        used: dict[str, int] = {}
+        for name in names:
+            used[name] = used.get(name, 0) + 1
+            host_name = name if used[name] == 1 else f"{name}-{used[name]}"
+            spec = machine_spec(name)
+            if host_name != name:
+                from dataclasses import replace
+
+                spec = replace(spec, name=host_name)
+            host = PhysicalHost(spec, noise_seed=derive_seed(seed, f"host:{host_name}"))
+            self.hosts[host_name] = host
+            self.hypervisors[host_name] = XenHypervisor(host)
+
+        self.toolstack = Toolstack(sim, self.hypervisors, self.streams.stream("migration"))
+        self._switch = switch_spec(self.family)
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    def host_names(self) -> tuple[str, ...]:
+        """Names of all hosts in the fleet."""
+        return tuple(self.hosts)
+
+    def path(self, source: str, target: str) -> NetworkPath:
+        """The network path between two hosts (through the family switch)."""
+        if source == target:
+            raise ClusterError("source and target must differ")
+        return NetworkPath(
+            self.hosts[source],
+            self.hosts[target],
+            self._switch,
+            jitter_seed=derive_seed(self._seed, f"path:{source}->{target}"),
+        )
+
+    # ------------------------------------------------------------------
+    def place(self, host_name: str, vm: VirtualMachine, start: bool = True) -> VirtualMachine:
+        """Create (and by default boot) a guest on a host."""
+        return self.toolstack.create(host_name, vm, start=start)
+
+    def placement(self) -> dict[str, tuple[str, ...]]:
+        """Current VM placement map: host → VM names."""
+        return {
+            name: tuple(vm.name for vm in xen.vms)
+            for name, xen in self.hypervisors.items()
+        }
+
+    def locate(self, vm_name: str) -> Optional[str]:
+        """Host currently carrying a VM (None if absent)."""
+        for name, xen in self.hypervisors.items():
+            if any(vm.name == vm_name for vm in xen.vms):
+                return name
+        return None
+
+    # ------------------------------------------------------------------
+    def utilisations(self) -> dict[str, float]:
+        """Per-host CPU utilisation fractions (monitoring view)."""
+        return {n: h.cpu.utilisation_fraction() for n, h in self.hosts.items()}
+
+    def total_power_w(self, t: Optional[float] = None) -> float:
+        """Instantaneous data-centre power (ground truth)."""
+        at = self.sim.now if t is None else t
+        return float(np.sum([h.instantaneous_power(at) for h in self.hosts.values()]))
+
+    def idle_hosts(self) -> tuple[str, ...]:
+        """Hosts with no running guests (shutdown candidates)."""
+        return tuple(
+            name for name, xen in self.hypervisors.items() if not xen.running_vms()
+        )

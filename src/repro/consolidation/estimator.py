@@ -1,0 +1,202 @@
+"""Planning-time migration-energy estimation from WAVM3 coefficients.
+
+At consolidation-decision time there is no measured trace to integrate;
+the manager must *forecast*.  The estimator turns a fitted
+:class:`~repro.models.wavm3.Wavm3Coefficients` set into an a-priori
+estimate by composing exactly the quantities the model separates:
+
+1. **phase durations** — initiation and activation from their calibrated
+   means; the transfer from the pre-copy geometry (Eq. 10's round view):
+   round 0 moves all pages, each subsequent round moves the pages dirtied
+   during the previous one, terminated by Xen's stop conditions;
+2. **phase powers** — Eqs. 5–7 evaluated at the *planned* steady-state
+   features (host CPU with the VM placed/removed, expected bandwidth,
+   the VM's dirtying ratio);
+3. **energy** — power × duration per phase, summed over both hosts.
+
+This is the quantitative core of the paper's closing recommendation:
+high-DR VMs moving toward loaded hosts forecast disproportionately
+expensive migrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.hypervisor.migration import MigrationConfig
+from repro.models.features import HostRole
+from repro.models.wavm3 import Wavm3Coefficients
+from repro.phases.timeline import MigrationPhase
+from repro.units import PAGE_SIZE_BYTES, mib_to_pages
+
+__all__ = ["MigrationPlan", "Wavm3PlanningEstimator"]
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """Forecast of one candidate migration."""
+
+    live: bool
+    duration_s: float
+    transfer_s: float
+    rounds: int
+    data_bytes: float
+    energy_source_j: float
+    energy_target_j: float
+
+    @property
+    def energy_total_j(self) -> float:
+        """Forecast migration energy across both hosts."""
+        return self.energy_source_j + self.energy_target_j
+
+
+class Wavm3PlanningEstimator:
+    """Forecasts migration cost from fitted WAVM3 coefficients.
+
+    Parameters
+    ----------
+    coefficients:
+        A fitted (or paper-published) coefficient set.
+    config:
+        Migration-engine tunables supplying the phase-duration means and
+        the pre-copy termination constants.
+    """
+
+    def __init__(
+        self,
+        coefficients: Wavm3Coefficients,
+        config: MigrationConfig | None = None,
+    ) -> None:
+        self.coefficients = coefficients
+        self.config = config or MigrationConfig()
+
+    # ------------------------------------------------------------------
+    def _precopy_geometry(
+        self,
+        mem_mb: float,
+        dirty_pages_per_s: float,
+        bw_bps: float,
+    ) -> tuple[float, int, float]:
+        """(transfer_s, rounds, data_bytes) from the pre-copy recursion."""
+        cfg = self.config
+        total_pages = mib_to_pages(int(mem_mb))
+        bw_pages = max(bw_bps / PAGE_SIZE_BYTES, 1.0)
+        to_send = float(total_pages)
+        sent = 0.0
+        duration = 0.0
+        rounds = 0
+        while True:
+            rounds += 1
+            round_time = to_send / bw_pages + cfg.round_overhead_s
+            duration += round_time
+            sent += to_send
+            dirtied = min(dirty_pages_per_s * round_time, float(total_pages))
+            if (
+                dirtied <= cfg.dirty_threshold_pages
+                or rounds >= cfg.max_iterations
+                or sent + dirtied > cfg.max_transfer_factor * total_pages
+            ):
+                # Final stop-and-copy round.
+                rounds += 1
+                duration += dirtied / bw_pages + cfg.stop_copy_overhead_s
+                sent += dirtied
+                break
+            to_send = dirtied
+        return duration, rounds, sent * PAGE_SIZE_BYTES
+
+    def _phase_power(
+        self,
+        role: HostRole,
+        phase: MigrationPhase,
+        cpu_host_pct: float,
+        cpu_vm_pct: float,
+        bw_bps: float,
+        dr_pct: float,
+    ) -> float:
+        coefs = self.coefficients.values[role][phase]
+        power = coefs["const"]
+        power += coefs.get("cpu_host", 0.0) * cpu_host_pct
+        power += coefs.get("cpu_vm", 0.0) * cpu_vm_pct
+        if phase is MigrationPhase.TRANSFER:
+            power += coefs.get("bw", 0.0) * bw_bps
+            power += coefs.get("dr", 0.0) * dr_pct
+        return power
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        mem_mb: float,
+        vm_cpu_pct: float,
+        dr_pct: float,
+        dirty_pages_per_s: float,
+        source_cpu_pct: float,
+        target_cpu_pct: float,
+        bw_bps: float,
+        live: bool = True,
+    ) -> MigrationPlan:
+        """Forecast one candidate migration.
+
+        Parameters
+        ----------
+        mem_mb:
+            Memory size of the candidate VM.
+        vm_cpu_pct, dr_pct, dirty_pages_per_s:
+            The VM's workload profile (CPU %, Eq. 1 dirtying ratio %, raw
+            page-write rate).
+        source_cpu_pct, target_cpu_pct:
+            Host CPU utilisations *during* the migration (planner's view,
+            including the VM where it runs).
+        bw_bps:
+            Expected transfer bandwidth between the hosts.
+        live:
+            Migration kind to forecast.
+        """
+        if mem_mb <= 0 or bw_bps <= 0:
+            raise ModelError("mem_mb and bw_bps must be positive")
+        cfg = self.config
+        if live:
+            transfer_s, rounds, data_bytes = self._precopy_geometry(
+                mem_mb, dirty_pages_per_s, bw_bps
+            )
+        else:
+            data_bytes = mib_to_pages(int(mem_mb)) * PAGE_SIZE_BYTES
+            transfer_s = data_bytes / bw_bps
+            rounds = 1
+
+        init_s = cfg.init_duration_s
+        act_s = cfg.activation_duration_s
+        duration = init_s + transfer_s + act_s
+
+        # Feature attribution per role and phase (Section IV):
+        # non-live ⇒ the VM is suspended throughout: CPU(v) = DR = 0.
+        vm_cpu = vm_cpu_pct if live else 0.0
+        dr = dr_pct if live else 0.0
+
+        energies = {HostRole.SOURCE: 0.0, HostRole.TARGET: 0.0}
+        for role in energies:
+            host_cpu = source_cpu_pct if role is HostRole.SOURCE else target_cpu_pct
+            on_source = role is HostRole.SOURCE
+            energies[role] += init_s * self._phase_power(
+                role, MigrationPhase.INITIATION, host_cpu,
+                vm_cpu if on_source else 0.0, 0.0, 0.0,
+            )
+            energies[role] += transfer_s * self._phase_power(
+                role, MigrationPhase.TRANSFER, host_cpu,
+                vm_cpu if on_source else 0.0, bw_bps,
+                dr if on_source else 0.0,
+            )
+            energies[role] += act_s * self._phase_power(
+                role, MigrationPhase.ACTIVATION, host_cpu,
+                0.0 if on_source else vm_cpu_pct, 0.0, 0.0,
+            )
+
+        return MigrationPlan(
+            live=live,
+            duration_s=duration,
+            transfer_s=transfer_s,
+            rounds=rounds,
+            data_bytes=data_bytes,
+            energy_source_j=energies[HostRole.SOURCE],
+            energy_target_j=energies[HostRole.TARGET],
+        )

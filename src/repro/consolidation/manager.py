@@ -1,0 +1,156 @@
+"""The consolidation-manager actor (Section III-B(a)).
+
+*"Constantly monitors the load of the data centre, selects the VM to be
+migrated and the target host, and finally initiates the migration.
+Afterwards, it returns to its previous operation."*
+
+The manager periodically scans host utilisations; when a host is under
+the consolidation threshold, it tries to drain the host's guests onto
+other machines through the configured placement policy, issuing at most
+one migration at a time (the paper never overlaps migrations — and
+neither does Xen gladly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.consolidation.datacenter import DataCenter
+from repro.consolidation.policies import PlacementPolicy, ScoredMove
+from repro.errors import ConfigurationError
+from repro.hypervisor.migration import MigrationJob
+from repro.simulator.sampling import PeriodicSampler
+
+__all__ = ["ConsolidationDecision", "ConsolidationManager"]
+
+
+@dataclass(frozen=True)
+class ConsolidationDecision:
+    """One manager decision, for audit trails and the examples."""
+
+    at: float
+    move: ScoredMove
+    issued: bool
+    reason: str = ""
+
+
+@dataclass
+class _ManagerState:
+    active_job: Optional[MigrationJob] = None
+    decisions: list[ConsolidationDecision] = field(default_factory=list)
+    migrations_issued: int = 0
+
+
+class ConsolidationManager:
+    """Monitors the data centre and issues policy-driven migrations.
+
+    Parameters
+    ----------
+    dc:
+        The managed data centre.
+    policy:
+        Placement policy ranking candidate moves.
+    underload_threshold:
+        Hosts below this CPU utilisation fraction are drain candidates
+        (their guests get consolidated elsewhere so the host can be shut
+        down — the paper's workload-consolidation setting).
+    period_s:
+        Monitoring interval.
+    live:
+        Migration kind to issue.
+    cooldown_s:
+        A VM that was just migrated is not considered again for this many
+        seconds — the hysteresis that stops naive drain policies from
+        ping-ponging a guest between two underloaded hosts.
+    """
+
+    def __init__(
+        self,
+        dc: DataCenter,
+        policy: PlacementPolicy,
+        underload_threshold: float = 0.30,
+        period_s: float = 10.0,
+        live: bool = True,
+        cooldown_s: float = 600.0,
+    ) -> None:
+        if not 0.0 < underload_threshold <= 1.0:
+            raise ConfigurationError("underload_threshold must be in (0, 1]")
+        if cooldown_s < 0:
+            raise ConfigurationError("cooldown_s must be non-negative")
+        self.dc = dc
+        self.policy = policy
+        self.underload_threshold = underload_threshold
+        self.live = live
+        self.cooldown_s = cooldown_s
+        self._cooldowns: dict[str, float] = {}
+        self._state = _ManagerState()
+        self._sampler = PeriodicSampler(dc.sim, period_s, self._tick)
+
+    # ------------------------------------------------------------------
+    @property
+    def decisions(self) -> tuple[ConsolidationDecision, ...]:
+        """Audit trail of every decision taken."""
+        return tuple(self._state.decisions)
+
+    @property
+    def migrations_issued(self) -> int:
+        """Number of migrations actually started."""
+        return self._state.migrations_issued
+
+    @property
+    def busy(self) -> bool:
+        """Whether a manager-issued migration is currently in flight."""
+        job = self._state.active_job
+        return job is not None and not job.finished
+
+    def start(self) -> None:
+        """Begin monitoring."""
+        self._sampler.start()
+
+    def stop(self) -> None:
+        """Stop monitoring (in-flight migrations continue)."""
+        self._sampler.stop()
+
+    # ------------------------------------------------------------------
+    def _tick(self, t: float) -> None:
+        if self.busy:
+            return  # one migration at a time
+        move = self._select_move()
+        if move is None:
+            return
+        job = self.dc.toolstack.migrate(
+            move.vm_name,
+            move.source,
+            move.target,
+            self.dc.path(move.source, move.target),
+            live=self.live,
+        )
+        self._state.active_job = job
+        self._state.migrations_issued += 1
+        self._cooldowns[move.vm_name] = t + self.cooldown_s
+        self._state.decisions.append(
+            ConsolidationDecision(at=t, move=move, issued=True, reason="underload drain")
+        )
+
+    def _select_move(self) -> Optional[ScoredMove]:
+        """Pick the best policy move from the most underloaded host."""
+        utilisations = self.dc.utilisations()
+        candidates = sorted(
+            (
+                (u, name)
+                for name, u in utilisations.items()
+                if 0.0 < u < self.underload_threshold
+                and self.dc.hypervisors[name].running_vms()
+            ),
+        )
+        now = self.dc.sim.now
+        for _, host_name in candidates:
+            xen = self.dc.hypervisors[host_name]
+            for vm in xen.running_vms():
+                if self._cooldowns.get(vm.name, 0.0) > now:
+                    continue  # recently moved: hysteresis
+                move = self.policy.propose(self.dc, vm, host_name)
+                if move is not None:
+                    return move
+        return None

@@ -1,0 +1,141 @@
+"""Placement policies for the consolidation manager.
+
+Two policies bracket the design space:
+
+* :class:`FirstFitPolicy` — the classic capacity-only baseline: move each
+  candidate VM to the first host with room (what most of the related work
+  in Section II does, migration energy unconsidered);
+* :class:`EnergyAwarePolicy` — scores each (VM, target) pair with the
+  WAVM3 planning estimator and refuses moves whose forecast migration
+  energy exceeds a budget.  This is the paper's closing recommendation
+  made executable: a high-DR VM toward a loaded host forecasts an
+  expensive migration and is ranked (or filtered) out.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.consolidation.datacenter import DataCenter
+from repro.consolidation.estimator import MigrationPlan, Wavm3PlanningEstimator
+from repro.errors import ConfigurationError
+from repro.hypervisor.vm import VirtualMachine
+
+__all__ = ["PlacementPolicy", "FirstFitPolicy", "EnergyAwarePolicy", "ScoredMove"]
+
+
+@dataclass(frozen=True)
+class ScoredMove:
+    """A candidate migration with its policy score (lower is better)."""
+
+    vm_name: str
+    source: str
+    target: str
+    score: float
+    plan: Optional[MigrationPlan] = None
+
+
+class PlacementPolicy(abc.ABC):
+    """Strategy choosing where a candidate VM should go."""
+
+    @abc.abstractmethod
+    def propose(
+        self, dc: DataCenter, vm: VirtualMachine, source: str
+    ) -> Optional[ScoredMove]:
+        """Best move for ``vm`` off ``source`` (None = keep it in place)."""
+
+    @staticmethod
+    def _fits(dc: DataCenter, target: str, vm: VirtualMachine) -> bool:
+        return dc.hypervisors[target].free_ram_mb() >= vm.memory.ram_mb
+
+
+class FirstFitPolicy(PlacementPolicy):
+    """Move to the first non-source host with enough free memory."""
+
+    def propose(
+        self, dc: DataCenter, vm: VirtualMachine, source: str
+    ) -> Optional[ScoredMove]:
+        """First host (catalogue order) that fits the VM."""
+        for target in dc.host_names():
+            if target == source:
+                continue
+            if self._fits(dc, target, vm):
+                return ScoredMove(vm_name=vm.name, source=source, target=target, score=0.0)
+        return None
+
+
+class EnergyAwarePolicy(PlacementPolicy):
+    """Rank targets by forecast migration energy (WAVM3 estimator).
+
+    Parameters
+    ----------
+    estimator:
+        The planning estimator built from fitted WAVM3 coefficients.
+    energy_budget_j:
+        Moves forecast above this energy are rejected outright (the
+        "do not consolidate that VM there" recommendation).  ``None``
+        disables the filter.
+    live:
+        Which migration kind the manager will issue.
+    """
+
+    def __init__(
+        self,
+        estimator: Wavm3PlanningEstimator,
+        energy_budget_j: Optional[float] = None,
+        live: bool = True,
+    ) -> None:
+        if energy_budget_j is not None and energy_budget_j <= 0:
+            raise ConfigurationError("energy_budget_j must be positive or None")
+        self.estimator = estimator
+        self.energy_budget_j = energy_budget_j
+        self.live = live
+
+    def forecast(
+        self, dc: DataCenter, vm: VirtualMachine, source: str, target: str
+    ) -> MigrationPlan:
+        """Forecast the migration of ``vm`` from ``source`` to ``target``."""
+        path = dc.path(source, target)
+        src_host, tgt_host = dc.hosts[source], dc.hosts[target]
+        workload = vm.workload
+        return self.estimator.plan(
+            mem_mb=vm.memory.ram_mb,
+            vm_cpu_pct=workload.cpu_fraction() * 100.0,
+            dr_pct=vm.dirtying_ratio_percent(),
+            dirty_pages_per_s=workload.dirty_page_rate(),
+            source_cpu_pct=src_host.cpu.utilisation_percent(),
+            target_cpu_pct=tgt_host.cpu.utilisation_percent(),
+            bw_bps=path.effective_bandwidth_bps(
+                dc.sim.now, with_jitter=False
+            ),
+            live=self.live,
+        )
+
+    def propose(
+        self, dc: DataCenter, vm: VirtualMachine, source: str
+    ) -> Optional[ScoredMove]:
+        """Cheapest-energy feasible target under the budget."""
+        best: Optional[ScoredMove] = None
+        for target in dc.host_names():
+            if target == source:
+                continue
+            if not self._fits(dc, target, vm):
+                continue
+            plan = self.forecast(dc, vm, source, target)
+            if (
+                self.energy_budget_j is not None
+                and plan.energy_total_j > self.energy_budget_j
+            ):
+                continue
+            move = ScoredMove(
+                vm_name=vm.name,
+                source=source,
+                target=target,
+                score=plan.energy_total_j,
+                plan=plan,
+            )
+            if best is None or move.score < best.score:
+                best = move
+        return best

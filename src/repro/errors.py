@@ -1,0 +1,131 @@
+"""Exception hierarchy for the WAVM3 reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subclasses are grouped per subsystem; the hierarchy is
+intentionally shallow (one level per subsystem) to keep ``except`` clauses
+predictable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "SchedulingError",
+    "ClusterError",
+    "CapacityError",
+    "HypervisorError",
+    "VMStateError",
+    "MigrationError",
+    "IncompatibleHostsError",
+    "WorkloadError",
+    "TelemetryError",
+    "TraceError",
+    "PhaseError",
+    "ModelError",
+    "NotFittedError",
+    "RegressionError",
+    "ExperimentError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value was supplied by the caller."""
+
+
+# --------------------------------------------------------------------------
+# Simulation kernel
+# --------------------------------------------------------------------------
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation kernel."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled into the past or on a stopped simulator."""
+
+
+# --------------------------------------------------------------------------
+# Physical cluster substrate
+# --------------------------------------------------------------------------
+class ClusterError(ReproError):
+    """Errors raised by the physical-cluster substrate."""
+
+
+class CapacityError(ClusterError):
+    """A resource request exceeded physical capacity (RAM, registrations)."""
+
+
+# --------------------------------------------------------------------------
+# Hypervisor substrate
+# --------------------------------------------------------------------------
+class HypervisorError(ReproError):
+    """Errors raised by the Xen-like hypervisor substrate."""
+
+
+class VMStateError(HypervisorError):
+    """An operation was attempted on a VM in an incompatible state."""
+
+
+class MigrationError(HypervisorError):
+    """A migration could not be started or failed mid-flight."""
+
+
+class IncompatibleHostsError(MigrationError):
+    """Source and target hosts have incompatible architectures.
+
+    The paper's model is restricted to homogeneous source/target pairs
+    because Xen refuses migration between incompatible machines; the
+    toolstack enforces the same rule.
+    """
+
+
+# --------------------------------------------------------------------------
+# Workloads
+# --------------------------------------------------------------------------
+class WorkloadError(ReproError):
+    """Errors raised by workload models."""
+
+
+# --------------------------------------------------------------------------
+# Telemetry
+# --------------------------------------------------------------------------
+class TelemetryError(ReproError):
+    """Errors raised by the measurement substrate."""
+
+
+class TraceError(TelemetryError):
+    """A trace container was used inconsistently (length mismatch, empty)."""
+
+
+# --------------------------------------------------------------------------
+# Phases
+# --------------------------------------------------------------------------
+class PhaseError(ReproError):
+    """Errors related to migration phase timelines and segmentation."""
+
+
+# --------------------------------------------------------------------------
+# Models & regression
+# --------------------------------------------------------------------------
+class ModelError(ReproError):
+    """Errors raised by the energy models."""
+
+
+class NotFittedError(ModelError):
+    """A prediction was requested from a model with no coefficients."""
+
+
+class RegressionError(ReproError):
+    """The regression machinery could not produce a fit."""
+
+
+# --------------------------------------------------------------------------
+# Experiments
+# --------------------------------------------------------------------------
+class ExperimentError(ReproError):
+    """Errors raised by the experiment harness."""

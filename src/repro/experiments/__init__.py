@@ -1,0 +1,51 @@
+"""Experiment harness (subsystem S9) — Section V of the paper.
+
+* :mod:`repro.experiments.instances` — the VM instance catalog of
+  Table IIb (``load-cpu``, ``migrating-cpu``, ``migrating-mem``, dom-0);
+* :mod:`repro.experiments.testbed` — builds the instrumented two-host
+  testbeds of Table IIc (m01–m02 and o1–o2 with their switches/meters);
+* :mod:`repro.experiments.design` — the experiment families of Table IIa
+  (CPULOAD-SOURCE/-TARGET, MEMLOAD-VM/-SOURCE/-TARGET) expanded into
+  concrete migration scenarios;
+* :mod:`repro.experiments.runner` — executes scenarios with the paper's
+  measurement protocol (stabilise → migrate → stabilise; repeat until the
+  run-variance delta drops under 10 %, at least ten runs);
+* :mod:`repro.experiments.results` — run/scenario/experiment result
+  containers and the conversion to model samples.
+"""
+
+from repro.experiments.design import (
+    MigrationScenario,
+    all_scenarios,
+    cpuload_source_scenarios,
+    cpuload_target_scenarios,
+    memload_source_scenarios,
+    memload_target_scenarios,
+    memload_vm_scenarios,
+    LOAD_VM_COUNTS,
+    DIRTY_PERCENTS,
+)
+from repro.experiments.instances import INSTANCE_CATALOG, InstanceSpec, make_instance_vm
+from repro.experiments.results import ExperimentResult, RunResult, ScenarioResult
+from repro.experiments.runner import ScenarioRunner
+from repro.experiments.testbed import Testbed
+
+__all__ = [
+    "MigrationScenario",
+    "all_scenarios",
+    "cpuload_source_scenarios",
+    "cpuload_target_scenarios",
+    "memload_source_scenarios",
+    "memload_target_scenarios",
+    "memload_vm_scenarios",
+    "LOAD_VM_COUNTS",
+    "DIRTY_PERCENTS",
+    "INSTANCE_CATALOG",
+    "InstanceSpec",
+    "make_instance_vm",
+    "ExperimentResult",
+    "RunResult",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "Testbed",
+]

@@ -1,0 +1,104 @@
+"""The VM instance catalog of Table IIb.
+
+=============  ======  =======  ==========  =========
+instance       vCPUs   RAM      workload    storage
+=============  ======  =======  ==========  =========
+load-cpu       4       512 MB   matrixmult  1 GB
+migrating-cpu  4       4 GB     matrixmult  6 GB
+migrating-mem  1       4 GB     pagedirtier 6 GB
+dom-0          1       512 MB   VMM         115 GB
+=============  ======  =======  ==========  =========
+
+``load-cpu`` instances generate host load in 4-vCPU steps ("as many CPUs
+… as needed to increase the load by 25 % increments" on the 32-thread
+m-pair, counting the migrating VM); ``migrating-*`` are the guests that
+get migrated.  dom-0 is not instantiated as a guest — its footprint is
+part of :class:`~repro.hypervisor.vmm.XenHypervisor` — but it is kept in
+the catalog so Table IIb can be rendered in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.hypervisor.vm import VirtualMachine
+from repro.workloads import MatrixMultWorkload, PageDirtierWorkload, Workload
+
+__all__ = ["InstanceSpec", "INSTANCE_CATALOG", "make_instance_vm"]
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One row of Table IIb."""
+
+    instance_id: str
+    vcpus: int
+    ram_mb: int
+    workload_name: str
+    storage_gb: int
+    linux_kernel: str
+
+
+INSTANCE_CATALOG: dict[str, InstanceSpec] = {
+    "load-cpu": InstanceSpec("load-cpu", 4, 512, "matrixmult", 1, "2.6.32"),
+    "migrating-cpu": InstanceSpec("migrating-cpu", 4, 4096, "matrixmult", 6, "2.6.32"),
+    "migrating-mem": InstanceSpec("migrating-mem", 1, 4096, "pagedirtier", 6, "2.6.32"),
+    "dom-0": InstanceSpec("dom-0", 1, 512, "VMM", 115, "3.11.4"),
+}
+
+
+def _build_workload(spec: InstanceSpec, dirty_percent: Optional[float]) -> Workload:
+    if spec.workload_name == "matrixmult":
+        return MatrixMultWorkload(vm_ram_mb=spec.ram_mb)
+    if spec.workload_name == "pagedirtier":
+        if dirty_percent is None:
+            raise ConfigurationError(
+                "migrating-mem instances need a dirty_percent (Table IIa sweep)"
+            )
+        return PageDirtierWorkload(dirty_percent=dirty_percent, vm_ram_mb=spec.ram_mb)
+    raise ConfigurationError(
+        f"instance {spec.instance_id!r} is not directly instantiable"
+    )
+
+
+def make_instance_vm(
+    instance_id: str,
+    name: str,
+    dirty_percent: Optional[float] = None,
+    noise_seed: int = 0,
+) -> VirtualMachine:
+    """Instantiate a guest from the Table IIb catalog.
+
+    Parameters
+    ----------
+    instance_id:
+        ``load-cpu``, ``migrating-cpu`` or ``migrating-mem``.
+    name:
+        Domain name for the new guest.
+    dirty_percent:
+        MEMLOAD sweep value; required for ``migrating-mem``, rejected
+        otherwise.
+    noise_seed:
+        Seed of the guest's deterministic CPU-feature jitter.
+    """
+    try:
+        spec = INSTANCE_CATALOG[instance_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown instance {instance_id!r}; catalog has {sorted(INSTANCE_CATALOG)}"
+        ) from None
+    if spec.workload_name != "pagedirtier" and dirty_percent is not None:
+        raise ConfigurationError(
+            f"dirty_percent only applies to migrating-mem, not {instance_id!r}"
+        )
+    workload = _build_workload(spec, dirty_percent)
+    return VirtualMachine(
+        name=name,
+        vcpus=spec.vcpus,
+        ram_mb=spec.ram_mb,
+        workload=workload,
+        instance_type=spec.instance_id,
+        noise_seed=noise_seed,
+    )

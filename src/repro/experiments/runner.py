@@ -1,0 +1,214 @@
+"""Scenario execution with the paper's measurement protocol.
+
+Section V-B, reproduced step by step per run:
+
+1. boot the scenario's guests and start measuring;
+2. wait until both hosts' power **stabilises** (twenty consecutive
+   readings within 0.3 %);
+3. issue the migration through the toolstack;
+4. keep measuring until the migration completes *and* power stabilises
+   again;
+5. repeat the run until the variance of the measured migration energy
+   changes by less than 10 % between consecutive repetition counts —
+   with **at least ten runs** (``min_runs``).
+
+Every run gets an independent seed derived from
+``(master seed, scenario label, run index)``, so campaigns are exactly
+reproducible and runs are statistically independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.design import MigrationScenario
+from repro.experiments.instances import make_instance_vm
+from repro.experiments.results import ExperimentResult, RunResult, ScenarioResult
+from repro.experiments.testbed import Testbed
+from repro.hypervisor.migration import MigrationConfig
+from repro.models.features import HostRole
+from repro.simulator.rng import derive_seed
+from repro.telemetry.stabilization import StabilizationRule
+
+__all__ = ["RunnerSettings", "ScenarioRunner"]
+
+
+@dataclass(frozen=True)
+class RunnerSettings:
+    """Execution-protocol knobs (defaults = the paper's protocol)."""
+
+    min_warmup_s: float = 12.0          # before the stabilisation check starts
+    max_warmup_s: float = 90.0          # hard cap on the pre-migration wait
+    min_post_s: float = 12.0            # post-migration measurement floor
+    max_post_s: float = 120.0           # hard cap on the post-migration wait
+    check_interval_s: float = 2.5       # cadence of stabilisation checks
+    migration_timeout_s: float = 900.0  # a migration must finish within this
+    min_runs: int = 10                  # paper: "at least ten runs"
+    max_runs: int = 16                  # safety cap on the variance loop
+    variance_delta: float = 0.10        # paper: "less than 10 %"
+
+
+class ScenarioRunner:
+    """Runs migration scenarios on freshly built testbeds.
+
+    Parameters
+    ----------
+    seed:
+        Master seed of the campaign.
+    settings:
+        Measurement-protocol knobs.
+    migration_config:
+        Optional migration-engine override (ablation studies).
+    stabilization:
+        The stability criterion (defaults to the paper's 20×0.3 % rule).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        settings: Optional[RunnerSettings] = None,
+        migration_config: Optional[MigrationConfig] = None,
+        stabilization: StabilizationRule = StabilizationRule(),
+    ) -> None:
+        self.seed = int(seed)
+        self.settings = settings or RunnerSettings()
+        self.migration_config = migration_config
+        self.stabilization = stabilization
+
+    # ------------------------------------------------------------------
+    def run_once(self, scenario: MigrationScenario, run_index: int = 0) -> RunResult:
+        """Execute one instrumented run of a scenario."""
+        run_seed = derive_seed(self.seed, f"{scenario.label}#{run_index}")
+        bed = Testbed(family=scenario.family, seed=run_seed)
+        cfg = self.settings
+
+        # --- guests -----------------------------------------------------
+        vm = make_instance_vm(
+            scenario.migrating_instance,
+            name="migrating",
+            dirty_percent=scenario.dirty_percent,
+            noise_seed=derive_seed(run_seed, "vm:migrating"),
+        )
+        bed.toolstack.create(bed.source_name, vm)
+        load_host = (
+            bed.source_name if scenario.load_on == "source" else bed.target_name
+        )
+        for i in range(scenario.load_vm_count):
+            bed.toolstack.create(
+                load_host,
+                make_instance_vm(
+                    "load-cpu",
+                    name=f"load-{i}",
+                    noise_seed=derive_seed(run_seed, f"vm:load-{i}"),
+                ),
+            )
+
+        # --- instrumentation ---------------------------------------------
+        recorder = bed.make_feature_recorder(vm)
+        bed.start_instrumentation()
+        recorder.start()
+
+        # --- phase 0: stabilise ------------------------------------------
+        bed.sim.run_for(cfg.min_warmup_s)
+        self._run_until_stable(bed, cfg.max_warmup_s)
+
+        # --- migrate -------------------------------------------------------
+        job = bed.toolstack.migrate(
+            "migrating",
+            bed.source_name,
+            bed.target_name,
+            bed.path,
+            live=scenario.live,
+            config=self.migration_config,
+        )
+        recorder.attach_job(job)
+        deadline = bed.sim.now + cfg.migration_timeout_s
+        while not job.finished:
+            if bed.sim.now >= deadline:
+                raise ExperimentError(
+                    f"migration did not finish within {cfg.migration_timeout_s}s "
+                    f"({scenario.label}#{run_index})"
+                )
+            bed.sim.run_for(cfg.check_interval_s)
+
+        # --- post-migration stabilisation ----------------------------------
+        bed.sim.run_for(cfg.min_post_s)
+        self._run_until_stable(bed, cfg.max_post_s)
+
+        recorder.stop()
+        bed.stop_instrumentation()
+
+        return RunResult(
+            scenario=scenario,
+            run_index=run_index,
+            timeline=job.timeline,
+            source_trace=bed.source_meter.trace,
+            target_trace=bed.target_meter.trace,
+            features=recorder.trace,
+            source_idle_w=bed.source.idle_power_w(),
+            target_idle_w=bed.target.idle_power_w(),
+            vm_ram_mb=vm.memory.ram_mb,
+        )
+
+    def _run_until_stable(self, bed: Testbed, budget_s: float) -> None:
+        """Advance simulation until both meters satisfy the rule (or budget)."""
+        spent = 0.0
+        while spent < budget_s:
+            if bed.source_meter.stabilised(self.stabilization) and bed.target_meter.stabilised(
+                self.stabilization
+            ):
+                return
+            bed.sim.run_for(self.settings.check_interval_s)
+            spent += self.settings.check_interval_s
+        # Budget exhausted: proceed — matching lab practice where a run is
+        # not discarded for residual ripple, just measured longer.
+
+    # ------------------------------------------------------------------
+    def run_scenario(
+        self,
+        scenario: MigrationScenario,
+        min_runs: Optional[int] = None,
+        max_runs: Optional[int] = None,
+    ) -> ScenarioResult:
+        """Repeat a scenario until the paper's variance criterion holds."""
+        lo = min_runs if min_runs is not None else self.settings.min_runs
+        hi = max_runs if max_runs is not None else self.settings.max_runs
+        if lo < 2 or hi < lo:
+            raise ExperimentError(f"invalid run bounds: min={lo} max={hi}")
+
+        runs: list[RunResult] = []
+        energies: list[float] = []
+        previous_var: Optional[float] = None
+        for index in range(hi):
+            run = self.run_once(scenario, run_index=index)
+            runs.append(run)
+            energies.append(run.total_energy_j(HostRole.SOURCE))
+            if len(energies) >= 2:
+                current_var = float(np.var(energies, ddof=1))
+                if (
+                    len(runs) >= lo
+                    and previous_var is not None
+                    and previous_var > 0
+                    and abs(current_var - previous_var) / previous_var
+                    < self.settings.variance_delta
+                ):
+                    break
+                previous_var = current_var
+        return ScenarioResult(scenario, runs)
+
+    def run_campaign(
+        self,
+        scenarios: Sequence[MigrationScenario],
+        min_runs: Optional[int] = None,
+        max_runs: Optional[int] = None,
+    ) -> ExperimentResult:
+        """Run a list of scenarios into one :class:`ExperimentResult`."""
+        if not scenarios:
+            raise ExperimentError("campaign needs at least one scenario")
+        return ExperimentResult(
+            [self.run_scenario(s, min_runs=min_runs, max_runs=max_runs) for s in scenarios]
+        )

@@ -1,0 +1,464 @@
+"""Live and non-live VM migration engines.
+
+Implements the two migration styles of Section III-A on top of the event
+kernel, reproducing the *mechanisms* behind every energy effect the paper
+measures:
+
+**Non-live (suspend/resume)** — the VM is suspended at migration start
+(the "strong decrease in power" of Section III-D(b)), its full memory
+image is streamed to the target in chunks, and the VM resumes on the
+target during activation.
+
+**Live (iterative pre-copy)** — Xen's algorithm: round 0 sends every page
+while the guest keeps running; each later round re-sends the pages dirtied
+during the previous round (tracked by the log-dirty bitmap); rounds stop
+when any of the classic ``xc_domain_save`` criteria fires:
+
+* remaining dirty pages below a threshold (default 50),
+* iteration count at the maximum (default 29), or
+* total data sent would exceed a factor (default 3×) of guest RAM —
+
+after which the guest is suspended and the last dirty set is sent
+(stop-and-copy, the downtime window).  With a fast dirtier this final set
+is large, which is exactly how the paper's high-DR live migrations
+"transform into non-live ones" (Section VI-D).
+
+Throughout, the job registers migration CPU (``CPUmigr`` of Eq. 2), NIC
+flows, memory-copy activity and power transients on both hosts, so the
+simulated meters observe the phase signatures of Fig. 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cluster.network import NetworkPath
+from repro.errors import ConfigurationError, IncompatibleHostsError, MigrationError
+from repro.hypervisor.vm import VirtualMachine, VmState
+from repro.hypervisor.vmm import XenHypervisor
+from repro.phases.timeline import PhaseTimeline, RoundRecord
+from repro.simulator.engine import Simulator
+from repro.units import MIB, PAGE_SIZE_BYTES
+
+__all__ = ["MigrationKind", "MigrationConfig", "MigrationJob"]
+
+
+class MigrationKind(enum.Enum):
+    """The two migration styles analysed by the paper."""
+
+    LIVE = "live"
+    NONLIVE = "non-live"
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """Tunables of the migration engine.
+
+    Pre-copy termination parameters default to Xen's classic
+    ``xc_domain_save`` constants; phase-duration and overhead parameters
+    are calibrated to the trace shapes of Figs. 2–7.
+    """
+
+    # --- pre-copy termination (Xen defaults) ---------------------------
+    max_iterations: int = 29
+    dirty_threshold_pages: int = 50
+    max_transfer_factor: float = 3.0
+
+    # --- transfer mechanics --------------------------------------------
+    chunk_mb: int = 256                 # non-live streaming chunk
+    round_overhead_s: float = 0.9       # per-round setup/scan cost (live)
+    stop_copy_overhead_s: float = 0.35  # fixed cost of the final round
+
+    # --- phase durations (jittered per run) -----------------------------
+    init_duration_s: float = 3.0
+    activation_duration_s: float = 2.6
+    duration_sigma: float = 0.18        # lognormal sigma of phase durations
+
+    # --- migration CPU demands (hardware threads at full line rate) ----
+    # The receive path is cheaper than the send path (DMA placement vs
+    # dirty scanning + TCP segmentation), so the target's migration power
+    # is dominated by the memory/NIC terms rather than CPU.
+    daemon_threads_source: float = 1.35
+    daemon_threads_target: float = 0.55
+    init_daemon_fraction: float = 0.5   # daemon demand during initiation
+    suspend_work_threads: float = 0.7   # burst while suspending the guest
+    resume_work_threads: float = 0.9    # burst while starting it on target
+    dirty_track_threads_per_dr_pct: float = 0.015  # shadow-paging overhead
+
+    # --- power transients (fractions of the host's idle draw) ----------
+    source_prep_peak_fraction: float = 0.050   # live initiation peak
+    target_check_peak_fraction: float = 0.035  # resource-availability check
+    target_start_peak_fraction: float = 0.040  # hypervisor VM-start cost
+
+    # --- memory-bus activity of the state copy -------------------------
+    copy_bus_bps: float = 0.65e9        # traffic that saturates the bus term
+    target_copy_factor: float = 3.5     # the receive path pays read-for-
+                                        # ownership fills, page scatter and
+                                        # page-table rebuild on top of the
+                                        # stream itself
+
+    # --- activation structure -------------------------------------------
+    resume_point: float = 0.45          # fraction of activation at which the
+                                        # VM starts running on the target
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        if self.dirty_threshold_pages < 0:
+            raise ConfigurationError("dirty_threshold_pages must be >= 0")
+        if self.max_transfer_factor < 1.0:
+            raise ConfigurationError("max_transfer_factor must be >= 1")
+        if self.chunk_mb <= 0:
+            raise ConfigurationError("chunk_mb must be positive")
+        for name in ("round_overhead_s", "stop_copy_overhead_s", "init_duration_s",
+                     "activation_duration_s", "duration_sigma"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+class MigrationJob:
+    """One migration of ``vm`` from ``source`` to ``target``.
+
+    Parameters
+    ----------
+    sim:
+        The driving simulator.
+    kind:
+        LIVE or NONLIVE.
+    vm:
+        The migrating guest; must be RUNNING on the source host.
+    source, target:
+        Hypervisors of the two endpoint hosts (must be homogeneous —
+        Xen refuses cross-architecture migration, Section I).
+    path:
+        Network path used for the state transfer.
+    rng:
+        Generator for per-run stochastic variation (durations, dirtying).
+    config:
+        Engine tunables.
+    on_complete:
+        Callbacks invoked with the job when ``me`` is reached.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        kind: MigrationKind,
+        vm: VirtualMachine,
+        source: XenHypervisor,
+        target: XenHypervisor,
+        path: NetworkPath,
+        rng: np.random.Generator,
+        config: Optional[MigrationConfig] = None,
+    ) -> None:
+        if not source.host.spec.compatible_with(target.host.spec):
+            raise IncompatibleHostsError(
+                f"cannot migrate between {source.host.name} ({source.host.spec.family}) "
+                f"and {target.host.name} ({target.host.spec.family})"
+            )
+        if source.host is not vm.host:
+            raise MigrationError(
+                f"VM {vm.name!r} is not on source host {source.host.name}"
+            )
+        if path.source is not source.host or path.target is not target.host:
+            raise MigrationError("network path endpoints do not match the hypervisors")
+        self.sim = sim
+        self.kind = kind
+        self.vm = vm
+        self.source = source
+        self.target = target
+        self.path = path
+        self.rng = rng
+        self.config = config or MigrationConfig()
+        self.timeline = PhaseTimeline()
+        self.on_complete: list[Callable[["MigrationJob"], None]] = []
+        self._started = False
+        self._finished = False
+        self._total_pages_sent = 0
+        self._nonlive_bytes_remaining = 0
+        self._nonlive_start: float = 0.0
+        self._current_bw: float = 0.0
+        self._key = f"migr:{vm.name}"
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has been called."""
+        return self._started
+
+    @property
+    def finished(self) -> bool:
+        """Whether the migration reached ``me``."""
+        return self._finished
+
+    @property
+    def migration_keys(self) -> tuple[str, ...]:
+        """Accountant keys owned by this job (excluded from BW saturation)."""
+        return (f"{self._key}:daemon", f"{self._key}:track", f"{self._key}:work")
+
+    @property
+    def current_bandwidth_bps(self) -> float:
+        """Bandwidth of the in-flight transfer leg (0 outside transfer)."""
+        return self._current_bw
+
+    # ------------------------------------------------------------------
+    # Phase 1: initiation
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the migration: enter the initiation phase at ``ms = now``."""
+        if self._started:
+            raise MigrationError("migration already started")
+        if self.vm.state is not VmState.RUNNING:
+            raise MigrationError(
+                f"VM {self.vm.name!r} must be RUNNING to migrate, is {self.vm.state.value}"
+            )
+        self._started = True
+        now = self.sim.now
+        self.timeline.ms = now
+        cfg = self.config
+        src_host, tgt_host = self.source.host, self.target.host
+
+        # Target: resource-availability check and acknowledgement
+        # (Section III-D(b): "peaks in its power draw").
+        tgt_host.power_model.transients.add_peak(
+            now, max(cfg.init_duration_s, 0.5),
+            cfg.target_check_peak_fraction * tgt_host.idle_power_w(),
+        )
+        tgt_host.cpu.set_demand(
+            f"{self._key}:daemon",
+            cfg.init_daemon_fraction * cfg.daemon_threads_target,
+        )
+
+        if self.kind is MigrationKind.NONLIVE:
+            # Suspend immediately: the defining power drop of non-live
+            # initiation.  Downtime begins here.
+            self.timeline.downtime_start = now
+            self.source.suspend_vm(self.vm.name)
+            src_host.cpu.set_demand(f"{self._key}:work", cfg.suspend_work_threads)
+            src_host.power_model.transients.add_peak(
+                now, 1.2, -src_host.spec.power.suspend_dip_w,
+            )
+        else:
+            # Live: preparation tasks push the source to "a new peak".
+            src_host.power_model.transients.add_peak(
+                now, max(cfg.init_duration_s, 0.5),
+                cfg.source_prep_peak_fraction * src_host.idle_power_w(),
+            )
+            src_host.cpu.set_demand(
+                f"{self._key}:daemon",
+                cfg.init_daemon_fraction * cfg.daemon_threads_source,
+            )
+
+        d_init = self._jittered(cfg.init_duration_s)
+        self.sim.schedule(d_init, self._begin_transfer, label=f"{self._key}:init")
+
+    # ------------------------------------------------------------------
+    # Phase 2: transfer
+    # ------------------------------------------------------------------
+    def _begin_transfer(self) -> None:
+        self.timeline.ts = self.sim.now
+        cfg = self.config
+        self.source.host.cpu.remove(f"{self._key}:work")
+        if self.kind is MigrationKind.LIVE:
+            self.vm.memory.enable_logging()
+            self._set_dirty_track_demand()
+            self._start_round(index=0, pages=self.vm.memory.n_pages, stop_and_copy=False)
+        else:
+            self._nonlive_bytes_remaining = self.vm.memory.image_bytes
+            self._nonlive_start = self.sim.now
+            self._send_chunk()
+
+    # -- non-live chunked stream ----------------------------------------
+    def _send_chunk(self) -> None:
+        cfg = self.config
+        bw = self.path.effective_bandwidth_bps(self.sim.now, self.migration_keys)
+        chunk = min(cfg.chunk_mb * MIB, self._nonlive_bytes_remaining)
+        self._apply_transfer_demands(bw)
+        self.sim.schedule(
+            chunk / bw, self._chunk_done, chunk, label=f"{self._key}:chunk"
+        )
+
+    def _chunk_done(self, chunk: int) -> None:
+        self._nonlive_bytes_remaining -= chunk
+        if self._nonlive_bytes_remaining > 0:
+            self._send_chunk()
+            return
+        pages = self.vm.memory.n_pages
+        self.timeline.add_round(
+            RoundRecord(
+                index=0,
+                start=self._nonlive_start,
+                duration=self.sim.now - self._nonlive_start,
+                pages_sent=pages,
+                bytes_sent=pages * PAGE_SIZE_BYTES,
+                stop_and_copy=True,
+            )
+        )
+        self._total_pages_sent = pages
+        self._end_transfer()
+
+    # -- live pre-copy rounds ---------------------------------------------
+    def _start_round(self, index: int, pages: int, stop_and_copy: bool) -> None:
+        cfg = self.config
+        bw = self.path.effective_bandwidth_bps(self.sim.now, self.migration_keys)
+        self._apply_transfer_demands(bw)
+        overhead = cfg.stop_copy_overhead_s if stop_and_copy else cfg.round_overhead_s
+        duration = pages * PAGE_SIZE_BYTES / bw + overhead
+        self.sim.schedule(
+            duration,
+            self._end_round,
+            index,
+            pages,
+            self.sim.now,
+            duration,
+            stop_and_copy,
+            label=f"{self._key}:round{index}",
+        )
+
+    def _end_round(
+        self, index: int, pages: int, start: float, duration: float, stop_and_copy: bool
+    ) -> None:
+        cfg = self.config
+        self.timeline.add_round(
+            RoundRecord(
+                index=index,
+                start=start,
+                duration=duration,
+                pages_sent=pages,
+                bytes_sent=pages * PAGE_SIZE_BYTES,
+                stop_and_copy=stop_and_copy,
+            )
+        )
+        self._total_pages_sent += pages
+        if stop_and_copy:
+            self._end_transfer()
+            return
+
+        # The guest ran (and dirtied pages) for the whole round.
+        self.vm.memory.advance(duration, self.rng)
+        dirty = self.vm.memory.dirty_count()
+        n_pages = self.vm.memory.n_pages
+        exhausted = index + 1 >= cfg.max_iterations
+        converged = dirty <= cfg.dirty_threshold_pages
+        over_cap = (self._total_pages_sent + dirty) > cfg.max_transfer_factor * n_pages
+
+        if converged or exhausted or over_cap:
+            # Stop-and-copy: suspend the guest, send the final dirty set.
+            self.timeline.downtime_start = self.sim.now
+            self.source.suspend_vm(self.vm.name)
+            self.source.host.cpu.remove(f"{self._key}:track")
+            self.vm.memory.clear_dirty()
+            self._start_round(index + 1, dirty, stop_and_copy=True)
+        else:
+            self.vm.memory.clear_dirty()
+            self._set_dirty_track_demand()
+            self._start_round(index + 1, dirty, stop_and_copy=False)
+
+    # ------------------------------------------------------------------
+    # Phase 3: activation
+    # ------------------------------------------------------------------
+    def _end_transfer(self) -> None:
+        self.timeline.te = self.sim.now
+        cfg = self.config
+        src_host, tgt_host = self.source.host, self.target.host
+        self._clear_transfer_demands()
+        if self.kind is MigrationKind.LIVE:
+            self.vm.memory.disable_logging()
+
+        d_act = self._jittered(cfg.activation_duration_s)
+        # Target: the hypervisor builds and starts the domain (C(a)(T)).
+        tgt_host.cpu.set_demand(f"{self._key}:work", cfg.resume_work_threads)
+        tgt_host.power_model.transients.add_peak(
+            self.sim.now, max(d_act, 0.5),
+            cfg.target_start_peak_fraction * tgt_host.idle_power_w(),
+        )
+        # Source: deallocation bookkeeping.
+        src_host.cpu.set_demand(f"{self._key}:work", 0.3)
+        # The guest starts running on the target *during* activation
+        # (Section III-D(d): "The target host will instead run the VM");
+        # the remainder of the phase is hypervisor cleanup on both ends.
+        resume_at = min(max(cfg.resume_point, 0.0), 1.0) * d_act
+        self.sim.schedule(resume_at, self._resume_on_target, label=f"{self._key}:resume")
+        self.sim.schedule(d_act, self._finish, label=f"{self._key}:activation")
+
+    def _resume_on_target(self) -> None:
+        """Move the (suspended) guest: free on source, adopt + resume on target."""
+        if self.timeline.downtime_start is not None:
+            self.timeline.downtime_end = self.sim.now
+        vm = self.source.evict_vm(self.vm.name)
+        self.target.adopt_vm(vm)
+        self.target.resume_vm(vm.name)
+
+    def _finish(self) -> None:
+        now = self.sim.now
+        self.timeline.me = now
+        # Drop every demand the migration registered.
+        for host in (self.source.host, self.target.host):
+            for key in self.migration_keys:
+                host.cpu.remove(key)
+            host.clear_nic_flow(self._key)
+            host.clear_memory_activity(self._key)
+        self._current_bw = 0.0
+        self._finished = True
+        self.timeline.validate()
+        for callback in list(self.on_complete):
+            callback(self)
+
+    # ------------------------------------------------------------------
+    # Demand plumbing
+    # ------------------------------------------------------------------
+    def _apply_transfer_demands(self, bw: float) -> None:
+        """Point NIC flows, daemon CPU and copy activity at the new rate."""
+        cfg = self.config
+        self._current_bw = bw
+        nominal = self.path.nominal_goodput_bps
+        scale = bw / nominal
+        src_host, tgt_host = self.source.host, self.target.host
+        src_host.set_nic_flow(self._key, tx_bps=bw)
+        tgt_host.set_nic_flow(self._key, rx_bps=bw)
+        # Send side scales with throughput (dirty scan + TCP segmentation);
+        # the single-threaded receive loop costs roughly constant CPU.
+        src_host.cpu.set_demand(f"{self._key}:daemon", cfg.daemon_threads_source * scale)
+        tgt_host.cpu.set_demand(f"{self._key}:daemon", cfg.daemon_threads_target)
+        copy_activity = bw / cfg.copy_bus_bps
+        src_host.set_memory_activity(self._key, copy_activity)
+        tgt_host.set_memory_activity(self._key, copy_activity * cfg.target_copy_factor)
+
+    def _clear_transfer_demands(self) -> None:
+        src_host, tgt_host = self.source.host, self.target.host
+        for host in (src_host, tgt_host):
+            host.clear_nic_flow(self._key)
+            host.clear_memory_activity(self._key)
+            host.cpu.remove(f"{self._key}:daemon")
+            host.cpu.remove(f"{self._key}:track")
+            host.cpu.remove(f"{self._key}:work")
+        self._current_bw = 0.0
+
+    def _set_dirty_track_demand(self) -> None:
+        """Shadow-paging overhead on the source, proportional to DR."""
+        dr = self.vm.dirtying_ratio_percent()
+        self.source.host.cpu.set_demand(
+            f"{self._key}:track",
+            self.config.dirty_track_threads_per_dr_pct * dr,
+        )
+
+    def _jittered(self, base: float) -> float:
+        """Lognormal duration jitter, clamped to [0.6×, 1.8×]."""
+        sigma = self.config.duration_sigma
+        if sigma == 0.0 or base == 0.0:
+            return base
+        factor = float(np.exp(self.rng.normal(0.0, sigma)))
+        return base * min(max(factor, 0.6), 1.8)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MigrationJob {self.kind.value} {self.vm.name!r} "
+            f"{self.source.host.name}->{self.target.host.name} "
+            f"{'done' if self._finished else 'pending'}>"
+        )

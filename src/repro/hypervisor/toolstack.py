@@ -1,0 +1,124 @@
+"""An ``xl``/``xm``-flavoured toolstack facade.
+
+The paper drives migrations through Xen's toolstacks ("including both xm
+and xl toolstacks configured to perform the live and non-live
+migrations").  :class:`Toolstack` provides the same ergonomic surface over
+the simulation: create/start/destroy domains and issue ``migrate`` with or
+without ``--live``, returning the :class:`~repro.hypervisor.migration.MigrationJob`
+so callers can subscribe to completion and read the phase timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.network import NetworkPath
+from repro.errors import HypervisorError
+from repro.hypervisor.migration import MigrationConfig, MigrationJob, MigrationKind
+from repro.hypervisor.vm import VirtualMachine
+from repro.hypervisor.vmm import XenHypervisor
+from repro.simulator.engine import Simulator
+from repro.workloads.base import Workload
+
+__all__ = ["Toolstack"]
+
+
+class Toolstack:
+    """Cluster-level management facade over a set of hypervisors.
+
+    Parameters
+    ----------
+    sim:
+        The driving simulator.
+    hypervisors:
+        The managed per-host VMMs.
+    rng:
+        Generator used for per-migration stochastic variation (forked off
+        the experiment's stream machinery by the testbed builder).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hypervisors: dict[str, XenHypervisor],
+        rng: np.random.Generator,
+    ) -> None:
+        self.sim = sim
+        self._xen = dict(hypervisors)
+        self._rng = rng
+        self._jobs: list[MigrationJob] = []
+
+    # ------------------------------------------------------------------
+    def hypervisor(self, host_name: str) -> XenHypervisor:
+        """The VMM managing ``host_name``."""
+        try:
+            return self._xen[host_name]
+        except KeyError:
+            raise HypervisorError(
+                f"no managed host {host_name!r}; have {sorted(self._xen)}"
+            ) from None
+
+    @property
+    def jobs(self) -> tuple[MigrationJob, ...]:
+        """All migration jobs issued through this toolstack."""
+        return tuple(self._jobs)
+
+    # ------------------------------------------------------------------
+    # Domain management (xl create / shutdown ergonomics)
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        host_name: str,
+        vm: VirtualMachine,
+        start: bool = True,
+    ) -> VirtualMachine:
+        """Place (and by default boot) a guest on a host."""
+        xen = self.hypervisor(host_name)
+        xen.create_vm(vm)
+        if start:
+            xen.start_vm(vm.name)
+        return vm
+
+    def destroy(self, host_name: str, vm_name: str) -> None:
+        """Destroy a guest on a host."""
+        self.hypervisor(host_name).destroy_vm(vm_name)
+
+    def set_workload(self, host_name: str, vm_name: str, workload: Workload) -> None:
+        """Swap the workload of a running guest and refresh its demands."""
+        xen = self.hypervisor(host_name)
+        xen.vm(vm_name).set_workload(workload)
+        xen.refresh_vm(vm_name)
+
+    # ------------------------------------------------------------------
+    # Migration (xl migrate [--live])
+    # ------------------------------------------------------------------
+    def migrate(
+        self,
+        vm_name: str,
+        source_host: str,
+        target_host: str,
+        path: NetworkPath,
+        live: bool = True,
+        config: Optional[MigrationConfig] = None,
+        start: bool = True,
+    ) -> MigrationJob:
+        """Issue a migration; returns the job (already started by default)."""
+        source = self.hypervisor(source_host)
+        target = self.hypervisor(target_host)
+        vm = source.vm(vm_name)
+        job = MigrationJob(
+            sim=self.sim,
+            kind=MigrationKind.LIVE if live else MigrationKind.NONLIVE,
+            vm=vm,
+            source=source,
+            target=target,
+            path=path,
+            rng=self._rng,
+            config=config,
+        )
+        self._jobs.append(job)
+        if start:
+            job.start()
+        return job

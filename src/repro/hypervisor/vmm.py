@@ -1,0 +1,211 @@
+"""The per-host virtual machine monitor (Xen-flavoured).
+
+Implements the host-side CPU composition of Eq. 2 of the paper::
+
+    CPU(h,t) = CPUVMM(V(h,t)) + Σ_{v ∈ V(h,t)} CPU(v,t) + CPUmigr(h,t)
+
+* ``CPUVMM`` — arbitration overhead of the hypervisor plus dom-0: a base
+  cost plus a per-running-VM increment (event channels, grant tables,
+  backend I/O).  Registered on the host accountant under ``xen:vmm``.
+* per-VM demand — registered under ``vm:<name>`` whenever the VM runs.
+* ``CPUmigr`` — registered by migration jobs under ``migr:*`` keys.
+
+The VMM owns VM placement on its host: creating, starting, suspending,
+resuming, destroying and the migration-side adopt/evict operations all
+keep the host's CPU, memory-activity and NIC registrations in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.host import PhysicalHost
+from repro.errors import CapacityError, HypervisorError, VMStateError
+from repro.hypervisor.vm import VirtualMachine, VmState
+
+__all__ = ["XenHypervisor"]
+
+#: Accountant key of the VMM + dom-0 overhead entry.
+VMM_KEY = "xen:vmm"
+
+
+class XenHypervisor:
+    """Hypervisor instance managing the guests of one physical host.
+
+    Parameters
+    ----------
+    host:
+        The physical machine this VMM runs on.
+    dom0_threads:
+        Constant CPU demand of dom-0 (kernel, xenstore, backends).
+    arbitration_base_threads:
+        Fixed scheduling/arbitration cost of the VMM itself.
+    arbitration_per_vm_threads:
+        Incremental arbitration cost per *running* VM — this makes
+        ``CPUVMM`` a function of ``V(h,t)`` as in Eq. 2.
+    version:
+        Reported Xen version (Table IIc: 4.2.5).
+    """
+
+    def __init__(
+        self,
+        host: PhysicalHost,
+        dom0_threads: float = 0.35,
+        arbitration_base_threads: float = 0.10,
+        arbitration_per_vm_threads: float = 0.06,
+        version: str = "4.2.5",
+    ) -> None:
+        self.host = host
+        self.version = version
+        self._dom0_threads = float(dom0_threads)
+        self._arb_base = float(arbitration_base_threads)
+        self._arb_per_vm = float(arbitration_per_vm_threads)
+        self._vms: dict[str, VirtualMachine] = {}
+        self._refresh_vmm_demand()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def vms(self) -> tuple[VirtualMachine, ...]:
+        """All guests currently placed on this host (any state)."""
+        return tuple(self._vms.values())
+
+    def running_vms(self) -> tuple[VirtualMachine, ...]:
+        """The set ``V(h,t)`` of running guests."""
+        return tuple(vm for vm in self._vms.values() if vm.running)
+
+    def vm(self, name: str) -> VirtualMachine:
+        """Look up a guest by name."""
+        try:
+            return self._vms[name]
+        except KeyError:
+            raise HypervisorError(f"no VM named {name!r} on host {self.host.name}") from None
+
+    def vmm_overhead_threads(self) -> float:
+        """``CPUVMM(V(h,t))`` + dom-0, in hardware threads."""
+        return self._dom0_threads + self._arb_base + self._arb_per_vm * len(self.running_vms())
+
+    def used_ram_mb(self) -> int:
+        """Guest memory reserved on this host (placed VMs, any state)."""
+        return sum(vm.memory.ram_mb for vm in self._vms.values())
+
+    def free_ram_mb(self) -> int:
+        """Host RAM available for new guests (512 MB held back for dom-0)."""
+        return self.host.spec.ram_mb - 512 - self.used_ram_mb()
+
+    # ------------------------------------------------------------------
+    # Lifecycle operations
+    # ------------------------------------------------------------------
+    def create_vm(self, vm: VirtualMachine) -> VirtualMachine:
+        """Place a DEFINED guest on this host."""
+        if vm.name in self._vms:
+            raise HypervisorError(f"VM name {vm.name!r} already used on {self.host.name}")
+        if vm.state is not VmState.DEFINED:
+            raise VMStateError(f"can only place DEFINED VMs, {vm.name!r} is {vm.state.value}")
+        if vm.memory.ram_mb > self.free_ram_mb():
+            raise CapacityError(
+                f"host {self.host.name} has {self.free_ram_mb()} MB free, "
+                f"VM {vm.name!r} needs {vm.memory.ram_mb} MB"
+            )
+        self._vms[vm.name] = vm
+        vm.host = self.host
+        self._refresh_vmm_demand()
+        return vm
+
+    def start_vm(self, name: str) -> None:
+        """Boot a placed guest and register its resource demands."""
+        vm = self.vm(name)
+        vm.mark_running()
+        self._sync_vm(vm)
+        self._refresh_vmm_demand()
+
+    def suspend_vm(self, name: str) -> None:
+        """Pause a running guest; its demands drop off the host."""
+        vm = self.vm(name)
+        vm.mark_suspended()
+        self._sync_vm(vm)
+        self._refresh_vmm_demand()
+
+    def resume_vm(self, name: str) -> None:
+        """Resume a suspended guest."""
+        vm = self.vm(name)
+        vm.mark_running()
+        self._sync_vm(vm)
+        self._refresh_vmm_demand()
+
+    def destroy_vm(self, name: str) -> None:
+        """Tear a guest down and free its resources."""
+        vm = self.vm(name)
+        vm.mark_destroyed()
+        self._clear_vm(vm)
+        del self._vms[name]
+        vm.host = None
+        self._refresh_vmm_demand()
+
+    # ------------------------------------------------------------------
+    # Migration support (called by MigrationJob)
+    # ------------------------------------------------------------------
+    def evict_vm(self, name: str) -> VirtualMachine:
+        """Remove a guest from this host without destroying it.
+
+        Used at the end of activation: the source frees the resources that
+        belonged to the migrating VM (Section III-D(d)).
+        """
+        vm = self.vm(name)
+        self._clear_vm(vm)
+        del self._vms[name]
+        vm.host = None
+        self._refresh_vmm_demand()
+        return vm
+
+    def adopt_vm(self, vm: VirtualMachine) -> None:
+        """Place an in-flight guest (RUNNING or SUSPENDED) on this host."""
+        if vm.name in self._vms:
+            raise HypervisorError(f"VM name {vm.name!r} already used on {self.host.name}")
+        if vm.memory.ram_mb > self.free_ram_mb():
+            raise CapacityError(
+                f"host {self.host.name} cannot adopt {vm.name!r}: insufficient RAM"
+            )
+        self._vms[vm.name] = vm
+        vm.host = self.host
+        self._sync_vm(vm)
+        self._refresh_vmm_demand()
+
+    def refresh_vm(self, name: str) -> None:
+        """Re-register a guest's demands after its state/workload changed."""
+        self._sync_vm(self.vm(name))
+        self._refresh_vmm_demand()
+
+    # ------------------------------------------------------------------
+    # Host registration plumbing
+    # ------------------------------------------------------------------
+    def _sync_vm(self, vm: VirtualMachine) -> None:
+        key = f"vm:{vm.name}"
+        if vm.running:
+            self.host.cpu.set_demand(key, vm.cpu_demand_threads())
+            self.host.set_memory_activity(key, vm.memory_activity())
+            tx, rx = vm.nic_demand_bps()
+            if tx or rx:
+                self.host.set_nic_flow(key, tx_bps=tx, rx_bps=rx)
+            else:
+                self.host.clear_nic_flow(key)
+        else:
+            self.host.cpu.remove(key)
+            self.host.clear_memory_activity(key)
+            self.host.clear_nic_flow(key)
+
+    def _clear_vm(self, vm: VirtualMachine) -> None:
+        key = f"vm:{vm.name}"
+        self.host.cpu.remove(key)
+        self.host.clear_memory_activity(key)
+        self.host.clear_nic_flow(key)
+
+    def _refresh_vmm_demand(self) -> None:
+        self.host.cpu.set_demand(VMM_KEY, self.vmm_overhead_threads())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<XenHypervisor {self.version} on {self.host.name}: "
+            f"{len(self.running_vms())}/{len(self._vms)} running>"
+        )

@@ -1,0 +1,192 @@
+"""Persistence of traces, samples and campaign artifacts.
+
+Research workflows need measurements to outlive the process that took
+them: campaigns are expensive, model fitting is iterated, and the paper's
+tables should be regenerable without re-simulating.  This module provides
+plain-format round-trips:
+
+* **power traces** → CSV (``time_s,power_w`` — loadable by any plotting
+  tool, and by this module);
+* **migration samples** → JSON (all per-reading arrays plus scalars and
+  measured energies; the complete model-fitting input);
+* **error reports / comparison grids** → JSON for EXPERIMENTS.md-style
+  post-processing.
+
+Formats are versioned with a ``schema`` field so future layouts can be
+migrated explicitly rather than silently misread.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.models.features import HostRole, MigrationSample
+from repro.regression.metrics import ErrorReport
+from repro.telemetry.traces import PowerTrace
+
+__all__ = [
+    "save_power_trace_csv",
+    "load_power_trace_csv",
+    "save_samples_json",
+    "load_samples_json",
+    "save_error_grid_json",
+    "load_error_grid_json",
+]
+
+_PathLike = Union[str, pathlib.Path]
+
+#: Schema tag written into every JSON artifact.
+SAMPLES_SCHEMA = "wavm3-samples/1"
+ERRORS_SCHEMA = "wavm3-errors/1"
+
+
+class PersistenceError(ReproError):
+    """A file could not be read back as the expected artifact."""
+
+
+# ---------------------------------------------------------------------------
+# Power traces <-> CSV
+# ---------------------------------------------------------------------------
+def save_power_trace_csv(trace: PowerTrace, path: _PathLike) -> None:
+    """Write a power trace as two-column CSV with a header row."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s", "power_w"])
+        for t, w in zip(trace.times, trace.watts):
+            writer.writerow([f"{t:.6f}", f"{w:.6f}"])
+
+
+def load_power_trace_csv(path: _PathLike, label: str = "") -> PowerTrace:
+    """Read a power trace written by :func:`save_power_trace_csv`."""
+    path = pathlib.Path(path)
+    trace = PowerTrace(label=label or path.stem)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["time_s", "power_w"]:
+            raise PersistenceError(f"{path}: not a power-trace CSV (header {header!r})")
+        for row in reader:
+            if len(row) != 2:
+                raise PersistenceError(f"{path}: malformed row {row!r}")
+            trace.append(float(row[0]), float(row[1]))
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Migration samples <-> JSON
+# ---------------------------------------------------------------------------
+_ARRAY_FIELDS = (
+    "times", "power_w", "phase", "cpu_host_pct", "cpu_vm_pct", "bw_bps", "dr_pct",
+)
+_SCALAR_FIELDS = (
+    "scenario", "experiment", "live", "family", "run_index",
+    "data_bytes", "mem_mb", "mean_bw_bps",
+    "energy_initiation_j", "energy_transfer_j", "energy_activation_j",
+    "downtime_s",
+)
+
+
+def _sample_to_dict(sample: MigrationSample) -> dict:
+    record: dict = {"role": sample.role.value, "notes": dict(sample.notes)}
+    for name in _SCALAR_FIELDS:
+        record[name] = getattr(sample, name)
+    for name in _ARRAY_FIELDS:
+        record[name] = np.asarray(getattr(sample, name)).tolist()
+    return record
+
+
+def _sample_from_dict(record: dict) -> MigrationSample:
+    try:
+        kwargs = {name: record[name] for name in _SCALAR_FIELDS}
+        kwargs.update(
+            {name: np.asarray(record[name], dtype=np.float64) for name in _ARRAY_FIELDS}
+        )
+        kwargs["phase"] = np.asarray(record["phase"], dtype=np.int64)
+        kwargs["role"] = HostRole(record["role"])
+        kwargs["notes"] = dict(record.get("notes", {}))
+    except (KeyError, ValueError) as exc:
+        raise PersistenceError(f"malformed sample record: {exc}") from exc
+    return MigrationSample(**kwargs)
+
+
+def save_samples_json(samples: Iterable[MigrationSample], path: _PathLike) -> None:
+    """Write migration samples (the complete model-fitting input) as JSON."""
+    payload = {
+        "schema": SAMPLES_SCHEMA,
+        "samples": [_sample_to_dict(s) for s in samples],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_samples_json(path: _PathLike) -> list[MigrationSample]:
+    """Read samples written by :func:`save_samples_json`."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"{path}: not valid JSON: {exc}") from exc
+    if payload.get("schema") != SAMPLES_SCHEMA:
+        raise PersistenceError(
+            f"{path}: unexpected schema {payload.get('schema')!r} "
+            f"(want {SAMPLES_SCHEMA!r})"
+        )
+    return [_sample_from_dict(record) for record in payload["samples"]]
+
+
+# ---------------------------------------------------------------------------
+# Error grids <-> JSON
+# ---------------------------------------------------------------------------
+def save_error_grid_json(
+    errors: dict[str, dict[str, dict[str, ErrorReport]]], path: _PathLike
+) -> None:
+    """Write a Table-VII-style error grid (model → kind → role)."""
+    payload = {
+        "schema": ERRORS_SCHEMA,
+        "grid": {
+            model: {
+                kind: {
+                    role: {
+                        "n": report.n,
+                        "mae_j": report.mae_j,
+                        "rmse_j": report.rmse_j,
+                        "nrmse": report.nrmse,
+                    }
+                    for role, report in roles.items()
+                }
+                for kind, roles in kinds.items()
+            }
+            for model, kinds in errors.items()
+        },
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_error_grid_json(path: _PathLike) -> dict[str, dict[str, dict[str, ErrorReport]]]:
+    """Read an error grid written by :func:`save_error_grid_json`."""
+    path = pathlib.Path(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != ERRORS_SCHEMA:
+        raise PersistenceError(
+            f"{path}: unexpected schema {payload.get('schema')!r} "
+            f"(want {ERRORS_SCHEMA!r})"
+        )
+    grid: dict[str, dict[str, dict[str, ErrorReport]]] = {}
+    for model, kinds in payload["grid"].items():
+        grid[model] = {}
+        for kind, roles in kinds.items():
+            grid[model][kind] = {}
+            for role, cells in roles.items():
+                grid[model][kind][role] = ErrorReport(
+                    n=int(cells["n"]),
+                    mae_j=float(cells["mae_j"]),
+                    rmse_j=float(cells["rmse_j"]),
+                    nrmse=float(cells["nrmse"]),
+                )
+    return grid

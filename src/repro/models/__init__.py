@@ -1,0 +1,40 @@
+"""Energy models for VM migration (subsystem S7 — the paper's contribution).
+
+* :class:`~repro.models.wavm3.Wavm3Model` — the paper's Workload-Aware
+  Virtual Machine Migration Model (Eqs. 5–7): per-phase, per-host linear
+  power models over host CPU, VM CPU, bandwidth and dirtying ratio;
+* :class:`~repro.models.huang.HuangModel` — CPU-only power model (Eq. 8);
+* :class:`~repro.models.liu.LiuModel` — transferred-data energy model
+  (Eqs. 9–10);
+* :class:`~repro.models.strunk.StrunkModel` — memory-size + bandwidth
+  energy model (Eq. 11);
+* :mod:`repro.models.features` — the :class:`MigrationSample` interchange
+  format extracted from instrumented runs;
+* :mod:`repro.models.coefficients` — the paper's published coefficient
+  tables (III, IV, VI) as reference constants;
+* :mod:`repro.models.registry` — name → model factory used by the CLI
+  and the comparison harness.
+"""
+
+from repro.models.base import EnergyPrediction, MigrationEnergyModel
+from repro.models.features import HostRole, MigrationSample, PHASE_CODES
+from repro.models.huang import HuangModel
+from repro.models.liu import LiuModel
+from repro.models.registry import available_models, create_model
+from repro.models.strunk import StrunkModel
+from repro.models.wavm3 import Wavm3Coefficients, Wavm3Model
+
+__all__ = [
+    "EnergyPrediction",
+    "MigrationEnergyModel",
+    "HostRole",
+    "MigrationSample",
+    "PHASE_CODES",
+    "HuangModel",
+    "LiuModel",
+    "available_models",
+    "create_model",
+    "StrunkModel",
+    "Wavm3Coefficients",
+    "Wavm3Model",
+]

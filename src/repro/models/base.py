@@ -1,0 +1,117 @@
+"""Base interface of migration energy models.
+
+Every model — the paper's WAVM3 and the three comparison models — exposes
+the same surface so the validation and comparison harnesses treat them
+uniformly:
+
+* :meth:`MigrationEnergyModel.fit` — estimate coefficients per host role
+  from training samples;
+* :meth:`MigrationEnergyModel.predict_energy` — per-migration energy (J)
+  for one sample, the quantity scored in Tables V and VII;
+* :meth:`MigrationEnergyModel.predict_power` — per-reading power (W) for
+  power-level models (energy-level models raise
+  :class:`~repro.errors.ModelError`).
+
+Models are scored on energy; power-level models derive energy by
+integrating predicted power over the measured reading grid (the paper's
+procedure: "Integrating these values over the migration time, we obtain
+the energy consumption over each phase").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError, NotFittedError
+from repro.models.features import HostRole, MigrationSample
+
+__all__ = ["EnergyPrediction", "MigrationEnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyPrediction:
+    """Per-phase energy prediction for one migration sample (joules)."""
+
+    initiation_j: float
+    transfer_j: float
+    activation_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Predicted migration energy (Eq. 4)."""
+        return self.initiation_j + self.transfer_j + self.activation_j
+
+
+class MigrationEnergyModel(abc.ABC):
+    """Common interface of WAVM3, HUANG, LIU and STRUNK."""
+
+    #: Short name used in tables and the registry.
+    name: str = "model"
+
+    #: Whether the model predicts instantaneous power (vs energy directly).
+    power_level: bool = True
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def fit(self, samples: Sequence[MigrationSample]) -> "MigrationEnergyModel":
+        """Estimate coefficients from training samples (both roles).
+
+        Returns ``self`` for chaining.
+        """
+
+    @abc.abstractmethod
+    def predict_energy(self, sample: MigrationSample) -> EnergyPrediction:
+        """Predict the per-phase energies of one migration sample."""
+
+    def predict_power(self, sample: MigrationSample) -> np.ndarray:
+        """Predict instantaneous power on the sample's reading grid (W).
+
+        Energy-level models (LIU, STRUNK) have no power view and raise
+        :class:`~repro.errors.ModelError`.
+        """
+        raise ModelError(f"{self.name} is an energy-level model without a power view")
+
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has produced coefficients."""
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise NotFittedError(f"{self.name} has not been fitted")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def split_roles(
+        samples: Iterable[MigrationSample],
+    ) -> dict[HostRole, list[MigrationSample]]:
+        """Group samples by host role (models fit source/target separately).
+
+        The paper fits distinct coefficients per host — its Table VII notes
+        that assuming equal source/target consumption (as LIU does) "could
+        lead to inaccurate results".
+        """
+        grouped: dict[HostRole, list[MigrationSample]] = {
+            HostRole.SOURCE: [],
+            HostRole.TARGET: [],
+        }
+        for sample in samples:
+            grouped[sample.role].append(sample)
+        return grouped
+
+    def predict_energies(self, samples: Sequence[MigrationSample]) -> np.ndarray:
+        """Vector of predicted total energies (J) for a sample collection."""
+        return np.array([self.predict_energy(s).total_j for s in samples])
+
+    @staticmethod
+    def measured_energies(samples: Sequence[MigrationSample]) -> np.ndarray:
+        """Vector of measured total energies (J) for a sample collection."""
+        return np.array([s.energy_total_j for s in samples])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {'fitted' if self.fitted else 'unfitted'}>"

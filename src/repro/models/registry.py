@@ -1,0 +1,53 @@
+"""Model registry: name → factory.
+
+Used by the CLI, the comparison harness and the benches so that the model
+set of Table VII ("WAVM3", "HUANG", "LIU", "STRUNK") can be iterated by
+name, and downstream users can register their own models for comparison
+under the same harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ModelError
+from repro.models.base import MigrationEnergyModel
+from repro.models.huang import HuangModel
+from repro.models.liu import LiuModel
+from repro.models.strunk import StrunkModel
+from repro.models.wavm3 import Wavm3Model
+
+__all__ = ["available_models", "create_model", "register_model"]
+
+_FACTORIES: dict[str, Callable[[], MigrationEnergyModel]] = {
+    "WAVM3": Wavm3Model,
+    "HUANG": HuangModel,
+    "LIU": LiuModel,
+    "STRUNK": StrunkModel,
+}
+
+
+def available_models() -> tuple[str, ...]:
+    """Registered model names, Table VII order first."""
+    ordered = ("WAVM3", "HUANG", "LIU", "STRUNK")
+    extras = tuple(sorted(set(_FACTORIES) - set(ordered)))
+    return ordered + extras
+
+
+def create_model(name: str) -> MigrationEnergyModel:
+    """Instantiate a registered model by (case-insensitive) name."""
+    try:
+        factory = _FACTORIES[name.upper()]
+    except KeyError:
+        raise ModelError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        ) from None
+    return factory()
+
+
+def register_model(name: str, factory: Callable[[], MigrationEnergyModel]) -> None:
+    """Register a custom model factory (overwrites are rejected)."""
+    key = name.upper()
+    if key in _FACTORIES:
+        raise ModelError(f"model {name!r} is already registered")
+    _FACTORIES[key] = factory

@@ -1,0 +1,17 @@
+"""Migration energy phases (subsystem S6).
+
+The paper decomposes every migration into *normal execution → initiation →
+transfer → activation* (Section III-D) delimited by the instants
+``ms ≤ ts ≤ te ≤ me`` (Section IV-A).  This package provides:
+
+* :class:`~repro.phases.timeline.PhaseTimeline` — the authoritative record
+  produced by the migration engine;
+* :mod:`repro.phases.segmentation` — a detector that recovers the phase
+  boundaries from a power trace alone, mirroring how the paper's authors
+  identified phases from their meter readings.
+"""
+
+from repro.phases.timeline import MigrationPhase, PhaseTimeline, RoundRecord
+from repro.phases.segmentation import detect_phases
+
+__all__ = ["MigrationPhase", "PhaseTimeline", "RoundRecord", "detect_phases"]

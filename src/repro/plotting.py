@@ -1,0 +1,127 @@
+"""ASCII plotting of power traces and figure panels.
+
+The benches and the CLI regenerate the paper's figures as terminal
+line-charts: multiple labelled series on one axis grid, with the phase
+boundaries (``ms``, ``ts``, ``te``, ``me``) rendered as vertical marks —
+enough to verify every qualitative claim the figures carry without a
+display server.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_plot", "plot_figure_series"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Sequence[tuple[str, np.ndarray, np.ndarray]],
+    width: int = 78,
+    height: int = 18,
+    x_label: str = "TIME [sec]",
+    y_label: str = "POWER [W]",
+    marks: Sequence[tuple[str, float]] = (),
+    title: str = "",
+) -> str:
+    """Render labelled (x, y) series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        ``(label, x, y)`` triples; axes are scaled to cover all of them.
+    width, height:
+        Plot-area size in characters.
+    marks:
+        ``(name, x_position)`` vertical markers (phase boundaries).
+    title:
+        Caption printed above the chart.
+    """
+    if not series:
+        raise ConfigurationError("ascii_plot needs at least one series")
+    if width < 16 or height < 4:
+        raise ConfigurationError("plot area too small")
+
+    xs = np.concatenate([np.asarray(x, dtype=float) for _, x, _ in series])
+    ys = np.concatenate([np.asarray(y, dtype=float) for _, _, y in series])
+    if xs.size == 0:
+        raise ConfigurationError("series are empty")
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo -= pad
+    y_hi += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, int((x - x_lo) / (x_hi - x_lo) * (width - 1))))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, height - 1 - int(frac * (height - 1))))
+
+    for name, x_mark in marks:
+        col = to_col(x_mark)
+        for row in range(height):
+            grid[row][col] = "|" if grid[row][col] == " " else grid[row][col]
+
+    for index, (_, x, y) in enumerate(series):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        # Sample each column once to keep dense traces readable.
+        for col in range(width):
+            x_here = x_lo + (x_hi - x_lo) * col / (width - 1)
+            if x_here < x.min() or x_here > x.max():
+                continue
+            grid[to_row(float(np.interp(x_here, x, y)))][col] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_width = 9
+    for row in range(height):
+        frac = 1.0 - row / (height - 1)
+        y_val = y_lo + frac * (y_hi - y_lo)
+        axis = f"{y_val:8.0f} " if row % 3 == 0 else " " * label_width
+        lines.append(axis + "".join(grid[row]))
+    lines.append(" " * label_width + f"{x_lo:<10.0f}{x_label:^{max(0, width - 20)}}{x_hi:>10.0f}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, (name, _, _) in enumerate(series)
+    )
+    if marks:
+        legend += "   | " + ",".join(name for name, _ in marks)
+    lines.append(" " * label_width + legend)
+    lines.append(" " * label_width + f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def plot_figure_series(
+    panel_title: str,
+    entries: Sequence[tuple[str, "object"]],
+    width: int = 78,
+    height: int = 16,
+    with_marks: bool = True,
+) -> str:
+    """Render one figure panel from (label, FigureSeries) pairs."""
+    series = [(label, fs.times, fs.watts) for label, fs in entries]
+    marks: list[tuple[str, float]] = []
+    if with_marks and entries:
+        reference = entries[0][1]
+        marks = [
+            ("ms", reference.mark_ms),
+            ("ts", reference.mark_ts),
+            ("te", reference.mark_te),
+            ("me", reference.mark_me),
+        ]
+    return ascii_plot(series, width=width, height=height, marks=marks, title=panel_title)

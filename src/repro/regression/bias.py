@@ -1,0 +1,38 @@
+"""The C1 → C2 idle-power bias correction.
+
+Section VI-F: after training on m01–m02 the paper found its predictions on
+o1–o2 *"overestimating the measured values by a constant factor because
+the bias obtained from the training phase includes the idle power
+consumption of the physical machines.  Therefore, we changed the bias by
+subtracting the difference in idle power between the two sets of
+machines."*
+
+This module implements exactly that operation — and nothing smarter on
+purpose: the point of Table V is to show how far a *simple* idle-shift
+ports the model across hardware generations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RegressionError
+
+__all__ = ["rebias_constant", "idle_delta_w"]
+
+
+def idle_delta_w(trained_idle_w: float, deployed_idle_w: float) -> float:
+    """Idle-power difference (W) between training and deployment machines."""
+    if trained_idle_w <= 0 or deployed_idle_w <= 0:
+        raise RegressionError("idle powers must be positive")
+    return trained_idle_w - deployed_idle_w
+
+
+def rebias_constant(c1: float, trained_idle_w: float, deployed_idle_w: float) -> float:
+    """Port a constant term from the training pair to a deployment pair.
+
+    ``C2 = C1 − (idle_trained − idle_deployed)`` — subtracting the idle
+    difference exactly as the paper does.  Note C2 may legitimately be
+    small (even slightly negative for power-level constants dominated by
+    the idle draw) when the deployment machines idle far lower; callers
+    that require non-negative constants should clamp explicitly.
+    """
+    return c1 - idle_delta_w(trained_idle_w, deployed_idle_w)

@@ -1,0 +1,110 @@
+"""Linear least-squares fitting on design matrices.
+
+Two flavours back the energy models:
+
+* :func:`fit_linear` — ordinary least squares via ``numpy.linalg.lstsq``
+  (minimum-norm solution under rank deficiency);
+* :func:`fit_nonnegative` — bound-constrained least squares keeping every
+  coefficient ≥ 0.  The paper's fitted coefficients (Tables III–VI) are
+  non-negative power/energy sensitivities; the constraint prevents the
+  collinearity between host CPU and VM CPU from producing sign-flipped,
+  physically meaningless estimates.  Uses :func:`scipy.optimize.lsq_linear`
+  with a pure-numpy projected-gradient fallback so the library degrades
+  gracefully without scipy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RegressionError
+
+try:  # pragma: no cover - exercised implicitly
+    from scipy.optimize import lsq_linear as _scipy_lsq_linear
+except Exception:  # pragma: no cover - scipy is an install requirement
+    _scipy_lsq_linear = None
+
+__all__ = ["LinearFit", "fit_linear", "fit_nonnegative"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a least-squares fit ``y ≈ X @ coefficients``."""
+
+    coefficients: np.ndarray
+    residual_norm: float
+    n_samples: int
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted linear map on a design matrix."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.coefficients.size:
+            raise RegressionError(
+                f"design matrix has {X.shape} columns, fit expects "
+                f"{self.coefficients.size}"
+            )
+        return X @ self.coefficients
+
+
+def _validate_design(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2:
+        raise RegressionError(f"design matrix must be 2-D, got shape {X.shape}")
+    if y.ndim != 1 or y.size != X.shape[0]:
+        raise RegressionError(
+            f"response shape {y.shape} incompatible with design {X.shape}"
+        )
+    if X.shape[0] < X.shape[1]:
+        raise RegressionError(
+            f"under-determined fit: {X.shape[0]} samples for {X.shape[1]} coefficients"
+        )
+    if not (np.all(np.isfinite(X)) and np.all(np.isfinite(y))):
+        raise RegressionError("design matrix / response contain non-finite values")
+    return X, y
+
+
+def fit_linear(X: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Ordinary least squares (minimum-norm under rank deficiency)."""
+    X, y = _validate_design(X, y)
+    coef, _, _, _ = np.linalg.lstsq(X, y, rcond=None)
+    residual = float(np.linalg.norm(X @ coef - y))
+    return LinearFit(coefficients=coef, residual_norm=residual, n_samples=X.shape[0])
+
+
+def _projected_gradient_nnls(X: np.ndarray, y: np.ndarray, iterations: int = 5000) -> np.ndarray:
+    """Pure-numpy non-negative least squares (projected gradient descent).
+
+    Fallback used only when scipy is unavailable; converges reliably on
+    the small, well-conditioned design matrices of this library.
+    """
+    XtX = X.T @ X
+    Xty = X.T @ y
+    # Lipschitz constant of the gradient = largest eigenvalue of XtX.
+    lipschitz = float(np.linalg.eigvalsh(XtX)[-1])
+    if lipschitz <= 0:
+        return np.zeros(X.shape[1])
+    step = 1.0 / lipschitz
+    coef = np.maximum(np.linalg.lstsq(X, y, rcond=None)[0], 0.0)
+    for _ in range(iterations):
+        grad = XtX @ coef - Xty
+        updated = np.maximum(coef - step * grad, 0.0)
+        if np.max(np.abs(updated - coef)) < 1e-12:
+            coef = updated
+            break
+        coef = updated
+    return coef
+
+
+def fit_nonnegative(X: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Least squares with every coefficient constrained to be ≥ 0."""
+    X, y = _validate_design(X, y)
+    if _scipy_lsq_linear is not None:
+        result = _scipy_lsq_linear(X, y, bounds=(0.0, np.inf), method="bvls")
+        coef = np.asarray(result.x, dtype=np.float64)
+    else:  # pragma: no cover - scipy is an install requirement
+        coef = _projected_gradient_nnls(X, y)
+    residual = float(np.linalg.norm(X @ coef - y))
+    return LinearFit(coefficients=coef, residual_norm=residual, n_samples=X.shape[0])

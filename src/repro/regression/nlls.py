@@ -1,0 +1,122 @@
+"""Non-linear least squares driver.
+
+Section VI-F: *"we compute the model coefficients α, β, γ, δ for each
+phase … using regression analysis based on the Non Linear Least Square
+algorithm."*  The WAVM3 phase models happen to be linear in their
+coefficients, so the bounded linear solver is the fast path — but the
+NLLS driver is provided (and used by the ablation benches) for model
+variants with genuinely non-linear parameterisations, e.g. fitting the
+exponent of a curved CPU term.
+
+Backed by :func:`scipy.optimize.least_squares` (Trust Region Reflective,
+supporting bounds) with a numpy Gauss–Newton fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import RegressionError
+
+try:  # pragma: no cover - exercised implicitly
+    from scipy.optimize import least_squares as _scipy_least_squares
+except Exception:  # pragma: no cover - scipy is an install requirement
+    _scipy_least_squares = None
+
+__all__ = ["NllsFit", "fit_nlls"]
+
+
+@dataclass(frozen=True)
+class NllsFit:
+    """Result of a non-linear least-squares fit."""
+
+    parameters: np.ndarray
+    residual_norm: float
+    n_samples: int
+    converged: bool
+
+
+def _gauss_newton(
+    residual_fn: Callable[[np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    bounds: tuple[np.ndarray, np.ndarray],
+    max_iterations: int,
+) -> tuple[np.ndarray, bool]:  # pragma: no cover - scipy is an install requirement
+    """Projected Gauss–Newton with numerical Jacobians (fallback path)."""
+    x = x0.copy()
+    lo, hi = bounds
+    converged = False
+    for _ in range(max_iterations):
+        r = residual_fn(x)
+        eps = 1e-7
+        jac = np.empty((r.size, x.size))
+        for j in range(x.size):
+            dx = np.zeros_like(x)
+            dx[j] = eps * max(1.0, abs(x[j]))
+            jac[:, j] = (residual_fn(x + dx) - r) / dx[j]
+        step, *_ = np.linalg.lstsq(jac, -r, rcond=None)
+        x_new = np.clip(x + step, lo, hi)
+        if np.max(np.abs(x_new - x)) < 1e-10:
+            x = x_new
+            converged = True
+            break
+        x = x_new
+    return x, converged
+
+
+def fit_nlls(
+    residual_fn: Callable[[np.ndarray], np.ndarray],
+    x0: Sequence[float],
+    lower: Optional[Sequence[float]] = None,
+    upper: Optional[Sequence[float]] = None,
+    max_iterations: int = 200,
+) -> NllsFit:
+    """Minimise ``‖residual_fn(x)‖²`` subject to box bounds.
+
+    Parameters
+    ----------
+    residual_fn:
+        Maps a parameter vector to the residual vector (prediction − data).
+    x0:
+        Initial guess.
+    lower, upper:
+        Optional per-parameter bounds (default unbounded).
+    max_iterations:
+        Iteration budget.
+    """
+    x0 = np.asarray(x0, dtype=np.float64)
+    if x0.ndim != 1 or x0.size == 0:
+        raise RegressionError(f"x0 must be a non-empty vector, got shape {x0.shape}")
+    lo = np.full(x0.size, -np.inf) if lower is None else np.asarray(lower, dtype=np.float64)
+    hi = np.full(x0.size, np.inf) if upper is None else np.asarray(upper, dtype=np.float64)
+    if lo.shape != x0.shape or hi.shape != x0.shape:
+        raise RegressionError("bounds must match the parameter vector shape")
+    if np.any(lo > hi):
+        raise RegressionError("lower bounds exceed upper bounds")
+    x0 = np.clip(x0, lo, hi)
+
+    probe = np.asarray(residual_fn(x0), dtype=np.float64)
+    if probe.ndim != 1 or probe.size < x0.size:
+        raise RegressionError(
+            f"residual function returned shape {probe.shape}; need >= {x0.size} residuals"
+        )
+
+    if _scipy_least_squares is not None:
+        result = _scipy_least_squares(
+            residual_fn, x0, bounds=(lo, hi), max_nfev=max_iterations * x0.size * 4
+        )
+        params = np.asarray(result.x, dtype=np.float64)
+        converged = bool(result.success)
+    else:  # pragma: no cover - scipy is an install requirement
+        params, converged = _gauss_newton(residual_fn, x0, (lo, hi), max_iterations)
+
+    residual = float(np.linalg.norm(residual_fn(params)))
+    return NllsFit(
+        parameters=params,
+        residual_norm=residual,
+        n_samples=int(probe.size),
+        converged=converged,
+    )

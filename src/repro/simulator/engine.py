@@ -1,0 +1,182 @@
+"""The discrete-event simulation engine.
+
+The engine is a classic event-heap kernel: time advances from event to
+event, state between events is piecewise constant, and every simulated
+component (hosts, migration jobs, meters) mutates state from event
+callbacks.  The design keeps per-event cost at O(log n) and makes the whole
+simulation deterministic given the RNG seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.simulator.events import Event
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event-driven simulation clock.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, fired.append, "a")
+    >>> _ = sim.schedule(1.0, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        if not math.isfinite(start_time):
+            raise SchedulingError(f"start_time must be finite, got {start_time!r}")
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting on the heap (incl. cancelled)."""
+        return sum(1 for e in self._heap if e.pending)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the heap is empty."""
+        self._drop_cancelled_head()
+        return self._heap[0].time if self._heap else None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        return self.schedule_at(self._now + float(delay), callback, *args, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if not math.isfinite(time):
+            raise SchedulingError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule into the past: t={time:.6f} < now={self._now:.6f}"
+                + (f" ({label})" if label else "")
+            )
+        event = Event(time, callback, args, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a previously scheduled event (lazy removal)."""
+        return event.cancel()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.
+
+        Returns
+        -------
+        bool
+            ``True`` if an event fired, ``False`` if the heap was empty.
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        if event.time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("heap invariant violated: event in the past")
+        self._now = event.time
+        self._processed += 1
+        event.fire()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the heap drains, ``until`` passes, or the budget ends.
+
+        Parameters
+        ----------
+        until:
+            Absolute simulated time at which to stop.  Events strictly after
+            ``until`` remain pending and the clock is advanced to ``until``.
+        max_events:
+            Optional safety budget on the number of events fired; exceeding
+            it raises :class:`~repro.errors.SimulationError` (runaway guard).
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        if until is not None and until < self._now:
+            raise SchedulingError(
+                f"cannot run to the past: until={until!r} < now={self._now!r}"
+            )
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                self._drop_cancelled_head()
+                if not self._heap:
+                    break
+                if until is not None and self._heap[0].time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {fired} events at t={self._now:.3f}"
+                    )
+                self.step()
+                fired += 1
+            if until is not None and until > self._now:
+                self._now = float(until)
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
+        """Run for a relative ``duration`` seconds of simulated time."""
+        if duration < 0:
+            raise SchedulingError(f"duration must be non-negative, got {duration!r}")
+        self.run(until=self._now + duration, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator now={self._now:.3f} pending={self.pending_events} "
+            f"processed={self._processed}>"
+        )

@@ -1,0 +1,100 @@
+"""Event objects used by the simulation engine.
+
+Events are small comparable records placed on the simulator's heap.  They
+support O(1) *lazy cancellation*: cancelling marks the event and the engine
+discards it when popped, which keeps the heap operations simple and fast.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable
+
+__all__ = ["Event", "EventState"]
+
+_sequence = itertools.count()
+
+
+class EventState(enum.Enum):
+    """Lifecycle of a scheduled event."""
+
+    PENDING = "pending"
+    FIRED = "fired"
+    CANCELLED = "cancelled"
+
+
+class Event:
+    """A callback scheduled at a simulated time instant.
+
+    Events order first by ``time`` then by a monotonically increasing
+    sequence number so that events scheduled earlier fire earlier when
+    times tie (FIFO tie-breaking, the conventional DES rule).
+
+    Parameters
+    ----------
+    time:
+        Absolute simulated time (seconds) at which to fire.
+    callback:
+        Callable invoked as ``callback(*args)`` when the event fires.
+    args:
+        Positional arguments for the callback.
+    label:
+        Optional human-readable tag used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("time", "callback", "args", "label", "state", "_seq")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...] = (),
+        label: str = "",
+    ) -> None:
+        self.time = float(time)
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self.state = EventState.PENDING
+        self._seq = next(_sequence)
+
+    # Heap ordering -------------------------------------------------------
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self._seq < other._seq
+
+    # Lifecycle -----------------------------------------------------------
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting to fire."""
+        return self.state is EventState.PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self.state is EventState.CANCELLED
+
+    def cancel(self) -> bool:
+        """Cancel the event if still pending.
+
+        Returns
+        -------
+        bool
+            ``True`` if the event was pending and is now cancelled,
+            ``False`` if it had already fired or been cancelled.
+        """
+        if self.state is EventState.PENDING:
+            self.state = EventState.CANCELLED
+            return True
+        return False
+
+    def fire(self) -> None:
+        """Invoke the callback (engine-internal)."""
+        self.state = EventState.FIRED
+        self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" {self.label!r}" if self.label else ""
+        return f"<Event{tag} t={self.time:.3f} {self.state.value}>"

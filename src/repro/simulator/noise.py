@@ -1,0 +1,80 @@
+"""Deterministic, time-quantised noise processes.
+
+Several simulated quantities need *consistent* stochastic fluctuation: when
+the power meter and the dstat monitor both read host CPU utilisation at the
+same instant they must see the same jittered value, and re-running the same
+seed must reproduce it exactly.  Instead of mutating generator state on
+every read (read-order dependence), noise is a *pure function* of
+``(seed, key, floor(t / quantum))`` computed through a hash.
+
+This gives piecewise-constant noise with correlation time ``quantum``,
+which is also physically sensible: utilisation genuinely fluctuates on a
+scheduler-tick timescale, not per femtosecond.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.simulator.rng import derive_seed
+
+__all__ = ["hash_uniform", "hash_normal", "ou_like_noise"]
+
+_TWO_PI = 2.0 * math.pi
+_U64 = float(2**64)
+
+
+def _hash_unit(seed: int, key: str, tick: int, salt: int = 0) -> float:
+    """Uniform float in (0, 1) from a hash of (seed, key, tick, salt)."""
+    raw = derive_seed(seed, f"{key}#{tick}#{salt}")
+    # Map to (0, 1) exclusive to keep it safe for log/Box-Muller.
+    return (raw + 0.5) / _U64
+
+
+def hash_uniform(seed: int, key: str, t: float, quantum: float, low: float = 0.0, high: float = 1.0) -> float:
+    """Quantised uniform noise in ``[low, high)``; constant within a quantum."""
+    if quantum <= 0:
+        raise ConfigurationError(f"quantum must be positive, got {quantum!r}")
+    tick = math.floor(t / quantum)
+    return low + (high - low) * _hash_unit(seed, key, tick)
+
+
+def hash_normal(seed: int, key: str, t: float, quantum: float, sigma: float = 1.0) -> float:
+    """Quantised Gaussian noise, N(0, sigma²); constant within a quantum.
+
+    Uses the Box–Muller transform on two independent hash uniforms.
+    """
+    if quantum <= 0:
+        raise ConfigurationError(f"quantum must be positive, got {quantum!r}")
+    if sigma < 0:
+        raise ConfigurationError(f"sigma must be non-negative, got {sigma!r}")
+    if sigma == 0.0:
+        return 0.0
+    tick = math.floor(t / quantum)
+    u1 = _hash_unit(seed, key, tick, salt=1)
+    u2 = _hash_unit(seed, key, tick, salt=2)
+    return sigma * math.sqrt(-2.0 * math.log(u1)) * math.cos(_TWO_PI * u2)
+
+
+def ou_like_noise(
+    seed: int,
+    key: str,
+    t: float,
+    quantum: float,
+    sigma: float,
+    blend: float = 0.6,
+) -> float:
+    """Correlated noise approximating an Ornstein–Uhlenbeck process.
+
+    Blends the noise of the current quantum with the previous one, giving
+    lag-1 correlation ≈ ``blend`` without any mutable state.  Variance is
+    renormalised so the marginal stays N(0, sigma²).
+    """
+    if not 0.0 <= blend < 1.0:
+        raise ConfigurationError(f"blend must be in [0, 1), got {blend!r}")
+    current = hash_normal(seed, key, t, quantum, sigma=1.0)
+    previous = hash_normal(seed, key, t - quantum, quantum, sigma=1.0)
+    mixed = blend * previous + (1.0 - blend) * current
+    norm = math.sqrt(blend * blend + (1.0 - blend) * (1.0 - blend))
+    return sigma * mixed / norm

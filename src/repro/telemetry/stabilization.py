@@ -1,0 +1,80 @@
+"""The paper's power-stabilisation rule.
+
+Section V-B: *"We say that the power consumption of the host stabilises
+when we read twenty consecutive power measurements with a difference
+lower than 0.3 %, that is below our measurement device's accuracy."*
+
+The rule is used twice per run — before issuing the migration (so the
+normal-execution baseline is flat) and after it completes (so the trace
+captures the full return to steady state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StabilizationRule", "is_stable", "first_stable_index"]
+
+
+@dataclass(frozen=True)
+class StabilizationRule:
+    """Parameters of the stability criterion.
+
+    ``n_readings`` consecutive readings must each differ from their
+    predecessor by less than ``rel_tolerance`` (relative).
+    """
+
+    n_readings: int = 20
+    rel_tolerance: float = 0.003
+
+    def __post_init__(self) -> None:
+        if self.n_readings < 2:
+            raise ConfigurationError(f"n_readings must be >= 2, got {self.n_readings!r}")
+        if self.rel_tolerance <= 0:
+            raise ConfigurationError(
+                f"rel_tolerance must be positive, got {self.rel_tolerance!r}"
+            )
+
+
+def _consecutive_ok(watts: np.ndarray, rule: StabilizationRule) -> np.ndarray:
+    """Boolean array: reading i differs from reading i-1 by < tolerance."""
+    watts = np.asarray(watts, dtype=np.float64)
+    prev = watts[:-1]
+    diff = np.abs(np.diff(watts))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.where(prev != 0, diff / np.abs(prev), np.inf)
+    return rel < rule.rel_tolerance
+
+
+def is_stable(watts: np.ndarray, rule: StabilizationRule = StabilizationRule()) -> bool:
+    """Whether the *last* ``n_readings`` of the signal satisfy the rule."""
+    watts = np.asarray(watts, dtype=np.float64)
+    if watts.size < rule.n_readings:
+        return False
+    tail = watts[-rule.n_readings:]
+    return bool(np.all(_consecutive_ok(tail, rule)))
+
+
+def first_stable_index(
+    watts: np.ndarray, rule: StabilizationRule = StabilizationRule()
+) -> int | None:
+    """Index of the earliest reading at which the signal counts as stable.
+
+    Returns the index ``i`` such that readings ``[i - n + 1 … i]`` satisfy
+    the rule, or ``None`` if the signal never stabilises.
+    """
+    watts = np.asarray(watts, dtype=np.float64)
+    n = rule.n_readings
+    if watts.size < n:
+        return None
+    ok = _consecutive_ok(watts, rule)
+    # A window ending at reading i needs ok[i-n+1 .. i-1] all true (n-1 diffs).
+    window = np.convolve(ok.astype(np.int64), np.ones(n - 1, dtype=np.int64), "valid")
+    hits = np.flatnonzero(window == n - 1)
+    if hits.size == 0:
+        return None
+    return int(hits[0] + n - 1)

@@ -1,0 +1,217 @@
+"""Numpy-backed trace containers.
+
+Traces accumulate in Python lists (amortised O(1) appends from the event
+loop) and materialise to immutable numpy arrays on read, with the
+conversion cached until the next append — the standard builder pattern for
+measurement hot paths (per the hpc-parallel guides: vectorise reads, keep
+appends cheap).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = ["PowerTrace", "SeriesTrace"]
+
+
+class PowerTrace:
+    """A timestamped sequence of power readings for one host.
+
+    Examples
+    --------
+    >>> trace = PowerTrace("m01")
+    >>> trace.append(0.5, 455.0)
+    >>> trace.append(1.0, 456.2)
+    >>> trace.times.tolist()
+    [0.5, 1.0]
+    """
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self._times: list[float] = []
+        self._watts: list[float] = []
+        self._cache: Optional[tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    def append(self, t: float, watts: float) -> None:
+        """Record one reading; timestamps must be strictly increasing."""
+        if self._times and t <= self._times[-1]:
+            raise TraceError(
+                f"non-increasing timestamp {t!r} after {self._times[-1]!r} "
+                f"in trace {self.label!r}"
+            )
+        self._times.append(float(t))
+        self._watts.append(float(watts))
+        self._cache = None
+
+    def extend(self, times: Iterable[float], watts: Iterable[float]) -> None:
+        """Bulk-append aligned samples."""
+        for t, w in zip(times, watts, strict=True):
+            self.append(t, w)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    # ------------------------------------------------------------------
+    def _arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._cache is None:
+            self._cache = (
+                np.asarray(self._times, dtype=np.float64),
+                np.asarray(self._watts, dtype=np.float64),
+            )
+        return self._cache
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample timestamps (seconds), read-only view."""
+        return self._arrays()[0]
+
+    @property
+    def watts(self) -> np.ndarray:
+        """Power readings (watts), read-only view."""
+        return self._arrays()[1]
+
+    # ------------------------------------------------------------------
+    def window(self, t0: float, t1: float) -> "PowerTrace":
+        """Sub-trace of samples with ``t0 <= t <= t1``."""
+        if t1 < t0:
+            raise TraceError(f"window end {t1!r} before start {t0!r}")
+        times, watts = self._arrays()
+        mask = (times >= t0) & (times <= t1)
+        out = PowerTrace(self.label)
+        out._times = times[mask].tolist()
+        out._watts = watts[mask].tolist()
+        return out
+
+    def shifted(self, dt: float) -> "PowerTrace":
+        """Copy with all timestamps shifted by ``dt`` (plot alignment)."""
+        out = PowerTrace(self.label)
+        out._times = [t + dt for t in self._times]
+        out._watts = list(self._watts)
+        return out
+
+    # ------------------------------------------------------------------
+    def mean_power(self) -> float:
+        """Arithmetic mean of the readings."""
+        if not self._watts:
+            raise TraceError(f"trace {self.label!r} is empty")
+        return float(np.mean(self._arrays()[1]))
+
+    def energy_joules(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
+        """Trapezoidal energy over ``[t0, t1]`` (defaults to full span)."""
+        from repro.telemetry.integration import integrate_power  # local: avoid cycle
+
+        times, watts = self._arrays()
+        if times.size == 0:
+            raise TraceError(f"trace {self.label!r} is empty")
+        lo = float(times[0]) if t0 is None else float(t0)
+        hi = float(times[-1]) if t1 is None else float(t1)
+        return integrate_power(times, watts, lo, hi)
+
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated reading at time ``t`` (clamped at the ends)."""
+        times, watts = self._arrays()
+        if times.size == 0:
+            raise TraceError(f"trace {self.label!r} is empty")
+        return float(np.interp(t, times, watts))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._times:
+            return f"<PowerTrace {self.label!r} empty>"
+        return (
+            f"<PowerTrace {self.label!r} n={len(self)} "
+            f"[{self._times[0]:.1f}, {self._times[-1]:.1f}]s>"
+        )
+
+
+class SeriesTrace:
+    """A timestamped multi-column trace (dstat-style).
+
+    Columns are declared up front; every append must provide all of them,
+    which keeps the arrays rectangular and the reads vectorisable.
+    """
+
+    def __init__(self, columns: Iterable[str], label: str = "") -> None:
+        cols = tuple(columns)
+        if not cols:
+            raise TraceError("SeriesTrace needs at least one column")
+        if len(set(cols)) != len(cols):
+            raise TraceError(f"duplicate column names in {cols!r}")
+        self.label = label
+        self._columns = cols
+        self._times: list[float] = []
+        self._data: dict[str, list[float]] = {c: [] for c in cols}
+        self._cache: Optional[dict[str, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Declared column names."""
+        return self._columns
+
+    def append(self, t: float, **values: float) -> None:
+        """Record one row; all declared columns are required."""
+        missing = set(self._columns) - set(values)
+        extra = set(values) - set(self._columns)
+        if missing or extra:
+            raise TraceError(
+                f"row mismatch in {self.label!r}: missing={sorted(missing)} "
+                f"extra={sorted(extra)}"
+            )
+        if self._times and t <= self._times[-1]:
+            raise TraceError(
+                f"non-increasing timestamp {t!r} in trace {self.label!r}"
+            )
+        self._times.append(float(t))
+        for c in self._columns:
+            self._data[c].append(float(values[c]))
+        self._cache = None
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    # ------------------------------------------------------------------
+    def _arrays(self) -> dict[str, np.ndarray]:
+        if self._cache is None:
+            cache = {"t": np.asarray(self._times, dtype=np.float64)}
+            for c in self._columns:
+                cache[c] = np.asarray(self._data[c], dtype=np.float64)
+            self._cache = cache
+        return self._cache
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample timestamps (seconds)."""
+        return self._arrays()["t"]
+
+    def column(self, name: str) -> np.ndarray:
+        """The values of one column."""
+        if name not in self._columns:
+            raise TraceError(f"unknown column {name!r}; have {self._columns}")
+        return self._arrays()[name]
+
+    def value_at(self, name: str, t: float) -> float:
+        """Linearly interpolated column value at time ``t``."""
+        times = self.times
+        if times.size == 0:
+            raise TraceError(f"trace {self.label!r} is empty")
+        return float(np.interp(t, times, self.column(name)))
+
+    def window(self, t0: float, t1: float) -> "SeriesTrace":
+        """Sub-trace of rows with ``t0 <= t <= t1``."""
+        if t1 < t0:
+            raise TraceError(f"window end {t1!r} before start {t0!r}")
+        arrays = self._arrays()
+        mask = (arrays["t"] >= t0) & (arrays["t"] <= t1)
+        out = SeriesTrace(self._columns, self.label)
+        out._times = arrays["t"][mask].tolist()
+        for c in self._columns:
+            out._data[c] = arrays[c][mask].tolist()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SeriesTrace {self.label!r} n={len(self)} cols={self._columns}>"

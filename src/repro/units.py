@@ -1,0 +1,137 @@
+"""Unit constants and conversion helpers.
+
+The paper (and therefore this library) mixes several unit systems:
+
+* **memory** — VM sizes quoted in MB/GB, transferred state in bytes, and the
+  dirtying ratio in *pages* (Xen tracks dirtying at page granularity);
+* **bandwidth** — gigabit links, model feature ``BW(S,T,t)`` in bytes/s
+  (inferred from the magnitude of the β(t) coefficients in Tables III–IV);
+* **CPU** — utilisations in percent of host capacity, [0, 100];
+* **power/energy** — watts and joules; Table VII quotes MAE in kJ.
+
+Centralising the constants here keeps every subsystem consistent and gives
+the tests a single point of truth.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "PAGE_SIZE_BYTES",
+    "GBIT_PER_S_BYTES",
+    "PERCENT",
+    "mib_to_bytes",
+    "gib_to_bytes",
+    "bytes_to_mib",
+    "bytes_to_gib",
+    "mib_to_pages",
+    "pages_to_bytes",
+    "bytes_to_pages",
+    "pages_to_mib",
+    "gbit_to_bytes_per_s",
+    "bytes_per_s_to_mbit",
+    "fraction_to_percent",
+    "percent_to_fraction",
+    "joules_to_kj",
+    "kj_to_joules",
+    "watts_seconds_to_joules",
+]
+
+# Binary prefixes (memory is always binary in this library).
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+# Decimal prefixes (network equipment is decimal).
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+
+#: x86 base page size used by Xen's dirty-page logging.
+PAGE_SIZE_BYTES: int = 4 * KIB
+
+#: Raw bit-rate of a gigabit link expressed in bytes/s (decimal gigabit).
+GBIT_PER_S_BYTES: float = 1e9 / 8.0
+
+#: Multiplier converting a [0, 1] fraction to percent.
+PERCENT: float = 100.0
+
+
+def mib_to_bytes(mib: float) -> float:
+    """Convert mebibytes to bytes."""
+    return mib * MIB
+
+
+def gib_to_bytes(gib: float) -> float:
+    """Convert gibibytes to bytes."""
+    return gib * GIB
+
+
+def bytes_to_mib(n_bytes: float) -> float:
+    """Convert bytes to mebibytes."""
+    return n_bytes / MIB
+
+
+def bytes_to_gib(n_bytes: float) -> float:
+    """Convert bytes to gibibytes."""
+    return n_bytes / GIB
+
+
+def mib_to_pages(mib: float) -> int:
+    """Number of whole 4 KiB pages covering ``mib`` mebibytes."""
+    return int(round(mib * MIB / PAGE_SIZE_BYTES))
+
+
+def pages_to_bytes(pages: float) -> float:
+    """Convert a page count to bytes."""
+    return pages * PAGE_SIZE_BYTES
+
+
+def bytes_to_pages(n_bytes: float) -> float:
+    """Convert bytes to (possibly fractional) 4 KiB pages."""
+    return n_bytes / PAGE_SIZE_BYTES
+
+
+def pages_to_mib(pages: float) -> float:
+    """Convert a page count to mebibytes."""
+    return pages * PAGE_SIZE_BYTES / MIB
+
+
+def gbit_to_bytes_per_s(gbit: float) -> float:
+    """Convert a decimal gigabit/s rate to bytes/s."""
+    return gbit * 1e9 / 8.0
+
+
+def bytes_per_s_to_mbit(bps: float) -> float:
+    """Convert bytes/s to decimal megabit/s."""
+    return bps * 8.0 / 1e6
+
+
+def fraction_to_percent(fraction: float) -> float:
+    """Convert a [0, 1] fraction to percent."""
+    return fraction * PERCENT
+
+
+def percent_to_fraction(percent: float) -> float:
+    """Convert percent to a [0, 1] fraction."""
+    return percent / PERCENT
+
+
+def joules_to_kj(joules: float) -> float:
+    """Convert joules to kilojoules (Table VII's MAE unit)."""
+    return joules / 1000.0
+
+
+def kj_to_joules(kj: float) -> float:
+    """Convert kilojoules to joules."""
+    return kj * 1000.0
+
+
+def watts_seconds_to_joules(watts: float, seconds: float) -> float:
+    """Energy of a constant power draw over an interval."""
+    return watts * seconds

@@ -1,0 +1,35 @@
+"""Workload substrate (subsystem S4).
+
+Behavioural models of the programs the paper runs inside its VMs:
+
+* :class:`~repro.workloads.matrixmult.MatrixMultWorkload` — the OpenMP
+  matrix-multiplication kernel used for all CPU-intensive load
+  (parallelises across every vCPU with small synchronisation overhead);
+* :class:`~repro.workloads.pagedirtier.PageDirtierWorkload` — the ANSI C
+  ``pagedirtier`` that continuously writes memory pages in random order
+  (the paper fixes its allocation to 3.8 GB of the 4 GB VM);
+* :class:`~repro.workloads.idle.IdleWorkload` — an idle guest;
+* :class:`~repro.workloads.netload.NetworkWorkload` — network-intensive
+  load, implemented for the paper's stated future-work direction;
+* :class:`~repro.workloads.mixed.MixedWorkload` — weighted combination.
+
+A workload only exposes what the energy model can observe: per-vCPU CPU
+demand, the page-dirtying process (rate + working-set), memory-bus
+activity and NIC traffic.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.idle import IdleWorkload
+from repro.workloads.matrixmult import MatrixMultWorkload
+from repro.workloads.mixed import MixedWorkload
+from repro.workloads.netload import NetworkWorkload
+from repro.workloads.pagedirtier import PageDirtierWorkload
+
+__all__ = [
+    "Workload",
+    "IdleWorkload",
+    "MatrixMultWorkload",
+    "PageDirtierWorkload",
+    "NetworkWorkload",
+    "MixedWorkload",
+]

@@ -1,0 +1,80 @@
+"""Abstract workload interface.
+
+A workload is a *behavioural* model: it does not execute instructions, it
+answers the questions the rest of the system asks about a running guest —
+how much CPU it wants, how fast it dirties memory pages, how much memory
+bus and NIC it keeps busy.  These are exactly the observables that enter
+the paper's resource-utilisation model (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["Workload"]
+
+
+class Workload(abc.ABC):
+    """Base class for guest workload models.
+
+    Subclasses override the per-resource demand methods; everything is
+    expressed as steady-state means, with stochastic fluctuation applied
+    by the reading side (host jitter, feature sampling) so that workload
+    objects stay immutable and shareable.
+    """
+
+    #: Human-readable identifier used in reports and trace labels.
+    name: str = "workload"
+
+    # ------------------------------------------------------------------
+    # CPU
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def cpu_fraction(self) -> float:
+        """Mean demand per vCPU as a fraction of one hardware thread [0, 1]."""
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def dirty_page_rate(self) -> float:
+        """Page-dirtying write rate in pages/s (0 for read-only loads).
+
+        This is the rate of *write operations* hitting pages; the number of
+        *distinct* pages dirtied over an interval is computed by the VM
+        memory model from this rate and the working-set size.
+        """
+        return 0.0
+
+    def working_set_fraction(self) -> float:
+        """Fraction of the VM's memory the workload actively writes [0, 1]."""
+        return 0.0
+
+    def memory_activity_fraction(self) -> float:
+        """Memory-bus busy fraction contributed by this workload [0, 1]."""
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Network
+    # ------------------------------------------------------------------
+    def nic_tx_bps(self) -> float:
+        """Mean guest transmit traffic in bytes/s."""
+        return 0.0
+
+    def nic_rx_bps(self) -> float:
+        """Mean guest receive traffic in bytes/s."""
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, float]:
+        """Summary of the workload's steady-state demands (for reports)."""
+        return {
+            "cpu_fraction": self.cpu_fraction(),
+            "dirty_page_rate": self.dirty_page_rate(),
+            "working_set_fraction": self.working_set_fraction(),
+            "memory_activity_fraction": self.memory_activity_fraction(),
+            "nic_tx_bps": self.nic_tx_bps(),
+            "nic_rx_bps": self.nic_rx_bps(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,39 @@
+"""An idle guest workload.
+
+The paper's idle VMs still run a kernel, so a small housekeeping CPU
+demand is kept (timer ticks, kthreads); everything else is zero.  Per
+Section IV-B, an idle VM has ``CPU(v,t) = 0`` and ``DR(v,t) = 0`` from the
+model's perspective — the housekeeping demand here is small enough to sit
+inside measurement noise, matching that assumption.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Workload
+
+__all__ = ["IdleWorkload"]
+
+
+class IdleWorkload(Workload):
+    """A guest running nothing but its OS.
+
+    Parameters
+    ----------
+    housekeeping_fraction:
+        Mean per-vCPU demand of the idle kernel (default 0.3 %).
+    """
+
+    name = "idle"
+
+    def __init__(self, housekeeping_fraction: float = 0.003) -> None:
+        if not 0.0 <= housekeeping_fraction <= 0.05:
+            raise ConfigurationError(
+                "housekeeping_fraction must be a small fraction in [0, 0.05], "
+                f"got {housekeeping_fraction!r}"
+            )
+        self._housekeeping = float(housekeeping_fraction)
+
+    def cpu_fraction(self) -> float:
+        """Idle kernel housekeeping only."""
+        return self._housekeeping

@@ -1,0 +1,108 @@
+"""The paper's CPU-intensive workload: OpenMP matrix multiplication.
+
+Section V-A1: *"we use an OpenMP C implementation of a matrix
+multiplication algorithm … it can be easily parallelised allowing us to
+load all virtual CPUs of the VMs … while it introduces only small
+communication and synchronisation overheads."*
+
+Behaviourally this means:
+
+* every vCPU is kept busy at close to 100 % (minus a small parallel
+  efficiency loss for synchronisation at tile boundaries);
+* the working set is the three matrix buffers — small relative to the 4 GB
+  VM, and only the output matrix is written, so the dirty-page rate is
+  modest (this is why CPULOAD live migrations converge quickly);
+* the kernel is memory-bandwidth hungry while it streams tiles, captured
+  as a moderate memory-bus activity fraction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.units import PAGE_SIZE_BYTES
+from repro.workloads.base import Workload
+
+__all__ = ["MatrixMultWorkload"]
+
+
+class MatrixMultWorkload(Workload):
+    """Dense matrix multiplication saturating all vCPUs.
+
+    Parameters
+    ----------
+    matrix_order:
+        Problem size N (square N×N matrices of float64).  Determines the
+        working set: three buffers of ``8·N²`` bytes.
+    vm_ram_mb:
+        RAM of the VM running the kernel, to express the working set as a
+        fraction of guest memory.
+    intensity:
+        Target per-vCPU utilisation before efficiency loss (1.0 = pinned).
+    parallel_efficiency:
+        Fraction of the target actually achieved once synchronisation
+        overhead is paid (paper: "small … overheads").
+    """
+
+    name = "matrixmult"
+
+    def __init__(
+        self,
+        matrix_order: int = 2048,
+        vm_ram_mb: int = 4096,
+        intensity: float = 1.0,
+        parallel_efficiency: float = 0.97,
+    ) -> None:
+        if matrix_order <= 0:
+            raise ConfigurationError(f"matrix_order must be positive, got {matrix_order!r}")
+        if vm_ram_mb <= 0:
+            raise ConfigurationError(f"vm_ram_mb must be positive, got {vm_ram_mb!r}")
+        if not 0.0 < intensity <= 1.0:
+            raise ConfigurationError(f"intensity must be in (0, 1], got {intensity!r}")
+        if not 0.0 < parallel_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"parallel_efficiency must be in (0, 1], got {parallel_efficiency!r}"
+            )
+        self._order = int(matrix_order)
+        self._vm_ram_mb = int(vm_ram_mb)
+        self._intensity = float(intensity)
+        self._efficiency = float(parallel_efficiency)
+
+    # ------------------------------------------------------------------
+    @property
+    def matrix_order(self) -> int:
+        """Problem size N."""
+        return self._order
+
+    @property
+    def working_set_bytes(self) -> int:
+        """Three float64 N×N buffers (A, B and the output C)."""
+        return 3 * 8 * self._order * self._order
+
+    # ------------------------------------------------------------------
+    def cpu_fraction(self) -> float:
+        """Per-vCPU demand: intensity shaved by parallel efficiency."""
+        return self._intensity * self._efficiency
+
+    def dirty_page_rate(self) -> float:
+        """Writes hit the output matrix as tiles complete.
+
+        One pass over C (``8·N²`` bytes) per multiply; with a classic
+        tiled kernel sustaining roughly ``2·N³`` flops at a few Gflop/s
+        the resulting page-write rate is small — the defining property
+        that separates CPULOAD from MEMLOAD migrations.
+        """
+        multiply_seconds = max(2.0 * self._order**3 / 3.0e9, 1e-3)
+        output_pages = 8 * self._order * self._order / PAGE_SIZE_BYTES
+        return output_pages / multiply_seconds * self._intensity
+
+    def working_set_fraction(self) -> float:
+        """Matrix buffers as a fraction of guest RAM (capped at 1)."""
+        return min(1.0, self.working_set_bytes / (self._vm_ram_mb * 1024 * 1024))
+
+    def memory_activity_fraction(self) -> float:
+        """Streaming tile loads keep the memory bus moderately busy.
+
+        Kept small per VM so that the bus term does not saturate with a
+        handful of guests (the host-level activity is the sum over VMs).
+        """
+        return 0.055 * self._intensity

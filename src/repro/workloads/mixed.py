@@ -1,0 +1,75 @@
+"""Weighted combination of workloads.
+
+Real data-centre guests rarely run a single pure kernel; a mixed workload
+lets examples and extension experiments blend CPU, memory and network
+behaviour while reusing the calibrated component models.  Demands combine
+additively (clamped where the resource saturates); the working set is the
+largest component working set (dirty writes of the components overlap in
+the same guest address space, so summing fractions would double-count).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Workload
+
+__all__ = ["MixedWorkload"]
+
+
+class MixedWorkload(Workload):
+    """A convex-ish combination of component workloads.
+
+    Parameters
+    ----------
+    components:
+        ``(weight, workload)`` pairs; weights must be positive and are
+        *not* required to sum to 1 (a guest can genuinely run two full
+        programs, subject to the per-resource clamps).
+    """
+
+    name = "mixed"
+
+    def __init__(self, components: Sequence[tuple[float, Workload]]) -> None:
+        if not components:
+            raise ConfigurationError("MixedWorkload needs at least one component")
+        for weight, workload in components:
+            if weight <= 0:
+                raise ConfigurationError(f"component weights must be positive, got {weight!r}")
+            if not isinstance(workload, Workload):
+                raise ConfigurationError(f"component {workload!r} is not a Workload")
+        self._components = [(float(w), wl) for w, wl in components]
+
+    @property
+    def components(self) -> tuple[tuple[float, Workload], ...]:
+        """The (weight, workload) pairs."""
+        return tuple(self._components)
+
+    def _weighted(self, attr: str, clamp: float | None = 1.0) -> float:
+        total = sum(w * getattr(wl, attr)() for w, wl in self._components)
+        return min(total, clamp) if clamp is not None else total
+
+    def cpu_fraction(self) -> float:
+        """Sum of weighted demands, clamped at one full vCPU."""
+        return self._weighted("cpu_fraction")
+
+    def dirty_page_rate(self) -> float:
+        """Write rates add (different loops interleave their stores)."""
+        return self._weighted("dirty_page_rate", clamp=None)
+
+    def working_set_fraction(self) -> float:
+        """Largest component working set (address spaces overlap)."""
+        return max(wl.working_set_fraction() for _, wl in self._components)
+
+    def memory_activity_fraction(self) -> float:
+        """Bus activity adds and saturates."""
+        return self._weighted("memory_activity_fraction")
+
+    def nic_tx_bps(self) -> float:
+        """Transmit traffic adds."""
+        return self._weighted("nic_tx_bps", clamp=None)
+
+    def nic_rx_bps(self) -> float:
+        """Receive traffic adds."""
+        return self._weighted("nic_rx_bps", clamp=None)

@@ -1,0 +1,62 @@
+"""Network-intensive workload (the paper's future-work extension).
+
+Section VIII: *"We plan to extend this work by also considering the impact
+of network-intensive workloads."*  The paper excluded these loads after
+observing negligible energy impact during migration; we implement the
+workload anyway so the extension experiments can be run (see
+``benchmarks/test_bench_ablation_features.py`` and the examples), and so a
+data-centre scenario can include realistic service traffic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Workload
+
+__all__ = ["NetworkWorkload"]
+
+
+class NetworkWorkload(Workload):
+    """A guest serving bulk network traffic.
+
+    Parameters
+    ----------
+    tx_bps, rx_bps:
+        Mean guest traffic in bytes/s.
+    cpu_per_gbps:
+        vCPU fraction consumed per gigabit/s of traffic (interrupt and
+        copy costs of the paravirtual network path).
+    """
+
+    name = "netload"
+
+    def __init__(
+        self,
+        tx_bps: float = 0.0,
+        rx_bps: float = 0.0,
+        cpu_per_gbps: float = 0.35,
+    ) -> None:
+        if tx_bps < 0 or rx_bps < 0:
+            raise ConfigurationError("traffic rates must be non-negative")
+        if cpu_per_gbps < 0:
+            raise ConfigurationError(f"cpu_per_gbps must be non-negative, got {cpu_per_gbps!r}")
+        self._tx = float(tx_bps)
+        self._rx = float(rx_bps)
+        self._cpu_per_gbps = float(cpu_per_gbps)
+
+    def cpu_fraction(self) -> float:
+        """CPU cost of pushing packets through the PV network path."""
+        gbps = (self._tx + self._rx) * 8.0 / 1e9
+        return min(1.0, 0.01 + self._cpu_per_gbps * gbps)
+
+    def nic_tx_bps(self) -> float:
+        """Mean transmit traffic."""
+        return self._tx
+
+    def nic_rx_bps(self) -> float:
+        """Mean receive traffic."""
+        return self._rx
+
+    def memory_activity_fraction(self) -> float:
+        """Packet buffers produce light memory traffic."""
+        return min(0.15, (self._tx + self._rx) / 1.0e9 * 0.1)

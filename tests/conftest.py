@@ -1,0 +1,68 @@
+"""Shared fixtures.
+
+Expensive artifacts (instrumented runs, small campaigns) are produced
+once per session and shared across test modules; they are deterministic
+(seeded) so assertions on them are stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.design import MigrationScenario
+from repro.experiments.runner import ScenarioRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> ScenarioRunner:
+    """One deterministic runner shared by integration tests."""
+    return ScenarioRunner(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def live_cpu_run(runner):
+    """A live CPULOAD-SOURCE run with 5 load VMs."""
+    scenario = MigrationScenario(
+        "CPULOAD-SOURCE", "fixture/live/5vm", live=True, load_vm_count=5
+    )
+    return runner.run_once(scenario)
+
+
+@pytest.fixture(scope="session")
+def nonlive_cpu_run(runner):
+    """A non-live CPULOAD-SOURCE run on otherwise idle hosts."""
+    scenario = MigrationScenario(
+        "CPULOAD-SOURCE", "fixture/nonlive/0vm", live=False, load_vm_count=0
+    )
+    return runner.run_once(scenario)
+
+
+@pytest.fixture(scope="session")
+def live_mem_run(runner):
+    """A live MEMLOAD-VM run at a high dirtying ratio."""
+    scenario = MigrationScenario(
+        "MEMLOAD-VM", "fixture/live/dr75", live=True, load_vm_count=0,
+        dirty_percent=75.0,
+    )
+    return runner.run_once(scenario)
+
+
+@pytest.fixture(scope="session")
+def mini_campaign(runner):
+    """A small mixed campaign: 6 scenarios x 3 runs (both kinds, DR sweep)."""
+    scenarios = [
+        MigrationScenario("CPULOAD-SOURCE", "mini/nl/0vm", live=False, load_vm_count=0),
+        MigrationScenario("CPULOAD-SOURCE", "mini/nl/3vm", live=False, load_vm_count=3),
+        MigrationScenario("CPULOAD-SOURCE", "mini/nl/5vm", live=False, load_vm_count=5),
+        MigrationScenario("CPULOAD-SOURCE", "mini/lv/0vm", live=True, load_vm_count=0),
+        MigrationScenario("CPULOAD-SOURCE", "mini/lv/5vm", live=True, load_vm_count=5),
+        MigrationScenario("MEMLOAD-VM", "mini/lv/dr15", live=True, dirty_percent=15.0),
+        MigrationScenario("MEMLOAD-VM", "mini/lv/dr75", live=True, dirty_percent=75.0),
+    ]
+    return runner.run_campaign(scenarios, min_runs=3, max_runs=3)
+
+
+@pytest.fixture(scope="session")
+def mini_samples(mini_campaign):
+    """Model samples (both roles) of the mini campaign."""
+    return mini_campaign.samples()

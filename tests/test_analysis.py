@@ -1,0 +1,119 @@
+"""Analysis layer: report rendering, tables, validation/comparison pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare_models
+from repro.analysis.figures import build_figure_panels
+from repro.analysis.report import format_table, format_value
+from repro.analysis.tables import (
+    render_table1,
+    render_table2,
+    render_table3_4,
+    render_table6,
+    render_table7,
+)
+from repro.analysis.validation import fit_wavm3_per_kind
+from repro.errors import ExperimentError
+from repro.models.features import HostRole
+
+
+class TestReport:
+    def test_basic_table(self):
+        text = format_table(("a", "b"), [(1, 2.5), ("x", 0.0)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "|" in lines[1]
+        assert len(lines) == 5  # title + header + separator + 2 rows
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a",), [(1, 2)])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table((), [])
+
+    def test_float_formatting(self):
+        assert format_value(1.5e-7) == "1.5e-07"
+        assert format_value(2.400, precision=2) == "2.4"
+        assert format_value(0.0) == "0"
+        assert format_value(True) == "yes"
+
+    def test_alignment(self):
+        text = format_table(("col",), [(1,), (100,)])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+
+class TestStaticTables:
+    def test_table1_rows(self):
+        table = render_table1()
+        assert "multiple transfers of VM state" in table
+        assert "no influence" in table
+
+    def test_table2_content(self):
+        table = render_table2()
+        assert "matrixmult" in table and "migrating-cpu" in table
+        assert "m01" in table and "o2" in table
+
+
+class TestPipelines:
+    def test_fit_per_kind(self, mini_campaign):
+        train, _, _ = mini_campaign.train_test_split(training_fraction=0.34)
+        models = fit_wavm3_per_kind(train)
+        assert set(models) == {"non-live", "live"}
+        assert all(m.fitted for m in models.values())
+
+    def test_table3_4_render(self, mini_campaign):
+        train, _, _ = mini_campaign.train_test_split(training_fraction=0.34)
+        models = fit_wavm3_per_kind(train)
+        text = render_table3_4(models["live"], live=True)
+        assert "Table IV" in text and "gamma" in text
+        text = render_table3_4(models["non-live"], live=False)
+        assert "Table III" in text
+
+    def test_compare_models_grid(self, mini_campaign):
+        comparison = compare_models(result=mini_campaign, training_fraction=0.34)
+        assert set(comparison.errors) == {"WAVM3", "HUANG", "LIU", "STRUNK"}
+        for model_errors in comparison.errors.values():
+            assert set(model_errors) == {"non-live", "live"}
+            for kind_errors in model_errors.values():
+                assert set(kind_errors) == {"source", "target"}
+                for report in kind_errors.values():
+                    assert report.n > 0 and np.isfinite(report.nrmse)
+
+    def test_comparison_improvement_helper(self, mini_campaign):
+        comparison = compare_models(result=mini_campaign, training_fraction=0.34)
+        gain = comparison.improvement_over("LIU", "live", "source")
+        assert np.isfinite(gain)
+
+    def test_table6_table7_render(self, mini_campaign):
+        comparison = compare_models(result=mini_campaign, training_fraction=0.34)
+        t6 = render_table6(comparison)
+        t7 = render_table7(comparison)
+        assert "STRUNK" in t6 and "HUANG" in t6
+        assert "NRMSE" in t7 and "WAVM3" in t7
+
+    def test_subset_of_models(self, mini_campaign):
+        comparison = compare_models(
+            result=mini_campaign, model_names=("WAVM3", "HUANG"),
+            training_fraction=0.34,
+        )
+        assert set(comparison.errors) == {"WAVM3", "HUANG"}
+
+
+class TestFigureBuilders:
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ExperimentError):
+            build_figure_panels("fig99")
+
+    def test_panels_from_shared_campaign(self, mini_campaign):
+        # The mini campaign carries CPULOAD-SOURCE scenarios; fig3 panels
+        # built from it must only include those.
+        panels = build_figure_panels("fig3", result=mini_campaign)
+        assert len(panels) == 4
+        for entries in panels.values():
+            for label, series in entries:
+                assert label.endswith("VM")
+                assert series.times.size == series.watts.size

@@ -1,0 +1,156 @@
+"""Physical host registrations and the CPU-coupled network path."""
+
+import pytest
+
+from repro.cluster import PhysicalHost, NetworkPath, machine_pair, machine_spec, switch_spec
+from repro.cluster.network import BandwidthDegradation
+from repro.errors import CapacityError, ConfigurationError
+
+
+@pytest.fixture()
+def host():
+    return PhysicalHost(machine_spec("m01"), noise_seed=5)
+
+
+@pytest.fixture()
+def pair():
+    src_spec, tgt_spec = machine_pair("m")
+    src = PhysicalHost(src_spec, noise_seed=1)
+    tgt = PhysicalHost(tgt_spec, noise_seed=2)
+    return src, tgt, NetworkPath(src, tgt, switch_spec("m"), jitter_seed=3)
+
+
+class TestHostNic:
+    def test_flows_aggregate(self, host):
+        host.set_nic_flow("a", tx_bps=1e7)
+        host.set_nic_flow("b", tx_bps=2e7, rx_bps=5e6)
+        assert host.nic_tx_bps() == pytest.approx(3e7)
+        assert host.nic_rx_bps() == pytest.approx(5e6)
+
+    def test_flows_clamped_to_goodput(self, host):
+        host.set_nic_flow("x", tx_bps=1e12)
+        assert host.nic_tx_bps() == host.spec.nic.goodput_bps
+
+    def test_clear_flow(self, host):
+        host.set_nic_flow("a", tx_bps=1e7)
+        host.clear_nic_flow("a")
+        assert host.nic_tx_bps() == 0.0
+
+    def test_rejects_negative_flow(self, host):
+        with pytest.raises(CapacityError):
+            host.set_nic_flow("a", tx_bps=-1.0)
+
+    def test_utilisation_fraction(self, host):
+        host.set_nic_flow("a", tx_bps=host.spec.nic.goodput_bps / 2)
+        assert host.nic_utilisation_fraction() == pytest.approx(0.5)
+
+
+class TestHostMemoryActivity:
+    def test_activities_sum_and_clamp(self, host):
+        host.set_memory_activity("a", 0.6)
+        host.set_memory_activity("b", 0.7)
+        assert host.memory_activity_fraction() == 1.0
+
+    def test_clear(self, host):
+        host.set_memory_activity("a", 0.4)
+        host.clear_memory_activity("a")
+        assert host.memory_activity_fraction() == 0.0
+
+    def test_rejects_negative(self, host):
+        with pytest.raises(CapacityError):
+            host.set_memory_activity("a", -0.1)
+
+
+class TestHostUtilisationAndPower:
+    def test_noise_free_read(self, host):
+        host.cpu.set_demand("vm:a", 16.0)
+        assert host.cpu_utilisation_fraction() == pytest.approx(0.5)
+
+    def test_jittered_read_consistent_at_instant(self, host):
+        host.cpu.set_demand("vm:a", 16.0)
+        assert host.cpu_utilisation_fraction(10.0) == host.cpu_utilisation_fraction(10.0)
+
+    def test_jitter_bounded(self, host):
+        host.cpu.set_demand("vm:a", 16.0)
+        for t in range(200):
+            value = host.cpu_utilisation_fraction(float(t))
+            assert 0.0 <= value <= 1.0
+            assert abs(value - 0.5) < 0.15
+
+    def test_power_increases_with_load(self, host):
+        idle_power = host.instantaneous_power(0.0)
+        host.cpu.set_demand("vm:a", 32.0)
+        assert host.instantaneous_power(0.0) > idle_power + 100.0
+
+    def test_thermal_factor_is_run_constant(self):
+        a = PhysicalHost(machine_spec("m01"), noise_seed=10)
+        b = PhysicalHost(machine_spec("m01"), noise_seed=11)
+        # Different runs (seeds) see different thermal states.
+        a.cpu.set_demand("x", 32.0)
+        b.cpu.set_demand("x", 32.0)
+        assert a.instantaneous_power(0.0) != b.instantaneous_power(0.0)
+
+
+class TestBandwidthDegradation:
+    def test_full_below_knee(self):
+        deg = BandwidthDegradation(knee_utilisation=0.85, floor_factor=0.6)
+        assert deg.factor(0.5) == 1.0
+        assert deg.factor(0.85) == 1.0
+
+    def test_floor_at_saturation(self):
+        deg = BandwidthDegradation(knee_utilisation=0.85, floor_factor=0.6)
+        assert deg.factor(1.0) == pytest.approx(0.6)
+
+    def test_linear_between(self):
+        deg = BandwidthDegradation(knee_utilisation=0.8, floor_factor=0.5)
+        assert deg.factor(0.9) == pytest.approx(0.75)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthDegradation(knee_utilisation=0.0)
+        with pytest.raises(ConfigurationError):
+            BandwidthDegradation(floor_factor=1.5)
+
+
+class TestNetworkPath:
+    def test_nominal_is_min_of_parts(self, pair):
+        _, _, path = pair
+        assert path.nominal_goodput_bps <= path.source.spec.nic.goodput_bps
+        assert path.nominal_goodput_bps <= path.switch.goodput_bps
+
+    def test_idle_hosts_full_bandwidth(self, pair):
+        _, _, path = pair
+        bw = path.effective_bandwidth_bps(0.0, with_jitter=False)
+        assert bw == pytest.approx(path.nominal_goodput_bps)
+
+    def test_saturated_source_degrades(self, pair):
+        src, _, path = pair
+        src.cpu.set_demand("vm:load", 32.0)
+        bw = path.effective_bandwidth_bps(0.0, with_jitter=False)
+        assert bw == pytest.approx(path.nominal_goodput_bps * path.degradation.floor_factor)
+
+    def test_multiplexed_source_hits_floor(self, pair):
+        src, _, path = pair
+        src.cpu.set_demand("vm:load", 64.0)
+        bw = path.effective_bandwidth_bps(0.0, with_jitter=False)
+        assert bw == pytest.approx(path.nominal_goodput_bps * path.degradation.floor_factor)
+
+    def test_saturated_target_also_degrades(self, pair):
+        _, tgt, path = pair
+        tgt.cpu.set_demand("vm:load", 40.0)
+        bw = path.effective_bandwidth_bps(0.0, with_jitter=False)
+        assert bw < path.nominal_goodput_bps
+
+    def test_migration_keys_excluded(self, pair):
+        src, _, path = pair
+        src.cpu.set_demand("migr:vm:daemon", 32.0)
+        bw = path.effective_bandwidth_bps(
+            0.0, migration_keys=("migr:vm:daemon",), with_jitter=False
+        )
+        assert bw == pytest.approx(path.nominal_goodput_bps)
+
+    def test_jitter_bounded(self, pair):
+        _, _, path = pair
+        for t in range(100):
+            bw = path.effective_bandwidth_bps(float(t))
+            assert 0.5 * path.nominal_goodput_bps <= bw <= 1.2 * path.nominal_goodput_bps

@@ -1,0 +1,168 @@
+"""Consolidation: estimator forecasts, policies, the manager loop."""
+
+import pytest
+
+from repro.consolidation import (
+    ConsolidationManager,
+    DataCenter,
+    EnergyAwarePolicy,
+    FirstFitPolicy,
+    Wavm3PlanningEstimator,
+)
+from repro.errors import ClusterError, ConfigurationError, ModelError
+from repro.hypervisor import VirtualMachine
+from repro.models.coefficients import paper_wavm3_coefficients
+from repro.simulator import Simulator
+from repro.workloads import MatrixMultWorkload, PageDirtierWorkload
+
+
+@pytest.fixture()
+def estimator():
+    return Wavm3PlanningEstimator(paper_wavm3_coefficients(live=True))
+
+
+@pytest.fixture()
+def dc():
+    sim = Simulator()
+    return DataCenter(sim, ["m01", "m02", "m01"], seed=3)
+
+
+class TestEstimator:
+    def test_plan_has_positive_energy(self, estimator):
+        plan = estimator.plan(
+            mem_mb=4096, vm_cpu_pct=97.0, dr_pct=5.0, dirty_pages_per_s=2000.0,
+            source_cpu_pct=20.0, target_cpu_pct=5.0, bw_bps=1.1e8,
+        )
+        assert plan.energy_total_j > 0
+        assert plan.duration_s > plan.transfer_s
+
+    def test_high_dr_costs_more(self, estimator):
+        """The paper's closing recommendation, quantified."""
+        low = estimator.plan(4096, 97.0, 5.0, 2_000.0, 20.0, 5.0, 1.1e8)
+        high = estimator.plan(4096, 97.0, 90.0, 42_000.0, 20.0, 5.0, 1.1e8)
+        assert high.energy_total_j > 1.5 * low.energy_total_j
+        assert high.data_bytes > low.data_bytes
+
+    def test_loaded_target_costs_more(self, estimator):
+        idle = estimator.plan(4096, 97.0, 50.0, 20_000.0, 20.0, 5.0, 1.1e8)
+        loaded = estimator.plan(4096, 97.0, 50.0, 20_000.0, 20.0, 95.0, 1.1e8)
+        assert loaded.energy_total_j > idle.energy_total_j
+
+    def test_nonlive_single_round(self, estimator):
+        plan = estimator.plan(4096, 97.0, 50.0, 20_000.0, 20.0, 5.0, 1.1e8, live=False)
+        assert plan.rounds == 1
+        assert plan.data_bytes == pytest.approx(4096 * 1024 * 1024)
+
+    def test_live_respects_transfer_cap(self, estimator):
+        plan = estimator.plan(4096, 97.0, 95.0, 42_000.0, 20.0, 5.0, 1.1e8)
+        assert plan.data_bytes <= 4.0 * 4096 * 1024 * 1024
+
+    def test_validation(self, estimator):
+        with pytest.raises(ModelError):
+            estimator.plan(0, 97.0, 5.0, 0.0, 0.0, 0.0, 1.1e8)
+
+
+class TestDataCenter:
+    def test_duplicate_machines_renamed(self, dc):
+        assert dc.host_names() == ("m01", "m02", "m01-2")
+
+    def test_homogeneity_enforced(self):
+        with pytest.raises(ClusterError):
+            DataCenter(Simulator(), ["m01", "o1"])
+
+    def test_needs_two_hosts(self):
+        with pytest.raises(ClusterError):
+            DataCenter(Simulator(), ["m01"])
+
+    def test_place_and_locate(self, dc):
+        vm = VirtualMachine("web", 4, 1024, MatrixMultWorkload(vm_ram_mb=1024))
+        dc.place("m02", vm)
+        assert dc.locate("web") == "m02"
+        assert dc.locate("ghost") is None
+        assert "web" in dc.placement()["m02"]
+
+    def test_path_between_hosts(self, dc):
+        path = dc.path("m01", "m02")
+        assert path.nominal_goodput_bps > 1e8
+        with pytest.raises(ClusterError):
+            dc.path("m01", "m01")
+
+    def test_total_power(self, dc):
+        assert dc.total_power_w() > 3 * 400.0  # three idle Opteron boxes
+
+    def test_idle_hosts(self, dc):
+        assert set(dc.idle_hosts()) == {"m01", "m02", "m01-2"}
+        dc.place("m01", VirtualMachine("x", 1, 512, MatrixMultWorkload(vm_ram_mb=512)))
+        assert "m01" not in dc.idle_hosts()
+
+
+class TestPolicies:
+    def test_first_fit_picks_first_with_room(self, dc):
+        vm = dc.place("m01", VirtualMachine("x", 4, 1024, MatrixMultWorkload(vm_ram_mb=1024)))
+        move = FirstFitPolicy().propose(dc, vm, "m01")
+        assert move is not None and move.target == "m02"
+
+    def test_energy_aware_avoids_loaded_target(self, dc, estimator):
+        # Load m02 heavily; the cheaper move goes to the idle m01-2.
+        for i in range(7):
+            dc.place("m02", VirtualMachine(f"l{i}", 4, 512, MatrixMultWorkload(vm_ram_mb=512)))
+        vm = dc.place(
+            "m01",
+            VirtualMachine("dirty", 1, 4096, PageDirtierWorkload(95.0)),
+        )
+        policy = EnergyAwarePolicy(estimator)
+        move = policy.propose(dc, vm, "m01")
+        assert move is not None
+        assert move.target == "m01-2"
+        assert move.plan is not None and move.plan.energy_total_j == move.score
+
+    def test_energy_budget_filters(self, dc, estimator):
+        vm = dc.place("m01", VirtualMachine("dirty", 1, 4096, PageDirtierWorkload(95.0)))
+        policy = EnergyAwarePolicy(estimator, energy_budget_j=1.0)
+        assert policy.propose(dc, vm, "m01") is None
+
+    def test_budget_validation(self, estimator):
+        with pytest.raises(ConfigurationError):
+            EnergyAwarePolicy(estimator, energy_budget_j=0.0)
+
+
+class TestManager:
+    def test_drains_underloaded_host(self, dc, estimator):
+        # One light VM on m01: under the threshold, a drain candidate.
+        dc.place("m01", VirtualMachine("light", 1, 1024, MatrixMultWorkload(vm_ram_mb=1024)))
+        manager = ConsolidationManager(
+            dc, EnergyAwarePolicy(estimator), underload_threshold=0.5, period_s=5.0
+        )
+        manager.start()
+        dc.sim.run_for(400.0)
+        assert manager.migrations_issued >= 1
+        decision = manager.decisions[0]
+        assert decision.move.vm_name == "light"
+        assert dc.locate("light") != "m01"
+
+    def test_no_action_on_busy_hosts(self, dc, estimator):
+        for name in ("m01", "m02", "m01-2"):
+            for i in range(5):
+                dc.place(name, VirtualMachine(
+                    f"{name}-{i}", 4, 512, MatrixMultWorkload(vm_ram_mb=512)
+                ))
+        manager = ConsolidationManager(
+            dc, EnergyAwarePolicy(estimator), underload_threshold=0.3, period_s=5.0
+        )
+        manager.start()
+        dc.sim.run_for(60.0)
+        assert manager.migrations_issued == 0
+
+    def test_one_migration_at_a_time(self, dc, estimator):
+        dc.place("m01", VirtualMachine("a", 1, 1024, MatrixMultWorkload(vm_ram_mb=1024)))
+        dc.place("m02", VirtualMachine("b", 1, 1024, MatrixMultWorkload(vm_ram_mb=1024)))
+        manager = ConsolidationManager(
+            dc, FirstFitPolicy(), underload_threshold=0.5, period_s=2.0
+        )
+        manager.start()
+        dc.sim.run_for(20.0)  # migration takes ~45 s; ticks keep arriving
+        assert manager.migrations_issued == 1
+
+    def test_threshold_validation(self, dc):
+        with pytest.raises(ConfigurationError):
+            ConsolidationManager(dc, FirstFitPolicy(), underload_threshold=0.0)

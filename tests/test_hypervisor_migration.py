@@ -1,0 +1,195 @@
+"""Migration engines: phase structure, pre-copy termination, state moves."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import NetworkPath, PhysicalHost, machine_pair, machine_spec, switch_spec
+from repro.errors import IncompatibleHostsError, MigrationError
+from repro.hypervisor import (
+    MigrationConfig,
+    MigrationJob,
+    MigrationKind,
+    Toolstack,
+    VirtualMachine,
+    XenHypervisor,
+)
+from repro.simulator import Simulator
+from repro.workloads import MatrixMultWorkload, PageDirtierWorkload
+
+
+def build_testbed(family="m"):
+    sim = Simulator()
+    src_spec, tgt_spec = machine_pair(family)
+    src = PhysicalHost(src_spec, noise_seed=1)
+    tgt = PhysicalHost(tgt_spec, noise_seed=2)
+    path = NetworkPath(src, tgt, switch_spec(family), jitter_seed=3)
+    xen_s, xen_t = XenHypervisor(src), XenHypervisor(tgt)
+    ts = Toolstack(
+        sim, {src_spec.name: xen_s, tgt_spec.name: xen_t}, np.random.default_rng(9)
+    )
+    return sim, src, tgt, path, xen_s, xen_t, ts
+
+
+def run_migration(live=True, workload=None, ram=1024, config=None, load_vms=0):
+    sim, src, tgt, path, xen_s, xen_t, ts = build_testbed()
+    workload = workload or MatrixMultWorkload(vm_ram_mb=ram)
+    vcpus = 1 if isinstance(workload, PageDirtierWorkload) else 4
+    vm = VirtualMachine("mig", vcpus, ram, workload)
+    ts.create("m01", vm)
+    for i in range(load_vms):
+        ts.create("m01", VirtualMachine(f"l{i}", 4, 256, MatrixMultWorkload(vm_ram_mb=256)))
+    job = ts.migrate("mig", "m01", "m02", path, live=live, config=config)
+    sim.run_for(600)
+    assert job.finished
+    return job, vm, src, tgt
+
+
+class TestPhaseStructure:
+    def test_live_phases_ordered(self):
+        job, *_ = run_migration(live=True)
+        tl = job.timeline
+        tl.validate()
+        assert tl.ms < tl.ts < tl.te < tl.me
+
+    def test_nonlive_phases_ordered(self):
+        job, *_ = run_migration(live=False)
+        job.timeline.validate()
+
+    def test_nonlive_single_round(self):
+        job, *_ = run_migration(live=False)
+        assert job.timeline.n_rounds == 1
+        assert job.timeline.rounds[0].stop_and_copy
+
+    def test_live_multiple_rounds(self):
+        job, *_ = run_migration(live=True)
+        assert job.timeline.n_rounds >= 2
+        assert job.timeline.rounds[-1].stop_and_copy
+
+    def test_nonlive_moves_exactly_memory(self):
+        job, vm, *_ = run_migration(live=False, ram=1024)
+        assert job.timeline.bytes_total == vm.memory.image_bytes
+
+    def test_live_moves_at_least_memory(self):
+        job, vm, *_ = run_migration(live=True, ram=1024)
+        assert job.timeline.bytes_total >= vm.memory.image_bytes
+
+
+class TestVmMovement:
+    def test_vm_ends_running_on_target(self):
+        job, vm, src, tgt = run_migration(live=True)
+        assert vm.host is tgt
+        assert vm.running
+
+    def test_source_freed(self):
+        job, vm, src, tgt = run_migration(live=True)
+        assert src.cpu.demand("vm:mig") == 0.0
+        assert all(not key.startswith("migr:") for key in src.cpu.keys())
+
+    def test_target_carries_vm_demand(self):
+        job, vm, src, tgt = run_migration(live=True)
+        assert tgt.cpu.demand("vm:mig") > 0.0
+
+    def test_downtime_recorded(self):
+        job, *_ = run_migration(live=True)
+        assert job.timeline.downtime > 0.0
+
+    def test_nonlive_downtime_spans_migration(self):
+        job, *_ = run_migration(live=False)
+        tl = job.timeline
+        # Suspended at ms, resumed during activation: downtime ~ everything.
+        assert tl.downtime > 0.9 * tl.transfer_duration
+
+
+class TestPrecopyTermination:
+    def test_max_iterations_respected(self):
+        cfg = MigrationConfig(max_iterations=5)
+        job, *_ = run_migration(
+            live=True, ram=1024,
+            workload=PageDirtierWorkload(90.0, vm_ram_mb=1024, allocation_mb=1000),
+            config=cfg,
+        )
+        # rounds = pre-copy rounds (<= max) + the stop-and-copy round.
+        assert job.timeline.n_rounds <= cfg.max_iterations + 1
+
+    def test_transfer_cap_respected(self):
+        cfg = MigrationConfig(max_transfer_factor=2.0)
+        job, vm, *_ = run_migration(
+            live=True, ram=1024,
+            workload=PageDirtierWorkload(95.0, vm_ram_mb=1024, allocation_mb=1000),
+            config=cfg,
+        )
+        cap = cfg.max_transfer_factor * vm.memory.image_bytes
+        # Stop fires when the *next* round would exceed the cap.
+        assert job.timeline.bytes_total <= cap + vm.memory.image_bytes
+
+    def test_low_dirty_converges_quickly(self):
+        job, *_ = run_migration(
+            live=True, ram=1024,
+            workload=PageDirtierWorkload(1.0, vm_ram_mb=1024, allocation_mb=1000,
+                                         write_rate_pages_s=30.0),
+        )
+        assert job.timeline.n_rounds <= 6
+
+    def test_high_dirty_degenerates_to_stop_and_copy(self):
+        # Section VI-D: high DR transforms live into non-live behaviour.
+        job, *_ = run_migration(
+            live=True, ram=2048,
+            workload=PageDirtierWorkload(95.0, vm_ram_mb=2048, allocation_mb=2000),
+        )
+        final = job.timeline.rounds[-1]
+        assert final.stop_and_copy
+        assert job.timeline.downtime > 2.0
+
+
+class TestLoadEffects:
+    def test_saturated_source_lengthens_transfer(self):
+        fast, *_ = run_migration(live=False, ram=2048, load_vms=0)
+        slow, *_ = run_migration(live=False, ram=2048, load_vms=8)
+        assert slow.timeline.transfer_duration > fast.timeline.transfer_duration * 1.2
+
+    def test_live_longer_than_nonlive(self):
+        nonlive, *_ = run_migration(live=False, ram=2048)
+        live, *_ = run_migration(live=True, ram=2048)
+        assert live.timeline.transfer_duration > nonlive.timeline.transfer_duration
+
+
+class TestGuards:
+    def test_cross_family_rejected(self):
+        sim = Simulator()
+        src = PhysicalHost(machine_spec("m01"), noise_seed=1)
+        tgt = PhysicalHost(machine_spec("o1"), noise_seed=2)
+        xen_s, xen_t = XenHypervisor(src), XenHypervisor(tgt)
+        vm = VirtualMachine("x", 1, 512, MatrixMultWorkload(vm_ram_mb=512))
+        xen_s.create_vm(vm)
+        xen_s.start_vm("x")
+        path = NetworkPath(src, tgt, switch_spec("m"))
+        with pytest.raises(IncompatibleHostsError):
+            MigrationJob(
+                sim, MigrationKind.LIVE, vm, xen_s, xen_t, path,
+                np.random.default_rng(0),
+            )
+
+    def test_vm_must_be_running(self):
+        sim, src, tgt, path, xen_s, xen_t, ts = build_testbed()
+        vm = VirtualMachine("mig", 1, 512, MatrixMultWorkload(vm_ram_mb=512))
+        ts.create("m01", vm, start=False)
+        with pytest.raises(MigrationError):
+            ts.migrate("mig", "m01", "m02", path, live=True)
+
+    def test_double_start_rejected(self):
+        sim, src, tgt, path, xen_s, xen_t, ts = build_testbed()
+        vm = VirtualMachine("mig", 1, 512, MatrixMultWorkload(vm_ram_mb=512))
+        ts.create("m01", vm)
+        job = ts.migrate("mig", "m01", "m02", path, live=True)
+        with pytest.raises(MigrationError):
+            job.start()
+
+    def test_completion_callback_fires(self):
+        sim, src, tgt, path, xen_s, xen_t, ts = build_testbed()
+        vm = VirtualMachine("mig", 1, 512, MatrixMultWorkload(vm_ram_mb=512))
+        ts.create("m01", vm)
+        job = ts.migrate("mig", "m01", "m02", path, live=True)
+        done = []
+        job.on_complete.append(done.append)
+        sim.run_for(600)
+        assert done == [job]

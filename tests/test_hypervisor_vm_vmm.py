@@ -1,0 +1,152 @@
+"""VM state machine and hypervisor registration plumbing (Eq. 2)."""
+
+import pytest
+
+from repro.cluster import PhysicalHost, machine_spec
+from repro.errors import CapacityError, HypervisorError, VMStateError
+from repro.hypervisor import VirtualMachine, VmState, XenHypervisor
+from repro.hypervisor.vmm import VMM_KEY
+from repro.workloads import IdleWorkload, MatrixMultWorkload, PageDirtierWorkload
+
+
+@pytest.fixture()
+def xen():
+    return XenHypervisor(PhysicalHost(machine_spec("m01"), noise_seed=3))
+
+
+def make_vm(name="vm", vcpus=4, ram=512, workload=None):
+    return VirtualMachine(name, vcpus, ram, workload or MatrixMultWorkload(vm_ram_mb=ram))
+
+
+class TestVmStateMachine:
+    def test_initial_state(self):
+        assert make_vm().state is VmState.DEFINED
+
+    def test_legal_cycle(self):
+        vm = make_vm()
+        vm.mark_running()
+        vm.mark_suspended()
+        vm.mark_running()
+        vm.mark_destroyed()
+        assert vm.state is VmState.DESTROYED
+
+    def test_cannot_suspend_defined(self):
+        with pytest.raises(VMStateError):
+            make_vm().mark_suspended()
+
+    def test_cannot_revive_destroyed(self):
+        vm = make_vm()
+        vm.mark_destroyed()
+        with pytest.raises(VMStateError):
+            vm.mark_running()
+
+    def test_rejects_zero_vcpus(self):
+        with pytest.raises(VMStateError):
+            VirtualMachine("x", 0, 512)
+
+
+class TestVmFeatures:
+    def test_defined_vm_has_zero_features(self):
+        vm = make_vm()
+        assert vm.cpu_percent() == 0.0
+        assert vm.dirtying_ratio_percent() == 0.0
+
+    def test_running_cpu_percent(self):
+        vm = make_vm()
+        vm.mark_running()
+        assert vm.cpu_percent() == pytest.approx(97.0, abs=2.0)
+
+    def test_suspension_zeroes_features(self):
+        # Section IV-B: idle or suspended => CPU(v,t) = DR(v,t) = 0.
+        vm = make_vm(workload=PageDirtierWorkload(75.0, vm_ram_mb=512, allocation_mb=512))
+        vm.mark_running()
+        assert vm.dirtying_ratio_percent() > 0
+        vm.mark_suspended()
+        assert vm.cpu_percent() == 0.0
+        assert vm.dirtying_ratio_percent() == 0.0
+
+    def test_cpu_demand_threads(self):
+        vm = make_vm(vcpus=4)
+        vm.mark_running()
+        assert vm.cpu_demand_threads() == pytest.approx(4 * 0.97)
+
+    def test_workload_swap_updates_dirty_process(self):
+        vm = make_vm(ram=4096)
+        vm.mark_running()
+        vm.set_workload(PageDirtierWorkload(95.0))
+        assert vm.dirtying_ratio_percent() > 50.0
+
+
+class TestHypervisorLifecycle:
+    def test_create_and_start(self, xen):
+        vm = xen.create_vm(make_vm())
+        xen.start_vm(vm.name)
+        assert vm.running
+        assert xen.host.cpu.demand(f"vm:{vm.name}") > 0
+
+    def test_duplicate_name_rejected(self, xen):
+        xen.create_vm(make_vm("a"))
+        with pytest.raises(HypervisorError):
+            xen.create_vm(make_vm("a"))
+
+    def test_ram_capacity_enforced(self, xen):
+        with pytest.raises(CapacityError):
+            xen.create_vm(make_vm("big", ram=64 * 1024))
+
+    def test_suspend_removes_demand(self, xen):
+        vm = xen.create_vm(make_vm())
+        xen.start_vm(vm.name)
+        xen.suspend_vm(vm.name)
+        assert xen.host.cpu.demand(f"vm:{vm.name}") == 0.0
+
+    def test_destroy_frees_everything(self, xen):
+        vm = xen.create_vm(make_vm())
+        xen.start_vm(vm.name)
+        xen.destroy_vm(vm.name)
+        assert vm.host is None
+        assert not xen.vms
+
+    def test_unknown_vm(self, xen):
+        with pytest.raises(HypervisorError):
+            xen.vm("ghost")
+
+
+class TestEq2Composition:
+    def test_vmm_overhead_grows_with_vms(self, xen):
+        base = xen.vmm_overhead_threads()
+        for i in range(3):
+            xen.create_vm(make_vm(f"v{i}"))
+            xen.start_vm(f"v{i}")
+        assert xen.vmm_overhead_threads() > base
+
+    def test_host_demand_is_eq2_sum(self, xen):
+        # CPU(h,t) = CPUVMM + sum CPU(v,t)  (CPUmigr registered by jobs).
+        for i in range(2):
+            xen.create_vm(make_vm(f"v{i}"))
+            xen.start_vm(f"v{i}")
+        total = xen.host.cpu.total_demand()
+        expected = xen.vmm_overhead_threads() + sum(
+            vm.cpu_demand_threads() for vm in xen.running_vms()
+        )
+        assert total == pytest.approx(expected)
+
+    def test_vmm_key_registered(self, xen):
+        assert xen.host.cpu.demand(VMM_KEY) > 0
+
+
+class TestEvictAdopt:
+    def test_evict_then_adopt(self):
+        src = XenHypervisor(PhysicalHost(machine_spec("m01"), noise_seed=1))
+        tgt = XenHypervisor(PhysicalHost(machine_spec("m02"), noise_seed=2))
+        vm = src.create_vm(make_vm())
+        src.start_vm(vm.name)
+        src.suspend_vm(vm.name)
+        moved = src.evict_vm(vm.name)
+        assert moved is vm and vm.host is None
+        tgt.adopt_vm(vm)
+        tgt.resume_vm(vm.name)
+        assert vm.host is tgt.host and vm.running
+
+    def test_idle_vm_workload_default(self):
+        vm = VirtualMachine("plain", 1, 256)
+        assert isinstance(vm.workload, IdleWorkload)

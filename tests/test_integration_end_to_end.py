@@ -1,0 +1,102 @@
+"""End-to-end integration: the full paper pipeline on a reduced campaign.
+
+These tests exercise the complete chain — simulate → measure → extract →
+fit → validate → compare — and assert the *shape* claims that define the
+reproduction (DESIGN.md §4), on a reduced-run campaign for speed.  The
+benchmark suite repeats them at full scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import quick_migration_energy
+from repro.analysis.comparison import compare_models
+from repro.models.features import HostRole
+from repro.phases.timeline import MigrationPhase
+
+
+class TestQuickstart:
+    def test_live_quickstart(self):
+        result = quick_migration_energy(live=True, seed=5)
+        result.timeline.validate()
+        assert result.total_energy_j(HostRole.SOURCE) > 1000.0
+
+    def test_nonlive_quickstart(self):
+        result = quick_migration_energy(live=False, seed=5)
+        assert result.timeline.n_rounds == 1
+
+    def test_o_family_quickstart(self):
+        result = quick_migration_energy(live=True, seed=5, family="o")
+        # The o-pair idles far lower: migration energy scales accordingly.
+        m_result = quick_migration_energy(live=True, seed=5, family="m")
+        assert result.total_energy_j(HostRole.SOURCE) < m_result.total_energy_j(
+            HostRole.SOURCE
+        )
+
+
+class TestPipelineShape:
+    """The reproduction's headline claims on the shared mini campaign."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self, mini_campaign):
+        return compare_models(result=mini_campaign, training_fraction=0.34)
+
+    def test_wavm3_beats_or_ties_huang(self, comparison):
+        for kind in ("non-live", "live"):
+            for role in ("source", "target"):
+                wavm3 = comparison.nrmse_percent("WAVM3", kind, role)
+                huang = comparison.nrmse_percent("HUANG", kind, role)
+                assert wavm3 <= huang + 1.0
+
+    def test_liu_strunk_trail_on_source(self, comparison):
+        # The mini campaign only varies *source* load, so the data-only
+        # models fail there; the full-grid claim (all four cells) is
+        # asserted by the benchmark suite on the complete campaign.
+        for kind in ("non-live", "live"):
+            wavm3 = comparison.nrmse_percent("WAVM3", kind, "source")
+            assert comparison.nrmse_percent("LIU", kind, "source") > 2 * wavm3
+            assert comparison.nrmse_percent("STRUNK", kind, "source") > 2 * wavm3
+
+    def test_energy_grows_with_source_load(self, mini_campaign):
+        loaded = mini_campaign.result_for("mini/lv/5vm")
+        idle = mini_campaign.result_for("mini/lv/0vm")
+        assert loaded.mean_energy_j(HostRole.SOURCE) > idle.mean_energy_j(
+            HostRole.SOURCE
+        )
+
+    def test_dirtier_vm_transfers_more_data(self, mini_campaign):
+        high = mini_campaign.result_for("mini/lv/dr75")
+        low = mini_campaign.result_for("mini/lv/dr15")
+        high_data = np.mean([r.timeline.bytes_total for r in high.runs])
+        low_data = np.mean([r.timeline.bytes_total for r in low.runs])
+        assert high_data > low_data
+
+    def test_downtime_grows_with_dirty_ratio(self, mini_campaign):
+        high = mini_campaign.result_for("mini/lv/dr75")
+        low = mini_campaign.result_for("mini/lv/dr15")
+        assert high.mean_downtime_s() > low.mean_downtime_s()
+
+    def test_live_totals_exceed_nonlive(self, mini_campaign):
+        live = mini_campaign.result_for("mini/lv/0vm")
+        nonlive = mini_campaign.result_for("mini/nl/0vm")
+        assert live.mean_duration_s() > nonlive.mean_duration_s()
+
+    def test_phase_energies_consistent_with_total(self, mini_campaign):
+        run = mini_campaign.all_runs()[0]
+        for role in (HostRole.SOURCE, HostRole.TARGET):
+            total = run.total_energy_j(role)
+            parts = sum(
+                run.phase_energy_j(role, phase)
+                for phase in (MigrationPhase.INITIATION, MigrationPhase.TRANSFER,
+                              MigrationPhase.ACTIVATION)
+            )
+            assert parts == pytest.approx(total)
+
+    def test_samples_round_trip_through_models(self, mini_samples, comparison):
+        # Every fitted model predicts every sample without error.
+        for models_by_kind in comparison.models.values():
+            for kind, model in models_by_kind.items():
+                live = kind == "live"
+                for sample in mini_samples:
+                    if sample.live is live:
+                        assert np.isfinite(model.predict_energy(sample).total_j)

@@ -1,0 +1,126 @@
+"""Persistence round-trips for traces, samples and error grids."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    PersistenceError,
+    load_error_grid_json,
+    load_power_trace_csv,
+    load_samples_json,
+    save_error_grid_json,
+    save_power_trace_csv,
+    save_samples_json,
+)
+from repro.models.features import HostRole
+from repro.models.wavm3 import Wavm3Model
+from repro.regression.metrics import ErrorReport
+from repro.telemetry.traces import PowerTrace
+
+
+class TestPowerTraceCsv:
+    def test_round_trip(self, tmp_path):
+        trace = PowerTrace("demo")
+        trace.extend([0.5, 1.0, 1.5], [455.1, 460.25, 458.0])
+        path = tmp_path / "trace.csv"
+        save_power_trace_csv(trace, path)
+        loaded = load_power_trace_csv(path)
+        assert np.allclose(loaded.times, trace.times)
+        assert np.allclose(loaded.watts, trace.watts)
+
+    def test_label_from_stem(self, tmp_path):
+        trace = PowerTrace()
+        trace.append(1.0, 100.0)
+        path = tmp_path / "m01_run3.csv"
+        save_power_trace_csv(trace, path)
+        assert load_power_trace_csv(path).label == "m01_run3"
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(PersistenceError):
+            load_power_trace_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,power_w\n1,2,3\n")
+        with pytest.raises(PersistenceError):
+            load_power_trace_csv(path)
+
+    def test_real_run_trace(self, tmp_path, nonlive_cpu_run):
+        path = tmp_path / "run.csv"
+        save_power_trace_csv(nonlive_cpu_run.source_trace, path)
+        loaded = load_power_trace_csv(path)
+        assert len(loaded) == len(nonlive_cpu_run.source_trace)
+        assert loaded.energy_joules() == pytest.approx(
+            nonlive_cpu_run.source_trace.energy_joules(), rel=1e-9
+        )
+
+
+class TestSamplesJson:
+    def test_round_trip_preserves_fit(self, tmp_path, mini_samples):
+        path = tmp_path / "samples.json"
+        save_samples_json(mini_samples, path)
+        loaded = load_samples_json(path)
+        assert len(loaded) == len(mini_samples)
+
+        # The reloaded dataset fits to the same coefficients.
+        original = Wavm3Model().fit(mini_samples)
+        reloaded = Wavm3Model().fit(loaded)
+        for row_a, row_b in zip(
+            original.coefficients.as_table_rows(),
+            reloaded.coefficients.as_table_rows(),
+        ):
+            assert row_a["value"] == pytest.approx(row_b["value"], rel=1e-9)
+
+    def test_roles_preserved(self, tmp_path, mini_samples):
+        path = tmp_path / "samples.json"
+        save_samples_json(mini_samples[:4], path)
+        loaded = load_samples_json(path)
+        assert [s.role for s in loaded] == [s.role for s in mini_samples[:4]]
+
+    def test_energies_preserved(self, tmp_path, mini_samples):
+        path = tmp_path / "samples.json"
+        save_samples_json(mini_samples[:2], path)
+        loaded = load_samples_json(path)
+        for a, b in zip(mini_samples[:2], loaded):
+            assert b.energy_total_j == pytest.approx(a.energy_total_j)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"schema": "other/9", "samples": []}')
+        with pytest.raises(PersistenceError):
+            load_samples_json(path)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("not json at all")
+        with pytest.raises(PersistenceError):
+            load_samples_json(path)
+
+    def test_malformed_record_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"schema": "wavm3-samples/1", "samples": [{"role": "source"}]}')
+        with pytest.raises(PersistenceError):
+            load_samples_json(path)
+
+
+class TestErrorGridJson:
+    def _grid(self):
+        report = ErrorReport(n=8, mae_j=1800.0, rmse_j=2558.0, nrmse=0.118)
+        return {"WAVM3": {"live": {"source": report}}}
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "grid.json"
+        save_error_grid_json(self._grid(), path)
+        loaded = load_error_grid_json(path)
+        report = loaded["WAVM3"]["live"]["source"]
+        assert report.n == 8
+        assert report.nrmse_percent == pytest.approx(11.8)
+        assert report.mae_kj == pytest.approx(1.8)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text('{"schema": "nope", "grid": {}}')
+        with pytest.raises(PersistenceError):
+            load_error_grid_json(path)

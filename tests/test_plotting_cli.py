@@ -1,0 +1,78 @@
+"""ASCII plotting and the CLI surface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+from repro.plotting import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_renders_series_and_legend(self):
+        x = np.linspace(0, 10, 50)
+        text = ascii_plot([("load", x, 400 + 50 * np.sin(x))], title="demo")
+        assert text.startswith("demo")
+        assert "o load" in text
+        assert "POWER [W]" in text
+
+    def test_marks_rendered(self):
+        x = np.linspace(0, 10, 50)
+        text = ascii_plot([("s", x, np.ones_like(x))], marks=[("ms", 5.0)])
+        assert "|" in text and "ms" in text
+
+    def test_multiple_series_glyphs(self):
+        x = np.linspace(0, 10, 20)
+        text = ascii_plot([("a", x, x), ("b", x, 2 * x)])
+        assert "o a" in text and "x b" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([])
+
+    def test_tiny_area_rejected(self):
+        x = np.linspace(0, 1, 5)
+        with pytest.raises(ConfigurationError):
+            ascii_plot([("s", x, x)], width=5)
+
+    def test_flat_series_ok(self):
+        x = np.linspace(0, 10, 20)
+        text = ascii_plot([("flat", x, np.full_like(x, 455.0))])
+        assert "flat" in text
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["table", "7", "--runs", "2"])
+        assert args.command == "table" and args.table_id == "7"
+
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "cpuload-source/live/8vm/m" in out
+        assert "memload-vm/live/dr95/m" in out
+        assert len(out.strip().splitlines()) == 42
+
+    def test_table1_fast_path(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_table2_fast_path(self, capsys):
+        assert main(["table", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IIb" in out and "Table IIc" in out
+
+    def test_quickstart(self, capsys):
+        assert main(["--seed", "3", "quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "migration finished" in out
+        assert "source migration energy" in out
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig9"])

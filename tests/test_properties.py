@@ -1,0 +1,163 @@
+"""Cross-cutting invariants, property-based where randomisation helps.
+
+These complement the per-module property tests with system-level
+guarantees: determinism of whole simulations, conservation/additivity of
+energy accounting, and the pre-copy algorithm's termination envelope.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.experiments.design import MigrationScenario
+from repro.experiments.runner import ScenarioRunner
+from repro.models.features import HostRole
+from repro.phases.timeline import MigrationPhase
+from repro.telemetry.integration import integrate_power
+
+
+class TestSimulationDeterminism:
+    def test_identical_seeds_identical_universe(self):
+        """Two runs from one seed agree to the last reading and byte."""
+        scenario = MigrationScenario(
+            "MEMLOAD-VM", "prop/dr35", live=True, dirty_percent=35.0
+        )
+        runs = [ScenarioRunner(seed=99).run_once(scenario) for _ in range(2)]
+        a, b = runs
+        assert np.array_equal(a.source_trace.watts, b.source_trace.watts)
+        assert np.array_equal(a.target_trace.watts, b.target_trace.watts)
+        assert a.timeline.bytes_total == b.timeline.bytes_total
+        assert a.timeline.me == b.timeline.me
+
+    def test_seed_changes_everything(self):
+        scenario = MigrationScenario("CPULOAD-SOURCE", "prop/seed", live=True)
+        a = ScenarioRunner(seed=1).run_once(scenario)
+        b = ScenarioRunner(seed=2).run_once(scenario)
+        assert not np.array_equal(a.source_trace.watts, b.source_trace.watts)
+
+
+class TestEnergyAccounting:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return ScenarioRunner(seed=41).run_once(
+            MigrationScenario("CPULOAD-SOURCE", "prop/energy", live=True, load_vm_count=3)
+        )
+
+    def test_phase_energies_partition_total(self, run):
+        """E(i) + E(t) + E(a) equals the integral over [ms, me] (Eq. 4)."""
+        for role in (HostRole.SOURCE, HostRole.TARGET):
+            trace = run.trace_for(role)
+            assert run.timeline.ms is not None and run.timeline.me is not None
+            whole = integrate_power(
+                trace.times, trace.watts, run.timeline.ms, run.timeline.me
+            )
+            parts = sum(
+                run.phase_energy_j(role, phase)
+                for phase in (MigrationPhase.INITIATION, MigrationPhase.TRANSFER,
+                              MigrationPhase.ACTIVATION)
+            )
+            assert parts == pytest.approx(whole, rel=1e-9)
+
+    def test_energy_bounded_by_power_envelope(self, run):
+        """No phase energy can exceed peak power x duration."""
+        for role in (HostRole.SOURCE, HostRole.TARGET):
+            peak = (
+                run.source_trace if role is HostRole.SOURCE else run.target_trace
+            ).watts.max()
+            for phase, duration in (
+                (MigrationPhase.INITIATION, run.timeline.initiation_duration),
+                (MigrationPhase.TRANSFER, run.timeline.transfer_duration),
+                (MigrationPhase.ACTIVATION, run.timeline.activation_duration),
+            ):
+                energy = run.phase_energy_j(role, phase)
+                assert 0 <= energy <= peak * duration * 1.01
+
+    def test_sample_energy_matches_run_energy(self, run):
+        for role in (HostRole.SOURCE, HostRole.TARGET):
+            sample = run.sample_for(role)
+            assert sample.energy_total_j == pytest.approx(run.total_energy_j(role))
+
+
+class TestPrecopyEnvelope:
+    """Xen's termination rules bound every live migration's geometry."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        runner = ScenarioRunner(seed=77)
+        scenarios = [
+            MigrationScenario("MEMLOAD-VM", f"prop/dr{p}", live=True, dirty_percent=p)
+            for p in (5.0, 55.0, 95.0)
+        ]
+        return [runner.run_once(s) for s in scenarios]
+
+    def test_rounds_bounded(self, campaign):
+        for run in campaign:
+            # max_iterations pre-copy rounds + 1 stop-and-copy.
+            assert 2 <= run.timeline.n_rounds <= 30
+
+    def test_data_bounded(self, campaign):
+        for run in campaign:
+            ram = run.vm_ram_mb * 1024 * 1024
+            assert ram <= run.timeline.bytes_total <= 4 * ram
+
+    def test_round_zero_moves_whole_image(self, campaign):
+        for run in campaign:
+            assert run.timeline.rounds[0].pages_sent == run.vm_ram_mb * 256
+
+    def test_exactly_one_stop_and_copy(self, campaign):
+        for run in campaign:
+            flags = [r.stop_and_copy for r in run.timeline.rounds]
+            assert flags[-1] is True
+            assert sum(flags) == 1
+
+    def test_rounds_tile_the_transfer_phase(self, campaign):
+        for run in campaign:
+            tl = run.timeline
+            assert tl.rounds[0].start == pytest.approx(tl.ts)
+            for earlier, later in zip(tl.rounds, tl.rounds[1:]):
+                assert later.start == pytest.approx(earlier.end, abs=1e-6)
+            assert tl.rounds[-1].end == pytest.approx(tl.te, abs=1e-6)
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_catchable(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, ReproError) or cls is ReproError
+
+    def test_configuration_error_is_value_error(self):
+        from repro.errors import ConfigurationError
+
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_version_exposed(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    dirty_pct=st.floats(min_value=1.0, max_value=95.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_dirtier_guests_never_shrink_moved_data(dirty_pct, seed):
+    """Monotone coupling: DR up ⇒ moved data not (meaningfully) down.
+
+    Compares each sampled dirty percentage against a fixed low-DR anchor
+    with the same seed; the pre-copy algorithm must move at least as much
+    data for the dirtier guest (small jitter tolerance).
+    """
+    runner = ScenarioRunner(seed=seed)
+    low = runner.run_once(
+        MigrationScenario("MEMLOAD-VM", "prop/anchor", live=True, dirty_percent=1.0)
+    )
+    high = runner.run_once(
+        MigrationScenario("MEMLOAD-VM", "prop/sweep", live=True, dirty_percent=dirty_pct)
+    )
+    assert high.timeline.bytes_total >= 0.95 * low.timeline.bytes_total

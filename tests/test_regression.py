@@ -1,0 +1,214 @@
+"""Regression machinery: solvers, metrics, splits, bias correction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RegressionError
+from repro.regression import (
+    ErrorReport,
+    fit_linear,
+    fit_nlls,
+    fit_nonnegative,
+    mae,
+    nrmse,
+    rebias_constant,
+    rmse,
+    split_runs,
+)
+
+
+class TestLinearFits:
+    def test_exact_recovery(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 10, (100, 3))
+        true = np.array([2.0, 0.5, 7.0])
+        fit = fit_linear(X, X @ true)
+        assert fit.coefficients == pytest.approx(true, abs=1e-8)
+
+    def test_nonnegative_respects_bounds(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 10, (200, 2))
+        y = X @ np.array([3.0, -2.0]) + rng.normal(0, 0.1, 200)
+        fit = fit_nonnegative(X, y)
+        assert np.all(fit.coefficients >= 0)
+
+    def test_nonnegative_matches_ols_when_interior(self):
+        rng = np.random.default_rng(2)
+        X = np.column_stack([rng.uniform(0, 100, 300), np.ones(300)])
+        y = X @ np.array([2.4, 420.0]) + rng.normal(0, 1.0, 300)
+        assert fit_nonnegative(X, y).coefficients == pytest.approx(
+            fit_linear(X, y).coefficients, abs=1e-6
+        )
+
+    def test_predict_shape_check(self):
+        fit = fit_linear(np.ones((5, 2)), np.ones(5))
+        with pytest.raises(RegressionError):
+            fit.predict(np.ones((3, 4)))
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(RegressionError):
+            fit_linear(np.ones((2, 5)), np.ones(2))
+
+    def test_nonfinite_rejected(self):
+        X = np.ones((5, 1))
+        y = np.array([1.0, 2.0, np.nan, 4.0, 5.0])
+        with pytest.raises(RegressionError):
+            fit_linear(X, y)
+
+    def test_residual_norm_reported(self):
+        X = np.column_stack([np.arange(10.0), np.ones(10)])
+        y = X @ np.array([1.0, 0.0])
+        assert fit_linear(X, y).residual_norm == pytest.approx(0.0, abs=1e-9)
+
+
+class TestNlls:
+    def test_recovers_exponent(self):
+        # Fit y = a * u^p: genuinely non-linear in p.
+        u = np.linspace(0.05, 1.0, 80)
+        y = 185.0 * u**2.2
+
+        def residual(params):
+            a, p = params
+            return a * u**p - y
+
+        fit = fit_nlls(residual, x0=[100.0, 1.5], lower=[0.0, 1.0], upper=[1e4, 4.0])
+        assert fit.parameters[0] == pytest.approx(185.0, rel=1e-3)
+        assert fit.parameters[1] == pytest.approx(2.2, rel=1e-3)
+        assert fit.converged
+
+    def test_bounds_respected(self):
+        y = np.linspace(0, 1, 30)
+
+        def residual(params):
+            return params[0] - y
+
+        fit = fit_nlls(residual, x0=[0.2], lower=[0.4], upper=[2.0])
+        assert fit.parameters[0] >= 0.4 - 1e-9
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(RegressionError):
+            fit_nlls(lambda p: p, x0=[1.0], lower=[2.0], upper=[1.0])
+
+    def test_degenerate_residual_rejected(self):
+        with pytest.raises(RegressionError):
+            fit_nlls(lambda p: np.array([]), x0=[1.0, 2.0])
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mae(y, y) == 0.0
+        assert rmse(y, y) == 0.0
+        assert nrmse(y, y) == 0.0
+
+    def test_known_values(self):
+        y_true = np.array([0.0, 0.0, 0.0, 0.0])
+        y_pred = np.array([1.0, -1.0, 1.0, -1.0])
+        assert mae(y_true, y_pred) == 1.0
+        assert rmse(y_true, y_pred) == 1.0
+
+    def test_rmse_dominates_mae(self):
+        rng = np.random.default_rng(0)
+        y = rng.uniform(0, 10, 50)
+        p = y + rng.normal(0, 1, 50)
+        assert rmse(y, p) >= mae(y, p)
+
+    def test_mean_normalisation(self):
+        y_true = np.array([10.0, 30.0])  # mean 20
+        y_pred = np.array([12.0, 32.0])  # rmse 2
+        assert nrmse(y_true, y_pred) == pytest.approx(0.1)
+
+    def test_range_normalisation(self):
+        y_true = np.array([10.0, 30.0])  # range 20
+        y_pred = np.array([12.0, 32.0])
+        assert nrmse(y_true, y_pred, normalization="range") == pytest.approx(0.1)
+
+    def test_unknown_normalisation(self):
+        with pytest.raises(RegressionError):
+            nrmse(np.array([1.0, 2.0]), np.array([1.0, 2.0]), normalization="z")
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(RegressionError):
+            nrmse(np.array([-1.0, 1.0]), np.array([0.0, 0.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(RegressionError):
+            mae(np.ones(3), np.ones(4))
+
+    def test_error_report(self):
+        report = ErrorReport.from_predictions(
+            np.array([10000.0, 20000.0]), np.array([11000.0, 19000.0])
+        )
+        assert report.mae_kj == pytest.approx(1.0)
+        assert report.nrmse_percent == pytest.approx(1000.0 / 15000.0 * 100.0)
+        assert report.rmse_mae_spread_j == pytest.approx(report.rmse_j - report.mae_j)
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e5), min_size=2, max_size=30),
+        st.floats(min_value=0.5, max_value=2.0),
+    )
+    @settings(max_examples=30)
+    def test_nrmse_scale_invariant(self, values, scale):
+        y = np.asarray(values)
+        p = y * 1.05
+        assert nrmse(y * scale, p * scale) == pytest.approx(nrmse(y, p), rel=1e-9)
+
+
+class TestSplitRuns:
+    def test_every_stratum_in_training(self):
+        groups = ["a"] * 10 + ["b"] * 10 + ["c"] * 10
+        split = split_runs(groups, training_fraction=0.2)
+        train_groups = {groups[i] for i in split.train_indices}
+        assert train_groups == {"a", "b", "c"}
+
+    def test_twenty_percent_share(self):
+        groups = ["s"] * 10
+        split = split_runs(groups, training_fraction=0.2)
+        assert len(split.train_indices) == 2
+        assert len(split.test_indices) == 8
+
+    def test_no_overlap_full_cover(self):
+        groups = ["a"] * 7 + ["b"] * 5
+        split = split_runs(groups)
+        train, test = set(split.train_indices), set(split.test_indices)
+        assert not train & test
+        assert train | test == set(range(12))
+
+    def test_never_consumes_whole_stratum(self):
+        split = split_runs(["a", "a"], training_fraction=0.9)
+        assert len(split.train_indices) == 1
+
+    def test_deterministic_default(self):
+        groups = ["a"] * 10 + ["b"] * 10
+        assert split_runs(groups) == split_runs(groups)
+
+    def test_partition_helper(self):
+        groups = ["a"] * 4
+        split = split_runs(groups, training_fraction=0.25)
+        train, test = split.partition(list("wxyz"))
+        assert len(train) == 1 and len(test) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(RegressionError):
+            split_runs([])
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(RegressionError):
+            split_runs(["a", "b"], training_fraction=1.0)
+
+
+class TestBias:
+    def test_paper_direction(self):
+        # m-pair trains at high idle; porting to the low-idle o-pair must
+        # *reduce* the constant.
+        c2 = rebias_constant(708.3, trained_idle_w=457.0, deployed_idle_w=112.75)
+        assert c2 == pytest.approx(708.3 - 344.25)
+
+    def test_identity_when_same_idle(self):
+        assert rebias_constant(500.0, 455.0, 455.0) == 500.0
+
+    def test_rejects_nonpositive_idle(self):
+        with pytest.raises(RegressionError):
+            rebias_constant(500.0, 0.0, 100.0)

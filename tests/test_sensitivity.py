@@ -1,0 +1,53 @@
+"""The D5 sensitivity-analysis module."""
+
+import pytest
+
+from repro.analysis.sensitivity import KNOBS, sweep_precopy_knob
+from repro.errors import ExperimentError
+
+
+class TestSweepValidation:
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ExperimentError):
+            sweep_precopy_knob("page_size", (1, 2))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ExperimentError):
+            sweep_precopy_knob("max_iterations", ())
+
+    def test_knob_catalogue(self):
+        assert set(KNOBS) == {
+            "max_iterations", "dirty_threshold_pages", "max_transfer_factor"
+        }
+
+
+class TestSweepBehaviour:
+    @pytest.fixture(scope="class")
+    def iteration_study(self):
+        return sweep_precopy_knob("max_iterations", (2, 29), seed=5, runs=2)
+
+    def test_points_carry_knob_values(self, iteration_study):
+        assert [p.value for p in iteration_study.points] == [2.0, 29.0]
+        assert all(p.knob == "max_iterations" for p in iteration_study.points)
+
+    def test_more_iterations_more_rounds(self, iteration_study):
+        low, high = iteration_study.points
+        assert high.rounds >= low.rounds
+
+    def test_observables_positive(self, iteration_study):
+        for point in iteration_study.points:
+            assert point.transfer_s > 0
+            assert point.data_gib > 0
+            assert point.source_energy_kj > 0
+
+    def test_column_and_monotone_helpers(self, iteration_study):
+        rounds = iteration_study.column("rounds")
+        assert rounds.shape == (2,)
+        assert iteration_study.monotone_response("rounds")
+
+    def test_cap_limits_data(self):
+        study = sweep_precopy_knob("max_transfer_factor", (1.2, 3.0), seed=5, runs=2)
+        tight, loose = study.points
+        assert tight.data_gib <= loose.data_gib
+        # 4 GB VM: data bounded by cap x RAM + the final stop-and-copy.
+        assert tight.data_gib <= 1.2 * 4.0 + 4.0

@@ -1,0 +1,123 @@
+"""Deterministic RNG streams and hash-noise processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.simulator import RandomStreams, derive_seed
+from repro.simulator.noise import hash_normal, hash_uniform, ou_like_noise
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_key_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    @given(st.integers(min_value=0, max_value=2**62), st.text(max_size=40))
+    def test_range(self, seed, key):
+        assert 0 <= derive_seed(seed, key) < 2**64
+
+
+class TestRandomStreams:
+    def test_same_key_same_object(self):
+        streams = RandomStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_fresh_restarts(self):
+        streams = RandomStreams(7)
+        a = streams.fresh("x").random()
+        b = streams.fresh("x").random()
+        assert a == b
+
+    def test_different_keys_independent(self):
+        streams = RandomStreams(7)
+        a = streams.fresh("x").random(1000)
+        b = streams.fresh("y").random(1000)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.2
+
+    def test_spawn_changes_universe(self):
+        parent = RandomStreams(7)
+        child = parent.spawn("run0")
+        assert parent.fresh("x").random() != child.fresh("x").random()
+
+    def test_spawn_deterministic(self):
+        a = RandomStreams(7).spawn("run0").fresh("x").random()
+        b = RandomStreams(7).spawn("run0").fresh("x").random()
+        assert a == b
+
+    def test_keys_tracks_created(self):
+        streams = RandomStreams(0)
+        streams.stream("alpha")
+        assert list(streams.keys()) == ["alpha"]
+
+
+class TestHashNoise:
+    def test_constant_within_quantum(self):
+        a = hash_normal(1, "k", 10.1, quantum=0.5)
+        b = hash_normal(1, "k", 10.4, quantum=0.5)
+        assert a == b
+
+    def test_changes_across_quanta(self):
+        values = {hash_normal(1, "k", t, quantum=0.5) for t in np.arange(0, 50, 0.5)}
+        assert len(values) > 90  # essentially all distinct
+
+    def test_uniform_bounds(self):
+        for t in np.arange(0, 20, 0.7):
+            value = hash_uniform(3, "u", float(t), quantum=1.0, low=2.0, high=5.0)
+            assert 2.0 <= value < 5.0
+
+    def test_normal_moments(self):
+        samples = np.array(
+            [hash_normal(9, "m", float(t), 1.0, sigma=2.0) for t in range(4000)]
+        )
+        assert abs(samples.mean()) < 0.15
+        assert samples.std() == pytest.approx(2.0, rel=0.08)
+
+    def test_zero_sigma_is_zero(self):
+        assert hash_normal(1, "k", 3.0, 1.0, sigma=0.0) == 0.0
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ConfigurationError):
+            hash_normal(1, "k", 0.0, quantum=0.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            hash_normal(1, "k", 0.0, 1.0, sigma=-1.0)
+
+
+class TestOuLikeNoise:
+    def test_marginal_variance_preserved(self):
+        samples = np.array(
+            [ou_like_noise(5, "ou", float(t), 1.0, sigma=3.0, blend=0.6) for t in range(4000)]
+        )
+        assert samples.std() == pytest.approx(3.0, rel=0.08)
+
+    def test_lag_correlation_positive(self):
+        values = np.array(
+            [ou_like_noise(5, "ou", float(t), 1.0, sigma=1.0, blend=0.6) for t in range(2000)]
+        )
+        lag1 = np.corrcoef(values[:-1], values[1:])[0, 1]
+        assert lag1 > 0.3
+
+    def test_blend_zero_uncorrelated(self):
+        values = np.array(
+            [ou_like_noise(5, "ou", float(t), 1.0, sigma=1.0, blend=0.0) for t in range(2000)]
+        )
+        lag1 = np.corrcoef(values[:-1], values[1:])[0, 1]
+        assert abs(lag1) < 0.1
+
+    def test_rejects_bad_blend(self):
+        with pytest.raises(ConfigurationError):
+            ou_like_noise(1, "k", 0.0, 1.0, sigma=1.0, blend=1.0)
+
+    def test_deterministic(self):
+        a = ou_like_noise(1, "k", 12.0, 2.0, sigma=1.0)
+        b = ou_like_noise(1, "k", 12.0, 2.0, sigma=1.0)
+        assert a == b

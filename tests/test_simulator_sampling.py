@@ -1,0 +1,76 @@
+"""Periodic samplers: cadence, drift-free grids, start/stop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator import PeriodicSampler, Simulator
+
+
+class TestPeriodicSampler:
+    def test_samples_on_grid(self):
+        sim, ticks = Simulator(), []
+        sampler = PeriodicSampler(sim, 0.5, ticks.append)
+        sampler.start()
+        sim.run(until=3.0)
+        assert ticks == pytest.approx([0.5, 1.0, 1.5, 2.0, 2.5, 3.0])
+
+    def test_no_drift_over_long_runs(self):
+        sim, ticks = Simulator(), []
+        sampler = PeriodicSampler(sim, 0.1, ticks.append)
+        sampler.start()
+        sim.run(until=100.0)
+        grid = np.asarray(ticks)
+        expected = np.arange(1, len(grid) + 1) * 0.1
+        assert np.max(np.abs(grid - expected)) < 1e-9
+
+    def test_phase_offset(self):
+        sim, ticks = Simulator(), []
+        sampler = PeriodicSampler(sim, 1.0, ticks.append, phase=0.25)
+        sampler.start()
+        sim.run(until=3.0)
+        assert ticks == pytest.approx([0.25, 1.25, 2.25])
+
+    def test_stop_cancels(self):
+        sim, ticks = Simulator(), []
+        sampler = PeriodicSampler(sim, 1.0, ticks.append)
+        sampler.start()
+        sim.run(until=2.0)
+        sampler.stop()
+        sim.run(until=10.0)
+        assert len(ticks) == 2
+        assert not sampler.running
+
+    def test_restart_after_stop(self):
+        sim, ticks = Simulator(), []
+        sampler = PeriodicSampler(sim, 1.0, ticks.append)
+        sampler.start()
+        sim.run(until=2.0)
+        sampler.stop()
+        sim.run(until=5.0)
+        sampler.start()
+        sim.run(until=7.0)
+        assert ticks == pytest.approx([1.0, 2.0, 6.0, 7.0])
+
+    def test_double_start_is_idempotent(self):
+        sim, ticks = Simulator(), []
+        sampler = PeriodicSampler(sim, 1.0, ticks.append)
+        sampler.start()
+        sampler.start()
+        sim.run(until=2.0)
+        assert len(ticks) == 2
+
+    def test_samples_taken_counter(self):
+        sim = Simulator()
+        sampler = PeriodicSampler(sim, 0.5, lambda t: None)
+        sampler.start()
+        sim.run(until=5.0)
+        assert sampler.samples_taken == 10
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicSampler(Simulator(), 0.0, lambda t: None)
+
+    def test_rejects_negative_phase(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicSampler(Simulator(), 1.0, lambda t: None, phase=-0.1)

@@ -1,0 +1,119 @@
+"""Power meter and dstat monitor behaviour on a live host."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PhysicalHost, machine_spec
+from repro.errors import ConfigurationError
+from repro.simulator import Simulator
+from repro.telemetry import DstatMonitor, PowerMeter
+
+
+@pytest.fixture()
+def setup():
+    sim = Simulator()
+    host = PhysicalHost(machine_spec("m01"), noise_seed=4)
+    meter = PowerMeter(sim, host, np.random.default_rng(0))
+    return sim, host, meter
+
+
+class TestPowerMeter:
+    def test_two_hertz_sampling(self, setup):
+        sim, _, meter = setup
+        meter.start()
+        sim.run(until=10.0)
+        assert len(meter.trace) == 20
+        assert np.allclose(np.diff(meter.trace.times), 0.5)
+
+    def test_reading_near_truth(self, setup):
+        sim, host, meter = setup
+        meter.start()
+        sim.run(until=30.0)
+        truth = host.idle_power_w()
+        # 0.3 % device accuracy + small drift: readings within a few %.
+        assert np.all(np.abs(meter.trace.watts - truth) < 0.12 * truth)
+
+    def test_quantisation_grid(self):
+        sim = Simulator()
+        host = PhysicalHost(machine_spec("m01"), noise_seed=4)
+        meter = PowerMeter(sim, host, np.random.default_rng(0), quantisation_w=0.1)
+        meter.start()
+        sim.run(until=5.0)
+        scaled = meter.trace.watts / 0.1
+        assert np.allclose(scaled, np.round(scaled), atol=1e-6)
+
+    def test_stop_and_reset(self, setup):
+        sim, _, meter = setup
+        meter.start()
+        sim.run(until=5.0)
+        meter.stop()
+        sim.run(until=10.0)
+        assert len(meter.trace) == 10
+        meter.reset()
+        assert len(meter.trace) == 0
+
+    def test_stabilises_on_idle_host(self, setup):
+        sim, _, meter = setup
+        meter.start()
+        sim.run(until=30.0)
+        assert meter.stabilised()
+
+    def test_noise_deterministic_per_seed(self):
+        readings = []
+        for _ in range(2):
+            sim = Simulator()
+            host = PhysicalHost(machine_spec("m01"), noise_seed=4)
+            meter = PowerMeter(sim, host, np.random.default_rng(42))
+            meter.start()
+            sim.run(until=5.0)
+            readings.append(meter.trace.watts.copy())
+        assert np.array_equal(readings[0], readings[1])
+
+    def test_rejects_negative_accuracy(self):
+        sim = Simulator()
+        host = PhysicalHost(machine_spec("m01"))
+        with pytest.raises(ConfigurationError):
+            PowerMeter(sim, host, np.random.default_rng(0), accuracy=-0.1)
+
+
+class TestDstatMonitor:
+    def test_one_hertz_sampling(self):
+        sim = Simulator()
+        host = PhysicalHost(machine_spec("m01"), noise_seed=4)
+        monitor = DstatMonitor(sim, host)
+        monitor.start()
+        sim.run(until=10.0)
+        assert len(monitor.trace) == 10
+        assert np.allclose(np.diff(monitor.trace.times), 1.0)
+
+    def test_records_cpu_change(self):
+        sim = Simulator()
+        host = PhysicalHost(machine_spec("m01"), noise_seed=4)
+        monitor = DstatMonitor(sim, host)
+        monitor.start()
+        sim.run(until=5.0)
+        host.cpu.set_demand("vm:x", 16.0)
+        sim.run(until=10.0)
+        cpu = monitor.trace.column("cpu_pct")
+        assert cpu[:5].mean() < 10.0
+        assert cpu[5:].mean() > 40.0
+
+    def test_records_nic_flows(self):
+        sim = Simulator()
+        host = PhysicalHost(machine_spec("m01"), noise_seed=4)
+        monitor = DstatMonitor(sim, host)
+        monitor.start()
+        host.set_nic_flow("migr", tx_bps=5e7)
+        sim.run(until=3.0)
+        assert np.all(monitor.trace.column("nic_tx_bps") == pytest.approx(5e7))
+
+    def test_stop(self):
+        sim = Simulator()
+        host = PhysicalHost(machine_spec("m01"), noise_seed=4)
+        monitor = DstatMonitor(sim, host)
+        monitor.start()
+        sim.run(until=3.0)
+        monitor.stop()
+        sim.run(until=6.0)
+        assert len(monitor.trace) == 3
+        assert not monitor.running

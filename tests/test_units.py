@@ -1,0 +1,94 @@
+"""Unit-conversion helpers: exactness and round-trips."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_page_size_is_4kib(self):
+        assert units.PAGE_SIZE_BYTES == 4096
+
+    def test_binary_prefixes(self):
+        assert units.MIB == 1024**2
+        assert units.GIB == 1024**3
+
+    def test_decimal_prefixes(self):
+        assert units.MB == 10**6
+        assert units.GB == 10**9
+
+    def test_gigabit_in_bytes(self):
+        assert units.GBIT_PER_S_BYTES == pytest.approx(1.25e8)
+
+
+class TestMemoryConversions:
+    def test_4gb_vm_page_count(self):
+        # The paper's 4 GB migrating VM = 1 Mi pages.
+        assert units.mib_to_pages(4096) == 1048576
+
+    def test_pages_to_bytes(self):
+        assert units.pages_to_bytes(1) == 4096
+
+    def test_bytes_to_pages_fractional(self):
+        assert units.bytes_to_pages(6144) == pytest.approx(1.5)
+
+    def test_mib_bytes_round_trip(self):
+        assert units.bytes_to_mib(units.mib_to_bytes(37.5)) == pytest.approx(37.5)
+
+    def test_gib_bytes_round_trip(self):
+        assert units.bytes_to_gib(units.gib_to_bytes(2.25)) == pytest.approx(2.25)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_pages_mib_round_trip(self, mib):
+        assert units.pages_to_mib(units.mib_to_pages(mib)) == pytest.approx(
+            mib, abs=units.PAGE_SIZE_BYTES / units.MIB
+        )
+
+
+class TestRateConversions:
+    def test_gigabit_link(self):
+        assert units.gbit_to_bytes_per_s(1.0) == pytest.approx(1.25e8)
+
+    def test_bytes_per_s_to_mbit(self):
+        assert units.bytes_per_s_to_mbit(1.25e8) == pytest.approx(1000.0)
+
+    @given(st.floats(min_value=0, max_value=1e12, allow_nan=False))
+    def test_rate_round_trip(self, bps):
+        mbit = units.bytes_per_s_to_mbit(bps)
+        assert units.gbit_to_bytes_per_s(mbit / 1000.0) == pytest.approx(bps, rel=1e-12)
+
+
+class TestPercentAndEnergy:
+    def test_fraction_to_percent(self):
+        assert units.fraction_to_percent(0.42) == pytest.approx(42.0)
+
+    def test_percent_to_fraction(self):
+        assert units.percent_to_fraction(95.0) == pytest.approx(0.95)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_percent_round_trip(self, value):
+        assert units.percent_to_fraction(
+            units.fraction_to_percent(value)
+        ) == pytest.approx(value, abs=1e-9)
+
+    def test_joules_kj(self):
+        assert units.joules_to_kj(2558.0) == pytest.approx(2.558)
+        assert units.kj_to_joules(1.8) == pytest.approx(1800.0)
+
+    def test_constant_power_energy(self):
+        # 500 W for 2 minutes = 60 kJ.
+        assert units.watts_seconds_to_joules(500.0, 120.0) == pytest.approx(60000.0)
+
+    @given(
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),
+    )
+    def test_energy_bilinear(self, watts, seconds):
+        doubled = units.watts_seconds_to_joules(2 * watts, seconds)
+        assert math.isclose(
+            doubled, 2 * units.watts_seconds_to_joules(watts, seconds), abs_tol=1e-6
+        )

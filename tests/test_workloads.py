@@ -1,0 +1,141 @@
+"""Workload behavioural models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    IdleWorkload,
+    MatrixMultWorkload,
+    MixedWorkload,
+    NetworkWorkload,
+    PageDirtierWorkload,
+)
+
+
+class TestIdle:
+    def test_tiny_housekeeping(self):
+        assert 0 < IdleWorkload().cpu_fraction() < 0.01
+
+    def test_no_memory_or_network(self):
+        idle = IdleWorkload()
+        assert idle.dirty_page_rate() == 0.0
+        assert idle.nic_tx_bps() == 0.0
+
+    def test_rejects_large_housekeeping(self):
+        with pytest.raises(ConfigurationError):
+            IdleWorkload(housekeeping_fraction=0.5)
+
+
+class TestMatrixMult:
+    def test_saturates_vcpus(self):
+        # Section V-A1: loads all virtual CPUs with small overheads.
+        assert MatrixMultWorkload().cpu_fraction() > 0.9
+
+    def test_small_working_set(self):
+        # Three 2048^2 float64 buffers = 96 MiB of a 4 GB guest.
+        wl = MatrixMultWorkload(matrix_order=2048, vm_ram_mb=4096)
+        assert wl.working_set_bytes == 3 * 8 * 2048 * 2048
+        assert wl.working_set_fraction() < 0.03
+
+    def test_modest_dirty_rate(self):
+        # The CPU workload dirties orders of magnitude slower than
+        # pagedirtier — the property that separates CPULOAD from MEMLOAD.
+        assert MatrixMultWorkload().dirty_page_rate() < 0.1 * PageDirtierWorkload(50.0).dirty_page_rate()
+
+    def test_intensity_scales_cpu(self):
+        half = MatrixMultWorkload(intensity=0.5)
+        full = MatrixMultWorkload(intensity=1.0)
+        assert half.cpu_fraction() == pytest.approx(full.cpu_fraction() / 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MatrixMultWorkload(matrix_order=0)
+        with pytest.raises(ConfigurationError):
+            MatrixMultWorkload(intensity=1.5)
+
+
+class TestPageDirtier:
+    def test_paper_defaults(self):
+        wl = PageDirtierWorkload(95.0)
+        # 3.8 GB allocation inside the 4 GB guest (Section V-A2).
+        assert wl.allocation_pages == pytest.approx(3891 * 256, rel=0.01)
+
+    def test_single_vcpu_pinned(self):
+        assert PageDirtierWorkload(50.0).cpu_fraction() > 0.9
+
+    def test_working_set_capped_by_allocation(self):
+        wl = PageDirtierWorkload(100.0, vm_ram_mb=4096, allocation_mb=3891)
+        assert wl.working_set_fraction() == pytest.approx(3891 / 4096, rel=0.01)
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_working_set_tracks_percentage(self, pct):
+        wl = PageDirtierWorkload(pct)
+        assert wl.working_set_fraction() <= pct / 100.0 + 1e-9
+
+    def test_memory_activity_grows_with_working_set(self):
+        small = PageDirtierWorkload(5.0).memory_activity_fraction()
+        large = PageDirtierWorkload(95.0).memory_activity_fraction()
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PageDirtierWorkload(101.0)
+        with pytest.raises(ConfigurationError):
+            PageDirtierWorkload(50.0, vm_ram_mb=1024, allocation_mb=2048)
+
+
+class TestNetworkWorkload:
+    def test_cpu_scales_with_traffic(self):
+        light = NetworkWorkload(tx_bps=1e6)
+        heavy = NetworkWorkload(tx_bps=1e8, rx_bps=1e8)
+        assert heavy.cpu_fraction() > light.cpu_fraction()
+
+    def test_traffic_passthrough(self):
+        wl = NetworkWorkload(tx_bps=3e7, rx_bps=1e7)
+        assert wl.nic_tx_bps() == 3e7
+        assert wl.nic_rx_bps() == 1e7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkWorkload(tx_bps=-1.0)
+
+
+class TestMixed:
+    def test_cpu_adds_and_clamps(self):
+        mixed = MixedWorkload([(1.0, MatrixMultWorkload()), (1.0, MatrixMultWorkload())])
+        assert mixed.cpu_fraction() == 1.0
+
+    def test_weighted_combination(self):
+        mixed = MixedWorkload([(0.5, MatrixMultWorkload())])
+        assert mixed.cpu_fraction() == pytest.approx(
+            0.5 * MatrixMultWorkload().cpu_fraction()
+        )
+
+    def test_working_set_is_max(self):
+        mem = PageDirtierWorkload(50.0)
+        cpu = MatrixMultWorkload()
+        mixed = MixedWorkload([(1.0, mem), (1.0, cpu)])
+        assert mixed.working_set_fraction() == mem.working_set_fraction()
+
+    def test_traffic_adds(self):
+        mixed = MixedWorkload(
+            [(1.0, NetworkWorkload(tx_bps=1e7)), (1.0, NetworkWorkload(tx_bps=2e7))]
+        )
+        assert mixed.nic_tx_bps() == pytest.approx(3e7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MixedWorkload([])
+        with pytest.raises(ConfigurationError):
+            MixedWorkload([(0.0, IdleWorkload())])
+        with pytest.raises(ConfigurationError):
+            MixedWorkload([(1.0, "not a workload")])
+
+    def test_describe_keys(self):
+        description = MixedWorkload([(1.0, IdleWorkload())]).describe()
+        assert set(description) == {
+            "cpu_fraction", "dirty_page_rate", "working_set_fraction",
+            "memory_activity_fraction", "nic_tx_bps", "nic_rx_bps",
+        }
