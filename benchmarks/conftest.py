@@ -5,6 +5,12 @@ once per session here and shared.  Runs-per-scenario defaults to 3 to
 keep the full bench suite in the minutes range — raise
 ``WAVM3_BENCH_RUNS`` (environment) to 10 for the paper's full protocol.
 
+Campaigns go through :meth:`ScenarioRunner.run_campaign`'s executor path:
+set ``WAVM3_BENCH_JOBS`` to fan runs out across that many worker
+processes (results are bit-identical to serial), and
+``WAVM3_BENCH_CACHE_DIR`` to reuse runs across bench sessions via the
+content-addressed run cache.
+
 Rendered tables and figure panels are written to
 ``benchmarks/artifacts/`` so the regenerated evaluation can be inspected
 after a run.
@@ -24,8 +30,12 @@ from repro.experiments.runner import ScenarioRunner
 
 BENCH_RUNS = int(os.environ.get("WAVM3_BENCH_RUNS", "3"))
 BENCH_SEED = int(os.environ.get("WAVM3_BENCH_SEED", "7"))
+BENCH_JOBS = int(os.environ.get("WAVM3_BENCH_JOBS", "1"))
+BENCH_CACHE_DIR = os.environ.get("WAVM3_BENCH_CACHE_DIR") or None
 
 ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+_CAMPAIGN_KWARGS = dict(parallel=BENCH_JOBS, cache_dir=BENCH_CACHE_DIR)
 
 
 @pytest.fixture(scope="session")
@@ -46,7 +56,8 @@ def m_campaign():
     """The full Table IIa campaign on the m-pair."""
     runner = ScenarioRunner(seed=BENCH_SEED)
     return runner.run_campaign(
-        all_scenarios("m"), min_runs=BENCH_RUNS, max_runs=BENCH_RUNS
+        all_scenarios("m"), min_runs=BENCH_RUNS, max_runs=BENCH_RUNS,
+        **_CAMPAIGN_KWARGS,
     )
 
 
@@ -55,7 +66,8 @@ def o_campaign():
     """The full Table IIa campaign on the o-pair."""
     runner = ScenarioRunner(seed=BENCH_SEED + 1)
     return runner.run_campaign(
-        all_scenarios("o"), min_runs=max(2, BENCH_RUNS - 1), max_runs=max(2, BENCH_RUNS - 1)
+        all_scenarios("o"), min_runs=max(2, BENCH_RUNS - 1), max_runs=max(2, BENCH_RUNS - 1),
+        **_CAMPAIGN_KWARGS,
     )
 
 

@@ -3,12 +3,19 @@
 
 Boots the paper's m01–m02 testbed, runs a 4 GB ``migrating-cpu`` guest,
 issues a live migration, and prints the phase timeline and per-phase
-energies — the minimal end-to-end use of the library.
+energies — the minimal end-to-end use of the library.  A second section
+runs a small measurement *campaign* through the parallel executor with an
+on-disk run cache (rerun the script: the campaign comes back instantly).
 
 Run:  python examples/quickstart.py
 """
 
+import pathlib
+import tempfile
+
 from repro import quick_migration_energy
+from repro.experiments.design import memload_vm_scenarios
+from repro.experiments.runner import ScenarioRunner
 from repro.models.features import HostRole
 from repro.phases.timeline import MigrationPhase
 
@@ -35,6 +42,28 @@ def main() -> None:
             energy = result.phase_energy_j(role, phase)
             print(f"    {phase.value:11s} {energy / 1000:7.2f} kJ")
         print(f"    {'total':11s} {result.total_energy_j(role) / 1000:7.2f} kJ")
+
+    # -- a small campaign through the parallel executor ------------------
+    # Every run is independently seeded, so fanning out across worker
+    # processes returns bit-identical results to a serial campaign; the
+    # cache makes a rerun of the same campaign near-instant.
+    print()
+    print("Dirty-rate sweep (6 scenarios x 2 runs, 2 workers, cached):")
+    # A stable path so a rerun of this script hits the cache.
+    cache_dir = pathlib.Path(tempfile.gettempdir()) / "wavm3-quickstart-cache"
+    runner = ScenarioRunner(seed=7)
+    campaign = runner.run_campaign(
+        memload_vm_scenarios(), min_runs=2, max_runs=2,
+        parallel=2, cache_dir=cache_dir,
+    )
+    for sr in campaign.scenario_results:
+        print(
+            f"  {sr.scenario.label:28s} "
+            f"{sr.mean_energy_j(HostRole.SOURCE) / 1000:6.1f} kJ "
+            f"over {sr.n_runs} runs"
+        )
+    stats = runner.last_executor_stats
+    print(f"  ({stats.runs_executed} simulated, {stats.runs_cached} from cache)")
 
 
 if __name__ == "__main__":

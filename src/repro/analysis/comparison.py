@@ -76,6 +76,8 @@ def compare_models(
     runs_per_scenario: int = 10,
     training_fraction: float = 0.2,
     family: str = "m",
+    jobs: int = 1,
+    cache_dir=None,
 ) -> ComparisonResult:
     """Train and score all models on a shared split (Table VII).
 
@@ -90,6 +92,9 @@ def compare_models(
         Campaign and protocol parameters (paper: ≥ 10 runs, 20 % split).
     family:
         Machine pair for an internally run campaign.
+    jobs, cache_dir:
+        Forwarded to :meth:`ScenarioRunner.run_campaign` when the campaign
+        is run here (worker processes / on-disk run cache).
     """
     if result is None:
         from repro.experiments.runner import ScenarioRunner
@@ -98,6 +103,8 @@ def compare_models(
             all_scenarios(family),
             min_runs=runs_per_scenario,
             max_runs=runs_per_scenario,
+            parallel=jobs,
+            cache_dir=cache_dir,
         )
     names = tuple(model_names) or available_models()[:4]
 

@@ -149,6 +149,8 @@ def build_figure_panels(
     seed: int = 0,
     family: str = "m",
     runs: int = 3,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict[str, list[tuple[str, FigureSeries]]]:
     """Build all panels of one of Figures 3–7.
 
@@ -162,6 +164,9 @@ def build_figure_panels(
     result:
         Pre-computed campaign over the figure's scenarios (reused when
         several tables/figures share runs); run here when ``None``.
+    jobs, cache_dir:
+        Forwarded to :meth:`ScenarioRunner.run_campaign` when the campaign
+        is run here (worker processes / on-disk run cache).
     """
     try:
         spec = FIGURE_SPECS[figure_id]
@@ -171,7 +176,10 @@ def build_figure_panels(
         ) from None
     if result is None:
         runner = ScenarioRunner(seed=seed)
-        result = runner.run_campaign(spec.scenarios(family), min_runs=runs, max_runs=runs)
+        result = runner.run_campaign(
+            spec.scenarios(family), min_runs=runs, max_runs=runs,
+            parallel=jobs, cache_dir=cache_dir,
+        )
 
     panels: dict[str, list[tuple[str, FigureSeries]]] = {}
     for title, live, role in spec.panels:

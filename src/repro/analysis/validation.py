@@ -91,6 +91,8 @@ def validate_wavm3(
     seed: int = 0,
     runs_per_scenario: int = 10,
     training_fraction: float = 0.2,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> ValidationResult:
     """Run (or reuse) both campaigns and produce the Table V numbers.
 
@@ -106,14 +108,19 @@ def validate_wavm3(
         may lower it for speed).
     training_fraction:
         The paper's 20 % training share.
+    jobs, cache_dir:
+        Forwarded to :meth:`ScenarioRunner.run_campaign` when campaigns
+        are run here (worker processes / on-disk run cache).
     """
     if m_result is None:
         m_result = ScenarioRunner(seed=seed).run_campaign(
-            all_scenarios("m"), min_runs=runs_per_scenario, max_runs=runs_per_scenario
+            all_scenarios("m"), min_runs=runs_per_scenario, max_runs=runs_per_scenario,
+            parallel=jobs, cache_dir=cache_dir,
         )
     if o_result is None:
         o_result = ScenarioRunner(seed=seed + 1).run_campaign(
-            all_scenarios("o"), min_runs=runs_per_scenario, max_runs=runs_per_scenario
+            all_scenarios("o"), min_runs=runs_per_scenario, max_runs=runs_per_scenario,
+            parallel=jobs, cache_dir=cache_dir,
         )
 
     train_runs, test_runs, _ = m_result.train_test_split(

@@ -27,6 +27,19 @@ def build_parser() -> argparse.ArgumentParser:
         "Model for Virtual Machine Migration' (CLUSTER 2015).",
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for campaign runs (1 = serial; results are "
+        "bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed run cache directory (re-running an "
+        "unchanged campaign then performs zero simulation runs)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     quick = sub.add_parser("quickstart", help="run one instrumented migration")
@@ -45,8 +58,36 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--runs", type=int, default=3, help="runs per scenario")
     figure.add_argument("--family", choices=("m", "o"), default="m")
 
+    camp = sub.add_parser(
+        "campaign", help="run a measurement campaign and print energy stats"
+    )
+    camp.add_argument("--family", choices=("m", "o"), default="m")
+    camp.add_argument(
+        "--experiment",
+        action="append",
+        choices=sorted(_EXPERIMENT_FAMILIES),
+        help="experiment family to include (repeatable; default: all)",
+    )
+    camp.add_argument("--runs", type=int, default=3, help="runs per scenario")
+    camp.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        help="cap of the adaptive variance loop (default: same as --runs)",
+    )
+
     sub.add_parser("scenarios", help="list the Table IIa campaign")
     return parser
+
+
+#: ``campaign --experiment`` choices → scenario builders.
+_EXPERIMENT_FAMILIES = {
+    "cpuload-source": "cpuload_source_scenarios",
+    "cpuload-target": "cpuload_target_scenarios",
+    "memload-vm": "memload_vm_scenarios",
+    "memload-source": "memload_source_scenarios",
+    "memload-target": "memload_target_scenarios",
+}
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
@@ -87,7 +128,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
     runner = ScenarioRunner(seed=args.seed)
     if args.table_id in ("3", "4"):
         result = runner.run_campaign(
-            all_scenarios(args.family), min_runs=args.runs, max_runs=args.runs
+            all_scenarios(args.family), min_runs=args.runs, max_runs=args.runs,
+            parallel=args.jobs, cache_dir=args.cache_dir,
         )
         train, _, _ = result.train_test_split()
         models = fit_wavm3_per_kind(train)
@@ -95,11 +137,15 @@ def _cmd_table(args: argparse.Namespace) -> int:
         print(tables.render_table3_4(models["live" if live else "non-live"], live=live))
         return 0
     if args.table_id == "5":
-        validation = validate_wavm3(seed=args.seed, runs_per_scenario=args.runs)
+        validation = validate_wavm3(
+            seed=args.seed, runs_per_scenario=args.runs,
+            jobs=args.jobs, cache_dir=args.cache_dir,
+        )
         print(tables.render_table5(validation))
         return 0
     comparison = compare_models(
-        seed=args.seed, runs_per_scenario=args.runs, family=args.family
+        seed=args.seed, runs_per_scenario=args.runs, family=args.family,
+        jobs=args.jobs, cache_dir=args.cache_dir,
     )
     if args.table_id == "6":
         print(tables.render_table6(comparison))
@@ -120,11 +166,49 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             print()
         return 0
     panels = build_figure_panels(
-        args.figure_id, seed=args.seed, family=args.family, runs=args.runs
+        args.figure_id, seed=args.seed, family=args.family, runs=args.runs,
+        jobs=args.jobs, cache_dir=args.cache_dir,
     )
     for title, entries in panels.items():
         print(plot_figure_series(title, entries))
         print()
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments import design
+    from repro.experiments.executor import CampaignExecutor
+    from repro.experiments.runner import ScenarioRunner
+    from repro.models.features import HostRole
+
+    chosen = args.experiment or sorted(_EXPERIMENT_FAMILIES)
+    scenarios = []
+    for name in chosen:
+        scenarios.extend(getattr(design, _EXPERIMENT_FAMILIES[name])(args.family))
+
+    executor = CampaignExecutor(
+        ScenarioRunner(seed=args.seed), jobs=args.jobs, cache_dir=args.cache_dir
+    )
+    started = time.perf_counter()
+    result = executor.run_campaign(
+        scenarios, min_runs=args.runs, max_runs=args.max_runs or args.runs
+    )
+    elapsed = time.perf_counter() - started
+
+    print(f"{'scenario':42s} {'runs':>4s} {'source energy [kJ]':>20s}")
+    for sr in result.scenario_results:
+        mean = sr.mean_energy_j(HostRole.SOURCE) / 1000
+        std = sr.std_energy_j(HostRole.SOURCE) / 1000
+        print(f"{sr.scenario.label:42s} {sr.n_runs:4d} {mean:11.2f} ± {std:.2f}")
+    stats = executor.stats
+    print(
+        f"\n{stats.scenarios} scenarios, {stats.runs_kept} runs kept "
+        f"({stats.runs_executed} executed, {stats.runs_cached} from cache, "
+        f"{stats.runs_discarded} discarded) in {elapsed:.1f}s "
+        f"[backend={executor.backend}, jobs={executor.jobs}]"
+    )
     return 0
 
 
@@ -148,6 +232,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "quickstart": _cmd_quickstart,
         "table": _cmd_table,
         "figure": _cmd_figure,
+        "campaign": _cmd_campaign,
         "scenarios": _cmd_scenarios,
     }
     try:

@@ -10,6 +10,9 @@
 * :mod:`repro.experiments.runner` — executes scenarios with the paper's
   measurement protocol (stabilise → migrate → stabilise; repeat until the
   run-variance delta drops under 10 %, at least ten runs);
+* :mod:`repro.experiments.executor` — fans campaign runs out across
+  worker processes and caches run results on disk, bit-identical to the
+  serial path (see ``docs/parallel_campaigns.md``);
 * :mod:`repro.experiments.results` — run/scenario/experiment result
   containers and the conversion to model samples.
 """
@@ -25,12 +28,17 @@ from repro.experiments.design import (
     LOAD_VM_COUNTS,
     DIRTY_PERCENTS,
 )
+from repro.experiments.executor import CampaignExecutor, ExecutorStats, RunCache
 from repro.experiments.instances import INSTANCE_CATALOG, InstanceSpec, make_instance_vm
 from repro.experiments.results import ExperimentResult, RunResult, ScenarioResult
-from repro.experiments.runner import ScenarioRunner
+from repro.experiments.runner import ScenarioRunner, resolve_run_count
 from repro.experiments.testbed import Testbed
 
 __all__ = [
+    "CampaignExecutor",
+    "ExecutorStats",
+    "RunCache",
+    "resolve_run_count",
     "MigrationScenario",
     "all_scenarios",
     "cpuload_source_scenarios",

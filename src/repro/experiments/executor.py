@@ -1,0 +1,388 @@
+"""Parallel campaign execution with a content-addressed run cache.
+
+The paper's measurement protocol repeats every scenario at least ten
+times and a full Table IIa campaign multiplies that across 42 scenarios —
+yet every run is seeded independently via
+``derive_seed(master, f"{label}#{index}")``, which makes a campaign
+embarrassingly parallel at run granularity.  This module exploits that:
+
+* :class:`CampaignExecutor` fans runs out across worker processes
+  (``process`` backend on :class:`concurrent.futures.ProcessPoolExecutor`)
+  or executes them inline (``serial`` backend), while preserving the
+  adaptive variance-stopping loop of Section V-B.  Runs are dispatched in
+  *waves*: each scenario starts with ``min_runs`` runs, the 10 % variance
+  criterion is evaluated on the completed, index-ordered energies
+  (:func:`~repro.experiments.runner.resolve_run_count` — the same pure
+  function the serial path uses), and unsatisfied scenarios are topped up
+  wave by wave until ``max_runs``.  Speculative top-up runs beyond the
+  stopping point are discarded from the result (but kept in the cache),
+  so the returned :class:`~repro.experiments.results.ExperimentResult` is
+  **bit-identical** to the serial path for any worker count.
+
+* :class:`RunCache` is a content-addressed on-disk cache of individual
+  run results.  The key is a SHA-256 over the canonical JSON of the
+  master seed, the scenario spec, the :class:`RunnerSettings`, the
+  :class:`MigrationConfig` override and the stabilisation rule — so any
+  change to the execution protocol invalidates the cache, while
+  analysis-only changes re-use every run.  Layout::
+
+      <cache-dir>/<key[:2]>/<key>/meta.json     # human-readable key inputs
+      <cache-dir>/<key[:2]>/<key>/run-0003.pkl  # one RunResult per run
+
+See ``docs/parallel_campaigns.md`` for the full design discussion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.errors import ExperimentError
+from repro.experiments.design import MigrationScenario
+from repro.experiments.results import ExperimentResult, RunResult, ScenarioResult
+from repro.experiments.runner import RunnerSettings, ScenarioRunner, resolve_run_count
+from repro.hypervisor.migration import MigrationConfig
+from repro.io import PersistenceError, load_run_result, save_run_result
+from repro.models.features import HostRole
+from repro.telemetry.stabilization import StabilizationRule
+
+__all__ = ["CampaignExecutor", "ExecutorStats", "RunCache", "CACHE_KEY_SCHEMA"]
+
+#: Versions the cache-key derivation itself: bump to invalidate every
+#: existing cache entry after a change to run semantics.
+CACHE_KEY_SCHEMA = "wavm3-run-cache/1"
+
+
+def _execute_run(
+    seed: int,
+    settings: RunnerSettings,
+    migration_config: Optional[MigrationConfig],
+    stabilization: StabilizationRule,
+    scenario: MigrationScenario,
+    run_index: int,
+) -> RunResult:
+    """Worker entry point: one instrumented run, self-contained and picklable."""
+    runner = ScenarioRunner(
+        seed=seed,
+        settings=settings,
+        migration_config=migration_config,
+        stabilization=stabilization,
+    )
+    return runner.run_once(scenario, run_index=run_index)
+
+
+# ---------------------------------------------------------------------------
+# Run cache
+# ---------------------------------------------------------------------------
+class RunCache:
+    """Content-addressed on-disk cache of individual run results.
+
+    Every run is stored under a *scenario key* — the SHA-256 of the
+    canonical JSON of everything that determines the run's outcome — plus
+    its run index.  Unreadable or wrong-schema entries count as misses.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying ---------------------------------------------------------
+    @staticmethod
+    def scenario_key(
+        seed: int,
+        scenario: MigrationScenario,
+        settings: RunnerSettings,
+        migration_config: Optional[MigrationConfig],
+        stabilization: StabilizationRule,
+    ) -> str:
+        """Hex digest identifying one scenario's run stream exhaustively."""
+        payload = RunCache._key_payload(
+            seed, scenario, settings, migration_config, stabilization
+        )
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def _key_payload(
+        seed: int,
+        scenario: MigrationScenario,
+        settings: RunnerSettings,
+        migration_config: Optional[MigrationConfig],
+        stabilization: StabilizationRule,
+    ) -> dict:
+        return {
+            "schema": CACHE_KEY_SCHEMA,
+            "seed": int(seed),
+            "scenario": dataclasses.asdict(scenario),
+            "settings": dataclasses.asdict(settings),
+            "migration_config": (
+                dataclasses.asdict(migration_config)
+                if migration_config is not None
+                else None
+            ),
+            "stabilization": dataclasses.asdict(stabilization),
+        }
+
+    def _entry_dir(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / key
+
+    def _run_path(self, key: str, run_index: int) -> pathlib.Path:
+        return self._entry_dir(key) / f"run-{run_index:04d}.pkl"
+
+    # -- access ---------------------------------------------------------
+    def get(self, key: str, scenario: MigrationScenario, run_index: int) -> Optional[RunResult]:
+        """Load a cached run, or ``None`` on any kind of miss."""
+        path = self._run_path(key, run_index)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            run = load_run_result(path)
+        except PersistenceError:
+            self.misses += 1
+            return None
+        # Defence against hash collisions / hand-edited cache dirs.
+        if run.scenario != scenario or run.run_index != run_index:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return run
+
+    def put(
+        self,
+        key: str,
+        run: RunResult,
+        key_payload: Optional[dict] = None,
+    ) -> None:
+        """Store one run; writes a ``meta.json`` describing the key once."""
+        entry = self._entry_dir(key)
+        entry.mkdir(parents=True, exist_ok=True)
+        meta = entry / "meta.json"
+        if key_payload is not None and not meta.exists():
+            meta.write_text(
+                json.dumps(key_payload, sort_keys=True, indent=1), encoding="utf-8"
+            )
+        save_run_result(run, self._run_path(key, run.run_index))
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+@dataclass
+class ExecutorStats:
+    """Accounting of one :meth:`CampaignExecutor.run_campaign` call."""
+
+    scenarios: int = 0
+    runs_kept: int = 0        # runs in the returned ExperimentResult
+    runs_executed: int = 0    # runs actually simulated (cache misses + no-cache)
+    runs_cached: int = 0      # runs served from the cache
+    runs_discarded: int = 0   # speculative runs beyond the stopping point
+
+    @property
+    def runs_total(self) -> int:
+        """All runs obtained, kept or not."""
+        return self.runs_executed + self.runs_cached
+
+
+class _SerialFuture(Future):
+    """An already-resolved future: lets the serial backend share the
+    process-backend scheduling loop unchanged."""
+
+    def __init__(self, fn, *args) -> None:
+        super().__init__()
+        try:
+            self.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 - mirrored to the caller
+            self.set_exception(exc)
+
+
+class _ScenarioState:
+    """Book-keeping of one scenario's adaptive run stream."""
+
+    __slots__ = ("scenario", "key", "runs", "inflight", "target", "resolved")
+
+    def __init__(self, scenario: MigrationScenario, key: Optional[str], target: int) -> None:
+        self.scenario = scenario
+        self.key = key
+        self.runs: dict[int, RunResult] = {}
+        self.inflight: set[int] = set()
+        self.target = target            # runs [0, target) currently wanted
+        self.resolved: Optional[int] = None  # final kept count once decided
+
+
+class CampaignExecutor:
+    """Fan a measurement campaign out across worker processes.
+
+    Parameters
+    ----------
+    runner:
+        The :class:`ScenarioRunner` holding seed and protocol knobs; the
+        executor never mutates it and reproduces exactly the runs its
+        serial :meth:`~ScenarioRunner.run_campaign` would keep.
+    jobs:
+        Worker-process count; ``1`` selects the serial backend under
+        ``backend="auto"``.
+    backend:
+        ``"process"``, ``"serial"`` or ``"auto"`` (process iff ``jobs > 1``).
+    cache_dir:
+        Optional directory for the content-addressed :class:`RunCache`.
+    wave_size:
+        Top-up wave size once ``min_runs`` energies fail the variance
+        criterion; defaults to ``jobs``.  Affects only how much
+        speculative work may run, never the returned result.
+    """
+
+    def __init__(
+        self,
+        runner: ScenarioRunner,
+        jobs: int = 1,
+        backend: str = "auto",
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        wave_size: Optional[int] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        if backend not in ("auto", "process", "serial"):
+            raise ExperimentError(f"unknown backend {backend!r}")
+        if backend == "auto":
+            backend = "process" if jobs > 1 else "serial"
+        self.runner = runner
+        self.jobs = int(jobs)
+        self.backend = backend
+        self.cache = RunCache(cache_dir) if cache_dir is not None else None
+        self.wave_size = int(wave_size) if wave_size is not None else self.jobs
+        if self.wave_size < 1:
+            raise ExperimentError(f"wave_size must be >= 1, got {wave_size}")
+        self.stats = ExecutorStats()
+
+    # ------------------------------------------------------------------
+    def run_campaign(
+        self,
+        scenarios: Sequence[MigrationScenario],
+        min_runs: Optional[int] = None,
+        max_runs: Optional[int] = None,
+    ) -> ExperimentResult:
+        """Execute a campaign; bit-identical to the serial path."""
+        if not scenarios:
+            raise ExperimentError("campaign needs at least one scenario")
+        settings = self.runner.settings
+        lo = min_runs if min_runs is not None else settings.min_runs
+        hi = max_runs if max_runs is not None else settings.max_runs
+        if lo < 2 or hi < lo:
+            raise ExperimentError(f"invalid run bounds: min={lo} max={hi}")
+
+        self.stats = ExecutorStats(scenarios=len(scenarios))
+        states = [
+            _ScenarioState(s, self._key_for(s), target=lo) for s in scenarios
+        ]
+        if self.backend == "process":
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                self._drive(states, pool, lo, hi)
+        else:
+            self._drive(states, None, lo, hi)
+
+        results = []
+        for state in states:
+            assert state.resolved is not None
+            kept = [state.runs[i] for i in range(state.resolved)]
+            self.stats.runs_kept += len(kept)
+            self.stats.runs_discarded += len(state.runs) - len(kept)
+            results.append(ScenarioResult(state.scenario, kept))
+        return ExperimentResult(results)
+
+    # ------------------------------------------------------------------
+    def _key_for(self, scenario: MigrationScenario) -> Optional[str]:
+        if self.cache is None:
+            return None
+        return RunCache.scenario_key(
+            self.runner.seed,
+            scenario,
+            self.runner.settings,
+            self.runner.migration_config,
+            self.runner.stabilization,
+        )
+
+    def _submit(self, pool: Optional[ProcessPoolExecutor], scenario: MigrationScenario, index: int) -> Future:
+        args = (
+            self.runner.seed,
+            self.runner.settings,
+            self.runner.migration_config,
+            self.runner.stabilization,
+            scenario,
+            index,
+        )
+        if pool is None:
+            return _SerialFuture(_execute_run, *args)
+        return pool.submit(_execute_run, *args)
+
+    def _drive(
+        self,
+        states: Sequence[_ScenarioState],
+        pool: Optional[ProcessPoolExecutor],
+        lo: int,
+        hi: int,
+    ) -> None:
+        """The wave scheduler: dispatch, collect, evaluate, top up."""
+        pending: dict[Future, tuple[_ScenarioState, int]] = {}
+
+        def advance(state: _ScenarioState) -> None:
+            """Dispatch missing runs below target; evaluate once complete."""
+            while state.resolved is None:
+                for index in range(state.target):
+                    if index in state.runs or index in state.inflight:
+                        continue
+                    cached = (
+                        self.cache.get(state.key, state.scenario, index)
+                        if self.cache is not None and state.key is not None
+                        else None
+                    )
+                    if cached is not None:
+                        state.runs[index] = cached
+                        self.stats.runs_cached += 1
+                    else:
+                        state.inflight.add(index)
+                        pending[self._submit(pool, state.scenario, index)] = (state, index)
+                if state.inflight:
+                    return  # evaluate when the wave completes
+                energies = [
+                    state.runs[i].total_energy_j(HostRole.SOURCE)
+                    for i in range(state.target)
+                ]
+                kept = resolve_run_count(
+                    energies, lo, hi, self.runner.settings.variance_delta
+                )
+                if kept is not None:
+                    state.resolved = kept
+                    return
+                state.target = min(hi, state.target + self.wave_size)
+
+        for state in states:
+            advance(state)
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                state, index = pending.pop(future)
+                run = future.result()  # propagate worker exceptions
+                state.runs[index] = run
+                state.inflight.discard(index)
+                self.stats.runs_executed += 1
+                if self.cache is not None and state.key is not None:
+                    self.cache.put(
+                        state.key,
+                        run,
+                        key_payload=RunCache._key_payload(
+                            self.runner.seed,
+                            state.scenario,
+                            self.runner.settings,
+                            self.runner.migration_config,
+                            self.runner.stabilization,
+                        ),
+                    )
+                if not state.inflight:
+                    advance(state)

@@ -19,8 +19,9 @@ reproducible and runs are statistically independent.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -34,7 +35,52 @@ from repro.models.features import HostRole
 from repro.simulator.rng import derive_seed
 from repro.telemetry.stabilization import StabilizationRule
 
-__all__ = ["RunnerSettings", "ScenarioRunner"]
+__all__ = ["RunnerSettings", "ScenarioRunner", "resolve_run_count"]
+
+
+def resolve_run_count(
+    energies: Sequence[float],
+    min_runs: int,
+    max_runs: int,
+    variance_delta: float,
+) -> Optional[int]:
+    """Replay the paper's variance-stopping rule over ordered run energies.
+
+    The rule (Section V-B): stop at the first repetition count ``n`` with
+    ``n >= min_runs`` whose sample variance differs from the variance at
+    ``n - 1`` runs by less than ``variance_delta`` (relative).  The
+    previous-variance chain is tracked from ``n = 2`` onwards — including
+    the repetition counts below ``min_runs`` where the criterion itself is
+    not yet checked — so the "consecutive repetition counts" comparison at
+    ``n = min_runs`` uses the variance of the ``min_runs - 1`` prefix.
+
+    Because the decision is a pure function of the ordered energy sequence,
+    the serial loop and the parallel executor share it and are guaranteed
+    to keep exactly the same runs.
+
+    Returns
+    -------
+    Optional[int]
+        The number of runs to keep, or ``None`` if the criterion is still
+        undecided after ``len(energies)`` runs (i.e. more runs are needed;
+        never ``None`` once ``len(energies) >= max_runs``).
+    """
+    if min_runs < 2 or max_runs < min_runs:
+        raise ExperimentError(f"invalid run bounds: min={min_runs} max={max_runs}")
+    previous_var: Optional[float] = None
+    for n in range(2, min(len(energies), max_runs) + 1):
+        current_var = float(np.var(np.asarray(energies[:n], dtype=np.float64), ddof=1))
+        if (
+            n >= min_runs
+            and previous_var is not None
+            and previous_var > 0
+            and abs(current_var - previous_var) / previous_var < variance_delta
+        ):
+            return n
+        previous_var = current_var
+    if len(energies) >= max_runs:
+        return max_runs
+    return None
 
 
 @dataclass(frozen=True)
@@ -78,6 +124,9 @@ class ScenarioRunner:
         self.settings = settings or RunnerSettings()
         self.migration_config = migration_config
         self.stabilization = stabilization
+        #: Stats of the most recent parallel/cached campaign (``None`` until
+        #: :meth:`run_campaign` is called with ``parallel``/``cache_dir``).
+        self.last_executor_stats = None
 
     # ------------------------------------------------------------------
     def run_once(self, scenario: MigrationScenario, run_index: int = 0) -> RunResult:
@@ -182,22 +231,13 @@ class ScenarioRunner:
 
         runs: list[RunResult] = []
         energies: list[float] = []
-        previous_var: Optional[float] = None
         for index in range(hi):
             run = self.run_once(scenario, run_index=index)
             runs.append(run)
             energies.append(run.total_energy_j(HostRole.SOURCE))
-            if len(energies) >= 2:
-                current_var = float(np.var(energies, ddof=1))
-                if (
-                    len(runs) >= lo
-                    and previous_var is not None
-                    and previous_var > 0
-                    and abs(current_var - previous_var) / previous_var
-                    < self.settings.variance_delta
-                ):
-                    break
-                previous_var = current_var
+            kept = resolve_run_count(energies, lo, hi, self.settings.variance_delta)
+            if kept is not None:
+                break
         return ScenarioResult(scenario, runs)
 
     def run_campaign(
@@ -205,10 +245,37 @@ class ScenarioRunner:
         scenarios: Sequence[MigrationScenario],
         min_runs: Optional[int] = None,
         max_runs: Optional[int] = None,
+        parallel: Optional[int] = None,
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
     ) -> ExperimentResult:
-        """Run a list of scenarios into one :class:`ExperimentResult`."""
+        """Run a list of scenarios into one :class:`ExperimentResult`.
+
+        Parameters
+        ----------
+        parallel:
+            Number of worker processes to fan runs out across.  ``None``
+            or ``1`` keeps the in-process serial path (unless a
+            ``cache_dir`` is given); results are bit-identical either way
+            because every run's seed depends only on
+            ``(master seed, scenario label, run index)``.
+        cache_dir:
+            Optional on-disk run cache (see
+            :class:`~repro.experiments.executor.RunCache`); re-running an
+            unchanged campaign then performs zero simulation runs.
+        """
         if not scenarios:
             raise ExperimentError("campaign needs at least one scenario")
+        if parallel is not None and parallel < 1:
+            raise ExperimentError(f"parallel must be >= 1, got {parallel}")
+        if (parallel is not None and parallel > 1) or cache_dir is not None:
+            from repro.experiments.executor import CampaignExecutor  # local: avoid cycle
+
+            executor = CampaignExecutor(
+                self, jobs=parallel or 1, cache_dir=cache_dir
+            )
+            result = executor.run_campaign(scenarios, min_runs=min_runs, max_runs=max_runs)
+            self.last_executor_stats = executor.stats
+            return result
         return ExperimentResult(
             [self.run_scenario(s, min_runs=min_runs, max_runs=max_runs) for s in scenarios]
         )

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 import pathlib
+import pickle
 from typing import Iterable, Union
 
 import numpy as np
@@ -37,6 +39,8 @@ __all__ = [
     "load_samples_json",
     "save_error_grid_json",
     "load_error_grid_json",
+    "save_run_result",
+    "load_run_result",
 ]
 
 _PathLike = Union[str, pathlib.Path]
@@ -44,6 +48,7 @@ _PathLike = Union[str, pathlib.Path]
 #: Schema tag written into every JSON artifact.
 SAMPLES_SCHEMA = "wavm3-samples/1"
 ERRORS_SCHEMA = "wavm3-errors/1"
+RUN_RESULT_SCHEMA = "wavm3-runresult/1"
 
 
 class PersistenceError(ReproError):
@@ -138,6 +143,58 @@ def load_samples_json(path: _PathLike) -> list[MigrationSample]:
             f"(want {SAMPLES_SCHEMA!r})"
         )
     return [_sample_from_dict(record) for record in payload["samples"]]
+
+
+# ---------------------------------------------------------------------------
+# Run results <-> pickle (the campaign executor's cache payload)
+# ---------------------------------------------------------------------------
+def save_run_result(run, path: _PathLike) -> None:
+    """Persist one :class:`~repro.experiments.results.RunResult` losslessly.
+
+    Pickle is used (rather than JSON) because a run result is an internal
+    cache artifact read back by the same codebase, and the campaign
+    executor's bit-identity guarantee requires an exact round-trip of
+    every trace sample, timeline instant and round record.  The payload is
+    wrapped in a schema envelope and the file is written via a temporary
+    name + atomic rename so concurrent readers never observe a partial
+    file.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    with tmp.open("wb") as handle:
+        pickle.dump(
+            {"schema": RUN_RESULT_SCHEMA, "run": run},
+            handle,
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    tmp.replace(path)
+
+
+def load_run_result(path: _PathLike):
+    """Read a run result written by :func:`save_run_result`.
+
+    Raises :class:`PersistenceError` on any malformed, truncated or
+    wrong-schema file — callers treating the file as a cache entry should
+    catch it and fall back to re-executing the run.
+    """
+    from repro.experiments.results import RunResult  # local: avoid import cycle
+
+    path = pathlib.Path(path)
+    try:
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError, OSError) as exc:
+        raise PersistenceError(f"{path}: not a readable run result: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != RUN_RESULT_SCHEMA:
+        raise PersistenceError(
+            f"{path}: unexpected schema "
+            f"{payload.get('schema') if isinstance(payload, dict) else type(payload)!r} "
+            f"(want {RUN_RESULT_SCHEMA!r})"
+        )
+    run = payload.get("run")
+    if not isinstance(run, RunResult):
+        raise PersistenceError(f"{path}: payload is not a RunResult ({type(run)!r})")
+    return run
 
 
 # ---------------------------------------------------------------------------

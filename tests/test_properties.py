@@ -15,7 +15,69 @@ from repro.experiments.design import MigrationScenario
 from repro.experiments.runner import ScenarioRunner
 from repro.models.features import HostRole
 from repro.phases.timeline import MigrationPhase
+from repro.simulator.engine import Simulator
 from repro.telemetry.integration import integrate_power
+
+_DELAYS = st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+class TestSimulatorEngineProperties:
+    """Random schedule/cancel sequences can never break the event kernel."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(st.tuples(_DELAYS, st.booleans()), max_size=40))
+    def test_schedule_cancel_accounting(self, ops):
+        """Time-ordering, ``now`` monotonicity and event accounting hold
+        for any mix of scheduled and cancelled events."""
+        sim = Simulator()
+        fired: list[float] = []
+        events = [(sim.schedule(delay, lambda: fired.append(sim.now)), cancel)
+                  for delay, cancel in ops]
+        for event, cancel in events:
+            if cancel:
+                assert sim.cancel(event) is True
+                assert sim.cancel(event) is False  # cancellation is one-shot
+        kept = [event for event, cancel in events if not cancel]
+        sim.run()
+        assert sim.processed_events == len(kept)
+        assert sim.pending_events == 0
+        assert fired == sorted(fired)                      # now never goes back
+        assert fired == sorted(event.time for event in kept)  # fire at their times
+        assert sim.now == (max(event.time for event in kept) if kept else 0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(delays=st.lists(_DELAYS, max_size=30), cutoff=_DELAYS)
+    def test_run_for_fires_exactly_the_due_events(self, delays, cutoff):
+        sim = Simulator()
+        fired: list[float] = []
+        for delay in delays:
+            sim.schedule(delay, lambda delay=delay: fired.append(delay))
+        sim.run_for(cutoff)
+        assert sim.now == cutoff
+        assert sorted(fired) == sorted(d for d in delays if d <= cutoff)
+        assert sim.pending_events == sum(1 for d in delays if d > cutoff)
+        assert sim.processed_events == len(fired)
+        sim.run()  # draining the rest restores full accounting
+        assert sim.processed_events == len(delays)
+        assert sim.pending_events == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(delays=st.lists(_DELAYS, max_size=20))
+    def test_nested_scheduling_keeps_order_and_counts(self, delays):
+        """Callbacks that schedule follow-up events preserve every invariant."""
+        sim = Simulator()
+        fired: list[float] = []
+
+        def parent(delay: float) -> None:
+            fired.append(sim.now)
+            sim.schedule(delay, lambda: fired.append(sim.now))
+
+        for delay in delays:
+            sim.schedule(delay, parent, delay)
+        sim.run()
+        assert fired == sorted(fired)
+        assert sim.processed_events == 2 * len(delays)
+        assert sim.pending_events == 0
 
 
 class TestSimulationDeterminism:

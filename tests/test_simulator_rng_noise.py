@@ -24,6 +24,25 @@ class TestDeriveSeed:
     def test_range(self, seed, key):
         assert 0 <= derive_seed(seed, key) < 2**64
 
+    def test_pinned_outputs(self):
+        """Regression pins: run seeds and cache keys derive from these.
+
+        The campaign executor's content-addressed cache and every run's
+        RNG universe are functions of ``derive_seed``, so a silent change
+        to the derivation would corrupt caches and break reproducibility
+        of published numbers.  These values must never drift.
+        """
+        pins = {
+            (0, "cpuload-source/live/0vm/m#0"): 7423241531779256194,
+            (0, "vm:migrating"): 274058268226706434,
+            (7, "memload-vm/live/dr35/m#3"): 18240309260408903903,
+            (1234, "fixture/live/5vm#0"): 2627283528310336730,
+            (2**32, "spawn:run"): 9943500105489934407,
+            (42, ""): 9399971064701155330,
+        }
+        for (seed, key), expected in pins.items():
+            assert derive_seed(seed, key) == expected
+
 
 class TestRandomStreams:
     def test_same_key_same_object(self):
