@@ -9,7 +9,10 @@ Campaigns go through :meth:`ScenarioRunner.run_campaign`'s executor path:
 set ``WAVM3_BENCH_JOBS`` to fan runs out across that many worker
 processes (results are bit-identical to serial), and
 ``WAVM3_BENCH_CACHE_DIR`` to reuse runs across bench sessions via the
-content-addressed run cache.
+content-addressed run cache.  Setting ``WAVM3_BENCH_SPOOL_DIR`` (with a
+cache dir) switches to the distributed queue backend instead: start
+``campaign-worker`` processes against the same spool/cache to serve the
+bench campaigns from any number of machines.
 
 Rendered tables and figure panels are written to
 ``benchmarks/artifacts/`` so the regenerated evaluation can be inspected
@@ -32,10 +35,16 @@ BENCH_RUNS = int(os.environ.get("WAVM3_BENCH_RUNS", "3"))
 BENCH_SEED = int(os.environ.get("WAVM3_BENCH_SEED", "7"))
 BENCH_JOBS = int(os.environ.get("WAVM3_BENCH_JOBS", "1"))
 BENCH_CACHE_DIR = os.environ.get("WAVM3_BENCH_CACHE_DIR") or None
+BENCH_SPOOL_DIR = os.environ.get("WAVM3_BENCH_SPOOL_DIR") or None
 
 ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
 
-_CAMPAIGN_KWARGS = dict(parallel=BENCH_JOBS, cache_dir=BENCH_CACHE_DIR)
+if BENCH_SPOOL_DIR is not None:
+    _CAMPAIGN_KWARGS = dict(
+        parallel="queue", cache_dir=BENCH_CACHE_DIR, spool_dir=BENCH_SPOOL_DIR
+    )
+else:
+    _CAMPAIGN_KWARGS = dict(parallel=BENCH_JOBS, cache_dir=BENCH_CACHE_DIR)
 
 
 @pytest.fixture(scope="session")

@@ -65,6 +65,12 @@ def main() -> None:
     stats = runner.last_executor_stats
     print(f"  ({stats.runs_executed} simulated, {stats.runs_cached} from cache)")
 
+    # The same campaign can span machines: pass parallel="queue" with a
+    # shared spool_dir and serve it with `wavm3 --cache-dir ... \
+    # campaign-worker --spool-dir ...` processes anywhere that sees the
+    # directory — results stay bit-identical and land in the same cache.
+    # See docs/parallel_campaigns.md, "Distributed campaigns".
+
 
 if __name__ == "__main__":
     main()

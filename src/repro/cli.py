@@ -8,6 +8,11 @@ Examples
     wavm3 table 7 --runs 4 --seed 1      # Table VII with 4 runs/scenario
     wavm3 figure fig5 --runs 3           # Fig. 5 panels as ASCII charts
     wavm3 scenarios                      # list the Table IIa campaign
+
+    # distributed: serve a shared spool dir from any number of machines,
+    # then run the campaign against it (results bit-identical to serial)
+    wavm3 --cache-dir /shared/cache campaign-worker --spool-dir /shared/spool
+    wavm3 --cache-dir /shared/cache campaign --spool-dir /shared/spool --stop-workers
 """
 
 from __future__ import annotations
@@ -74,6 +79,57 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="cap of the adaptive variance loop (default: same as --runs)",
+    )
+    camp.add_argument(
+        "--spool-dir",
+        default=None,
+        help="dispatch runs through the file-based distributed work queue "
+        "in this shared directory (requires --cache-dir; serve it with "
+        "one or more 'campaign-worker' processes)",
+    )
+    camp.add_argument(
+        "--stale-timeout",
+        type=float,
+        default=60.0,
+        help="seconds without a heartbeat before a claimed queue task is "
+        "requeued (queue mode only)",
+    )
+    camp.add_argument(
+        "--stop-workers",
+        action="store_true",
+        help="write the spool's stop sentinel when the campaign finishes, "
+        "telling idle workers to exit (queue mode only)",
+    )
+
+    worker = sub.add_parser(
+        "campaign-worker",
+        help="serve a distributed-campaign spool directory: claim run "
+        "specs, execute them, deposit results into the shared cache",
+    )
+    worker.add_argument(
+        "--spool-dir", required=True, help="shared spool directory to serve"
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.5,
+        help="seconds between queue scans while idle",
+    )
+    worker.add_argument(
+        "--heartbeat", type=float, default=5.0,
+        help="claim/liveness heartbeat cadence in seconds (keep well "
+        "under the coordinator's --stale-timeout)",
+    )
+    worker.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="exit after claiming this many tasks (default: unbounded)",
+    )
+    worker.add_argument(
+        "--idle-exit", type=float, default=None,
+        help="exit after this many seconds without claimable work "
+        "(default: serve until the stop sentinel appears)",
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="spool-unique worker identifier (default: <hostname>-<pid>)",
     )
 
     sub.add_parser("scenarios", help="list the Table IIa campaign")
@@ -188,9 +244,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     for name in chosen:
         scenarios.extend(getattr(design, _EXPERIMENT_FAMILIES[name])(args.family))
 
-    executor = CampaignExecutor(
-        ScenarioRunner(seed=args.seed), jobs=args.jobs, cache_dir=args.cache_dir
-    )
+    if args.spool_dir is not None:
+        executor = CampaignExecutor(
+            ScenarioRunner(seed=args.seed),
+            backend="queue",
+            cache_dir=args.cache_dir,
+            spool_dir=args.spool_dir,
+            queue_options={
+                "stale_timeout": args.stale_timeout,
+                "stop_workers_on_shutdown": args.stop_workers,
+            },
+        )
+    else:
+        executor = CampaignExecutor(
+            ScenarioRunner(seed=args.seed), jobs=args.jobs, cache_dir=args.cache_dir
+        )
     started = time.perf_counter()
     result = executor.run_campaign(
         scenarios, min_runs=args.runs, max_runs=args.max_runs or args.runs
@@ -209,7 +277,37 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"{stats.runs_discarded} discarded) in {elapsed:.1f}s "
         f"[backend={executor.backend}, jobs={executor.jobs}]"
     )
+    qstats = executor.queue_stats
+    if qstats is not None:
+        print(
+            f"queue: {qstats.tasks_submitted} tasks spooled, "
+            f"{qstats.tasks_requeued} requeued, "
+            f"{qstats.tasks_resubmitted} resubmitted, "
+            f"{qstats.corrupt_results} corrupt results discarded"
+        )
     return 0
+
+
+def _cmd_campaign_worker(args: argparse.Namespace) -> int:
+    from repro.errors import ExperimentError
+    from repro.experiments.queue_backend import run_worker
+
+    if args.cache_dir is None:
+        raise ExperimentError("campaign-worker requires --cache-dir (the shared run cache)")
+    stats = run_worker(
+        args.spool_dir,
+        args.cache_dir,
+        poll_interval=args.poll_interval,
+        heartbeat_s=args.heartbeat,
+        max_tasks=args.max_tasks,
+        idle_exit_s=args.idle_exit,
+        worker_id=args.worker_id,
+    )
+    print(
+        f"worker done: {stats.claimed} claimed, {stats.executed} executed, "
+        f"{stats.cached} from cache, {stats.failed} failed"
+    )
+    return 0 if stats.failed == 0 else 1
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
@@ -233,6 +331,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "table": _cmd_table,
         "figure": _cmd_figure,
         "campaign": _cmd_campaign,
+        "campaign-worker": _cmd_campaign_worker,
         "scenarios": _cmd_scenarios,
     }
     try:

@@ -11,8 +11,13 @@
   measurement protocol (stabilise → migrate → stabilise; repeat until the
   run-variance delta drops under 10 %, at least ten runs);
 * :mod:`repro.experiments.executor` — fans campaign runs out across
-  worker processes and caches run results on disk, bit-identical to the
-  serial path (see ``docs/parallel_campaigns.md``);
+  pluggable execution backends (serial / process pool) and caches run
+  results on disk, bit-identical to the serial path (see
+  ``docs/parallel_campaigns.md``);
+* :mod:`repro.experiments.queue_backend` — the distributed backend: a
+  file-based work queue over a shared spool directory, served by any
+  number of ``campaign-worker`` processes depositing into one shared
+  run cache;
 * :mod:`repro.experiments.results` — run/scenario/experiment result
   containers and the conversion to model samples.
 """
@@ -28,7 +33,21 @@ from repro.experiments.design import (
     LOAD_VM_COUNTS,
     DIRTY_PERCENTS,
 )
-from repro.experiments.executor import CampaignExecutor, ExecutorStats, RunCache
+from repro.experiments.executor import (
+    CampaignExecutor,
+    ExecutorBackend,
+    ExecutorStats,
+    ProcessBackend,
+    RunCache,
+    RunTask,
+    SerialBackend,
+)
+from repro.experiments.queue_backend import (
+    QueueBackend,
+    QueueStats,
+    WorkerStats,
+    run_worker,
+)
 from repro.experiments.instances import INSTANCE_CATALOG, InstanceSpec, make_instance_vm
 from repro.experiments.results import ExperimentResult, RunResult, ScenarioResult
 from repro.experiments.runner import ScenarioRunner, resolve_run_count
@@ -36,8 +55,16 @@ from repro.experiments.testbed import Testbed
 
 __all__ = [
     "CampaignExecutor",
+    "ExecutorBackend",
     "ExecutorStats",
+    "ProcessBackend",
+    "QueueBackend",
+    "QueueStats",
     "RunCache",
+    "RunTask",
+    "SerialBackend",
+    "WorkerStats",
+    "run_worker",
     "resolve_run_count",
     "MigrationScenario",
     "all_scenarios",

@@ -6,9 +6,12 @@ yet every run is seeded independently via
 ``derive_seed(master, f"{label}#{index}")``, which makes a campaign
 embarrassingly parallel at run granularity.  This module exploits that:
 
-* :class:`CampaignExecutor` fans runs out across worker processes
-  (``process`` backend on :class:`concurrent.futures.ProcessPoolExecutor`)
-  or executes them inline (``serial`` backend), while preserving the
+* :class:`CampaignExecutor` fans runs out across an
+  :class:`ExecutorBackend` — worker processes (``process`` backend on
+  :class:`concurrent.futures.ProcessPoolExecutor`), inline execution
+  (``serial`` backend) or a shared-filesystem work queue served by
+  remote worker processes (``queue`` backend,
+  :mod:`repro.experiments.queue_backend`) — while preserving the
   adaptive variance-stopping loop of Section V-B.  Runs are dispatched in
   *waves*: each scenario starts with ``min_runs`` runs, the 10 % variance
   criterion is evaluated on the completed, index-ordered energies
@@ -29,18 +32,27 @@ embarrassingly parallel at run granularity.  This module exploits that:
       <cache-dir>/<key[:2]>/<key>/meta.json     # human-readable key inputs
       <cache-dir>/<key[:2]>/<key>/run-0003.pkl  # one RunResult per run
 
+* :class:`ExecutorBackend` is the formal protocol the wave scheduler
+  drives: ``submit()`` a :class:`RunTask`, ``wait()`` for completions,
+  ``shutdown()`` when the campaign is over, with :attr:`capacity`
+  introspection feeding the default wave size.  Any object implementing
+  it (a cluster scheduler, an RPC fan-out, …) can back a campaign.
+
 See ``docs/parallel_campaigns.md`` for the full design discussion.
 """
 
 from __future__ import annotations
 
+import abc
 import dataclasses
 import hashlib
 import json
+import os
 import pathlib
+import threading
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Collection, Optional, Sequence, Set, Union
 
 from repro.errors import ExperimentError
 from repro.experiments.design import MigrationScenario
@@ -51,7 +63,16 @@ from repro.io import PersistenceError, load_run_result, save_run_result
 from repro.models.features import HostRole
 from repro.telemetry.stabilization import StabilizationRule
 
-__all__ = ["CampaignExecutor", "ExecutorStats", "RunCache", "CACHE_KEY_SCHEMA"]
+__all__ = [
+    "CampaignExecutor",
+    "ExecutorBackend",
+    "ExecutorStats",
+    "ProcessBackend",
+    "RunCache",
+    "RunTask",
+    "SerialBackend",
+    "CACHE_KEY_SCHEMA",
+]
 
 #: Versions the cache-key derivation itself: bump to invalidate every
 #: existing cache entry after a change to run semantics.
@@ -77,6 +98,53 @@ def _execute_run(
 
 
 # ---------------------------------------------------------------------------
+# Run task spec
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunTask:
+    """Everything a backend needs to execute one run, picklable/serialisable.
+
+    A task is the unit of dispatch of every backend: the process backend
+    pickles it to a worker process, the queue backend serialises it to a
+    JSON spool file (:func:`repro.io.save_task_spec`) claimed by remote
+    ``campaign-worker`` processes.  ``key`` carries the scenario's
+    :class:`RunCache` key when a cache is in play, so workers can deposit
+    results straight into the shared cache.
+    """
+
+    seed: int
+    settings: RunnerSettings
+    migration_config: Optional[MigrationConfig]
+    stabilization: StabilizationRule
+    scenario: MigrationScenario
+    run_index: int
+    key: Optional[str] = None
+
+    def execute(self) -> RunResult:
+        """Run this task in the current process (the pure serial code path)."""
+        return _execute_run(
+            self.seed,
+            self.settings,
+            self.migration_config,
+            self.stabilization,
+            self.scenario,
+            self.run_index,
+        )
+
+    def key_payload(self) -> dict:
+        """The cache-key ingredients of this task (see :class:`RunCache`)."""
+        return RunCache._key_payload(
+            self.seed, self.scenario, self.settings,
+            self.migration_config, self.stabilization,
+        )
+
+
+def _execute_task(task: RunTask) -> RunResult:
+    """Module-level trampoline so :class:`RunTask` dispatch can pickle."""
+    return task.execute()
+
+
+# ---------------------------------------------------------------------------
 # Run cache
 # ---------------------------------------------------------------------------
 class RunCache:
@@ -84,13 +152,17 @@ class RunCache:
 
     Every run is stored under a *scenario key* — the SHA-256 of the
     canonical JSON of everything that determines the run's outcome — plus
-    its run index.  Unreadable or wrong-schema entries count as misses.
+    its run index.  Unreadable or wrong-schema entries count as misses,
+    and an entry whose ``meta.json`` fails schema/hash validation is
+    distrusted wholesale: its runs are recomputed rather than returned.
     """
 
     def __init__(self, root: Union[str, pathlib.Path]) -> None:
         self.root = pathlib.Path(root)
         self.hits = 0
         self.misses = 0
+        #: Per-key memo of the meta.json validation verdict.
+        self._meta_verdict: dict[str, bool] = {}
 
     # -- keying ---------------------------------------------------------
     @staticmethod
@@ -105,6 +177,10 @@ class RunCache:
         payload = RunCache._key_payload(
             seed, scenario, settings, migration_config, stabilization
         )
+        return RunCache._payload_digest(payload)
+
+    @staticmethod
+    def _payload_digest(payload: dict) -> str:
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -135,9 +211,39 @@ class RunCache:
     def _run_path(self, key: str, run_index: int) -> pathlib.Path:
         return self._entry_dir(key) / f"run-{run_index:04d}.pkl"
 
+    def _meta_ok(self, key: str) -> bool:
+        """Validate an entry's ``meta.json`` against the key, memoised.
+
+        A missing meta is fine (run payloads are self-validating pickles;
+        the meta may simply not have been written yet), but a meta that
+        is unreadable, carries the wrong schema tag, or whose canonical
+        JSON does not hash back to the key marks the whole entry as
+        untrustworthy — runs under it are recomputed, never returned.
+        """
+        verdict = self._meta_verdict.get(key)
+        if verdict is not None:
+            return verdict
+        path = self._entry_dir(key) / "meta.json"
+        ok = True
+        if path.exists():
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                ok = (
+                    isinstance(payload, dict)
+                    and payload.get("schema") == CACHE_KEY_SCHEMA
+                    and self._payload_digest(payload) == key
+                )
+            except (json.JSONDecodeError, OSError):
+                ok = False
+        self._meta_verdict[key] = ok
+        return ok
+
     # -- access ---------------------------------------------------------
     def get(self, key: str, scenario: MigrationScenario, run_index: int) -> Optional[RunResult]:
         """Load a cached run, or ``None`` on any kind of miss."""
+        if not self._meta_ok(key):
+            self.misses += 1
+            return None
         path = self._run_path(key, run_index)
         if not path.exists():
             self.misses += 1
@@ -160,15 +266,116 @@ class RunCache:
         run: RunResult,
         key_payload: Optional[dict] = None,
     ) -> None:
-        """Store one run; writes a ``meta.json`` describing the key once."""
+        """Store one run; (re)writes a valid ``meta.json`` describing the key."""
         entry = self._entry_dir(key)
         entry.mkdir(parents=True, exist_ok=True)
         meta = entry / "meta.json"
-        if key_payload is not None and not meta.exists():
-            meta.write_text(
+        if key_payload is not None and (not meta.exists() or not self._meta_ok(key)):
+            # Atomic write: a half-written meta must never fail validation
+            # for a concurrent reader of an otherwise-good entry.  The temp
+            # name includes the thread id because in-process worker threads
+            # (and the executor itself) may race on one entry's meta.
+            tmp = meta.with_name(
+                f"meta.json.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
+            tmp.write_text(
                 json.dumps(key_payload, sort_keys=True, indent=1), encoding="utf-8"
             )
+            tmp.replace(meta)
+            self._meta_verdict[key] = True
         save_run_result(run, self._run_path(key, run.run_index))
+
+
+# ---------------------------------------------------------------------------
+# Backend protocol
+# ---------------------------------------------------------------------------
+class ExecutorBackend(abc.ABC):
+    """What the wave scheduler needs from an execution substrate.
+
+    The contract is deliberately small — ``submit()`` plus completed-
+    future semantics — so a backend can be an in-process loop, a local
+    process pool or a spool directory shared with remote workers
+    (:class:`~repro.experiments.queue_backend.QueueBackend`), without the
+    scheduler knowing the difference.
+    """
+
+    #: Human-readable backend identifier (``executor.backend`` reports it).
+    name: str = "?"
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """How many tasks can usefully be in flight, or ``None`` if unknown.
+
+        Feeds the executor's default wave size; a queue backend reports
+        its currently-registered live workers here.
+        """
+        return None
+
+    @abc.abstractmethod
+    def submit(self, task: RunTask) -> Future:
+        """Dispatch one run task, returning a future for its RunResult."""
+
+    def wait(self, pending: Collection[Future]) -> Set[Future]:
+        """Block until at least one pending future is done; return the done set."""
+        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+        return set(done)
+
+    def shutdown(self) -> None:
+        """Release backend resources; the backend may be reused afterwards."""
+
+
+class _SerialFuture(Future):
+    """An already-resolved future: lets the serial backend share the
+    process-backend scheduling loop unchanged."""
+
+    def __init__(self, fn, *args) -> None:
+        super().__init__()
+        try:
+            self.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 - mirrored to the caller
+            self.set_exception(exc)
+
+
+class SerialBackend(ExecutorBackend):
+    """Inline execution: ``submit`` runs the task before returning."""
+
+    name = "serial"
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return 1
+
+    def submit(self, task: RunTask) -> Future:
+        return _SerialFuture(_execute_task, task)
+
+    def wait(self, pending: Collection[Future]) -> Set[Future]:
+        return set(pending)  # serial futures resolve at submit time
+
+
+class ProcessBackend(ExecutorBackend):
+    """A lazily-created :class:`ProcessPoolExecutor` with ``jobs`` workers."""
+
+    name = "process"
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self.jobs
+
+    def submit(self, task: RunTask) -> Future:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool.submit(_execute_task, task)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
 
 
 # ---------------------------------------------------------------------------
@@ -190,18 +397,6 @@ class ExecutorStats:
         return self.runs_executed + self.runs_cached
 
 
-class _SerialFuture(Future):
-    """An already-resolved future: lets the serial backend share the
-    process-backend scheduling loop unchanged."""
-
-    def __init__(self, fn, *args) -> None:
-        super().__init__()
-        try:
-            self.set_result(fn(*args))
-        except BaseException as exc:  # noqa: BLE001 - mirrored to the caller
-            self.set_exception(exc)
-
-
 class _ScenarioState:
     """Book-keeping of one scenario's adaptive run stream."""
 
@@ -217,7 +412,7 @@ class _ScenarioState:
 
 
 class CampaignExecutor:
-    """Fan a measurement campaign out across worker processes.
+    """Fan a measurement campaign out across an execution backend.
 
     Parameters
     ----------
@@ -229,37 +424,90 @@ class CampaignExecutor:
         Worker-process count; ``1`` selects the serial backend under
         ``backend="auto"``.
     backend:
-        ``"process"``, ``"serial"`` or ``"auto"`` (process iff ``jobs > 1``).
+        ``"process"``, ``"serial"``, ``"queue"``, ``"auto"`` (process iff
+        ``jobs > 1``) — or any :class:`ExecutorBackend` instance.  The
+        ``queue`` backend additionally requires ``cache_dir`` (the shared
+        result store) and ``spool_dir`` (the shared task spool served by
+        ``campaign-worker`` processes).
     cache_dir:
         Optional directory for the content-addressed :class:`RunCache`.
     wave_size:
         Top-up wave size once ``min_runs`` energies fail the variance
-        criterion; defaults to ``jobs``.  Affects only how much
-        speculative work may run, never the returned result.
+        criterion; defaults to the backend's :attr:`~ExecutorBackend.capacity`
+        (falling back to ``jobs``).  Affects only how much speculative
+        work may run, never the returned result.
+    spool_dir:
+        Shared spool directory of the ``queue`` backend (ignored otherwise).
+    queue_options:
+        Extra keyword arguments forwarded to
+        :class:`~repro.experiments.queue_backend.QueueBackend`
+        (``poll_interval``, ``stale_timeout``, ``stop_workers_on_shutdown``, …).
     """
 
     def __init__(
         self,
         runner: ScenarioRunner,
         jobs: int = 1,
-        backend: str = "auto",
+        backend: Union[str, ExecutorBackend] = "auto",
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         wave_size: Optional[int] = None,
+        spool_dir: Optional[Union[str, pathlib.Path]] = None,
+        queue_options: Optional[dict] = None,
     ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
-        if backend not in ("auto", "process", "serial"):
-            raise ExperimentError(f"unknown backend {backend!r}")
-        if backend == "auto":
-            backend = "process" if jobs > 1 else "serial"
         self.runner = runner
         self.jobs = int(jobs)
-        self.backend = backend
         self.cache = RunCache(cache_dir) if cache_dir is not None else None
-        self.wave_size = int(wave_size) if wave_size is not None else self.jobs
-        if self.wave_size < 1:
+        self._backend = self._make_backend(backend, spool_dir, queue_options)
+        self.backend = self._backend.name
+        self._explicit_wave_size = None if wave_size is None else int(wave_size)
+        if self._explicit_wave_size is not None and self._explicit_wave_size < 1:
             raise ExperimentError(f"wave_size must be >= 1, got {wave_size}")
         self.stats = ExecutorStats()
+
+    @property
+    def wave_size(self) -> int:
+        """The top-up wave size that would be dispatched right now.
+
+        Re-evaluated per top-up rather than frozen at construction: a
+        queue backend's capacity is the number of live workers, which is
+        typically zero when the executor is built and grows as workers
+        register.
+        """
+        if self._explicit_wave_size is not None:
+            return self._explicit_wave_size
+        return max(self._backend.capacity or self.jobs, 1)
+
+    @property
+    def queue_stats(self):
+        """The queue backend's traffic stats, or ``None`` for other backends."""
+        return getattr(self._backend, "stats", None)
+
+    def _make_backend(
+        self,
+        backend: Union[str, ExecutorBackend],
+        spool_dir: Optional[Union[str, pathlib.Path]],
+        queue_options: Optional[dict],
+    ) -> ExecutorBackend:
+        if isinstance(backend, ExecutorBackend):
+            return backend
+        if backend not in ("auto", "process", "serial", "queue"):
+            raise ExperimentError(f"unknown backend {backend!r}")
+        if backend == "auto":
+            backend = "process" if self.jobs > 1 else "serial"
+        if backend == "serial":
+            return SerialBackend()
+        if backend == "process":
+            return ProcessBackend(self.jobs)
+        # queue: remote workers share the cache, so both dirs are required.
+        if self.cache is None:
+            raise ExperimentError("the queue backend requires a cache_dir")
+        if spool_dir is None:
+            raise ExperimentError("the queue backend requires a spool_dir")
+        from repro.experiments.queue_backend import QueueBackend  # local: avoid cycle
+
+        return QueueBackend(spool_dir, self.cache, **(queue_options or {}))
 
     # ------------------------------------------------------------------
     def run_campaign(
@@ -281,11 +529,10 @@ class CampaignExecutor:
         states = [
             _ScenarioState(s, self._key_for(s), target=lo) for s in scenarios
         ]
-        if self.backend == "process":
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                self._drive(states, pool, lo, hi)
-        else:
-            self._drive(states, None, lo, hi)
+        try:
+            self._drive(states, lo, hi)
+        finally:
+            self._backend.shutdown()
 
         results = []
         for state in states:
@@ -308,26 +555,18 @@ class CampaignExecutor:
             self.runner.stabilization,
         )
 
-    def _submit(self, pool: Optional[ProcessPoolExecutor], scenario: MigrationScenario, index: int) -> Future:
-        args = (
-            self.runner.seed,
-            self.runner.settings,
-            self.runner.migration_config,
-            self.runner.stabilization,
-            scenario,
-            index,
+    def _task_for(self, state: _ScenarioState, index: int) -> RunTask:
+        return RunTask(
+            seed=self.runner.seed,
+            settings=self.runner.settings,
+            migration_config=self.runner.migration_config,
+            stabilization=self.runner.stabilization,
+            scenario=state.scenario,
+            run_index=index,
+            key=state.key,
         )
-        if pool is None:
-            return _SerialFuture(_execute_run, *args)
-        return pool.submit(_execute_run, *args)
 
-    def _drive(
-        self,
-        states: Sequence[_ScenarioState],
-        pool: Optional[ProcessPoolExecutor],
-        lo: int,
-        hi: int,
-    ) -> None:
+    def _drive(self, states: Sequence[_ScenarioState], lo: int, hi: int) -> None:
         """The wave scheduler: dispatch, collect, evaluate, top up."""
         pending: dict[Future, tuple[_ScenarioState, int]] = {}
 
@@ -347,7 +586,8 @@ class CampaignExecutor:
                         self.stats.runs_cached += 1
                     else:
                         state.inflight.add(index)
-                        pending[self._submit(pool, state.scenario, index)] = (state, index)
+                        future = self._backend.submit(self._task_for(state, index))
+                        pending[future] = (state, index)
                 if state.inflight:
                     return  # evaluate when the wave completes
                 energies = [
@@ -365,14 +605,20 @@ class CampaignExecutor:
         for state in states:
             advance(state)
         while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            done = self._backend.wait(list(pending))
             for future in done:
                 state, index = pending.pop(future)
                 run = future.result()  # propagate worker exceptions
                 state.runs[index] = run
                 state.inflight.discard(index)
                 self.stats.runs_executed += 1
-                if self.cache is not None and state.key is not None:
+                # Queue futures resolve *from* the shared cache (a worker
+                # already deposited the result), so skip the re-write.
+                if (
+                    self.cache is not None
+                    and state.key is not None
+                    and not getattr(future, "result_in_cache", False)
+                ):
                     self.cache.put(
                         state.key,
                         run,

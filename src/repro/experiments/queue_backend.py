@@ -1,0 +1,465 @@
+"""Distributed campaign backend: a file-based work queue over a shared dir.
+
+The wave scheduler of :class:`~repro.experiments.executor.CampaignExecutor`
+only needs ``submit()`` plus completed-future semantics, so a campaign can
+span machines with nothing more exotic than a directory both sides can
+see (local disk for co-located workers, NFS for a cluster):
+
+* the **coordinator** (:class:`QueueBackend`) serialises each
+  :class:`~repro.experiments.executor.RunTask` to a JSON spec file in
+  ``<spool>/tasks/`` and then polls the shared content-addressed
+  :class:`~repro.experiments.executor.RunCache` for the result — the
+  variance-stopping rule keeps running centrally, so results stay
+  bit-identical to the serial path;
+* any number of **workers** (:func:`run_worker`, CLI subcommand
+  ``campaign-worker``) claim specs by atomically renaming them into
+  ``<spool>/claims/`` (``os.rename`` — atomic on POSIX, including NFS),
+  execute them through the same pure ``_execute_run`` path every other
+  backend uses, and deposit results into the shared cache.
+
+Fault tolerance is lease-based: a worker heartbeats its claim file's
+mtime while executing; the coordinator requeues claims whose heartbeat
+is older than ``stale_timeout`` (worker died mid-task), and a corrupt
+result file is deleted and its task resubmitted rather than returned.
+Because every run is deterministic given its spec, re-execution after
+any of these failures reproduces the original result exactly.
+
+Spool layout::
+
+    <spool>/
+      tasks/    open task specs (one JSON file per run)
+      claims/   specs claimed by a worker; mtime = worker heartbeat
+      failed/   terminal task failures (error + traceback JSON)
+      workers/  one heartbeat file per live worker (capacity introspection)
+      stop      sentinel: workers drain and exit when it appears
+
+See ``docs/parallel_campaigns.md`` ("Distributed campaigns") for the
+operational guide.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+import threading
+import time
+import traceback
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Collection, Optional, Set, Union
+
+from repro.errors import ExperimentError
+from repro.experiments.executor import ExecutorBackend, RunCache, RunTask
+from repro.io import PersistenceError, load_run_result, load_task_spec, save_task_spec
+
+__all__ = ["QueueBackend", "QueueStats", "WorkerStats", "run_worker", "task_id_for"]
+
+#: Schema tag of the ``failed/`` error records.
+TASK_FAILURE_SCHEMA = "wavm3-taskfailure/1"
+
+
+def task_id_for(task: RunTask) -> str:
+    """Stable spool identifier of a task: cache key prefix + run index."""
+    if task.key is None:
+        raise ExperimentError("queue tasks need a cache key")
+    return f"{task.key[:16]}-{task.run_index:04d}"
+
+
+class _Spool:
+    """Paths of one spool directory; creates the layout on construction."""
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+        self.tasks = self.root / "tasks"
+        self.claims = self.root / "claims"
+        self.failed = self.root / "failed"
+        self.workers = self.root / "workers"
+        self.stop = self.root / "stop"
+        for directory in (self.tasks, self.claims, self.failed, self.workers):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    def task_path(self, task_id: str) -> pathlib.Path:
+        return self.tasks / f"{task_id}.json"
+
+    def claim_path(self, task_id: str) -> pathlib.Path:
+        return self.claims / f"{task_id}.json"
+
+    def failure_path(self, task_id: str) -> pathlib.Path:
+        return self.failed / f"{task_id}.json"
+
+
+def _write_json_atomic(path: pathlib.Path, payload: dict) -> None:
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8")
+    tmp.replace(path)
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+@dataclass
+class QueueStats:
+    """Accounting of one coordinator's queue traffic."""
+
+    tasks_submitted: int = 0   # specs written into the spool
+    tasks_requeued: int = 0    # stale claims returned to the open queue
+    tasks_resubmitted: int = 0 # lost/corrupt tasks re-spooled
+    corrupt_results: int = 0   # cache files that failed validation
+
+
+class _QueueFuture(Future):
+    """A pending queue task; resolved by the coordinator's poll loop."""
+
+    def __init__(self, task: RunTask, task_id: str) -> None:
+        super().__init__()
+        self.task = task
+        self.task_id = task_id
+        #: The result was produced into the shared cache by a worker, so
+        #: the executor must not redundantly re-write it.
+        self.result_in_cache = True
+
+
+class QueueBackend(ExecutorBackend):
+    """Coordinator end of the file-based distributed work queue.
+
+    Parameters
+    ----------
+    spool_dir:
+        Directory shared with the workers (created if missing).
+    cache:
+        The shared :class:`RunCache` workers deposit results into; the
+        coordinator polls it for completions.
+    poll_interval:
+        Seconds between completion polls in :meth:`wait`.
+    stale_timeout:
+        A claim whose heartbeat mtime is older than this is considered
+        abandoned and requeued.  Must comfortably exceed the workers'
+        heartbeat interval (clock skew on NFS counts against it too).
+    stop_workers_on_shutdown:
+        Write the ``stop`` sentinel when the campaign finishes, telling
+        workers to exit instead of idling for more work.
+    worker_fresh_s:
+        A worker-heartbeat file younger than this counts as a live worker
+        for :attr:`capacity`.
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        spool_dir: Union[str, pathlib.Path],
+        cache: RunCache,
+        poll_interval: float = 0.2,
+        stale_timeout: float = 60.0,
+        stop_workers_on_shutdown: bool = False,
+        worker_fresh_s: float = 15.0,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ExperimentError(f"poll_interval must be positive, got {poll_interval}")
+        if stale_timeout <= 0:
+            raise ExperimentError(f"stale_timeout must be positive, got {stale_timeout}")
+        self.spool = _Spool(spool_dir)
+        self.cache = cache
+        self.poll_interval = float(poll_interval)
+        self.stale_timeout = float(stale_timeout)
+        self.stop_workers_on_shutdown = bool(stop_workers_on_shutdown)
+        self.worker_fresh_s = float(worker_fresh_s)
+        self.stats = QueueStats()
+
+    # -- capacity introspection -----------------------------------------
+    def active_workers(self) -> int:
+        """Workers whose heartbeat file is fresh enough to be alive."""
+        now = time.time()
+        alive = 0
+        for beat in self.spool.workers.glob("*.json"):
+            try:
+                if now - beat.stat().st_mtime <= self.worker_fresh_s:
+                    alive += 1
+            except OSError:
+                continue  # vanished between glob and stat
+        return alive
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self.active_workers() or None
+
+    # -- protocol --------------------------------------------------------
+    def submit(self, task: RunTask) -> Future:
+        task_id = task_id_for(task)
+        # A failure record from an earlier campaign must not resolve the
+        # fresh attempt, so clear it before the spec becomes claimable.
+        self.spool.failure_path(task_id).unlink(missing_ok=True)
+        save_task_spec(task, self.spool.task_path(task_id))
+        self.stats.tasks_submitted += 1
+        return _QueueFuture(task, task_id)
+
+    def wait(self, pending: Collection[Future]) -> Set[Future]:
+        while True:
+            self._requeue_stale_claims()
+            done = {future for future in pending if self._poll(future)}
+            if done:
+                return done
+            time.sleep(self.poll_interval)
+
+    def shutdown(self) -> None:
+        if self.stop_workers_on_shutdown:
+            self.spool.stop.touch()
+
+    # -- internals -------------------------------------------------------
+    def _poll(self, future: _QueueFuture) -> bool:
+        """Resolve a future from the shared cache / failure records."""
+        task = future.task
+        run_path = self.cache._run_path(task.key, task.run_index)
+        if run_path.exists():
+            run = None
+            try:
+                run = load_run_result(run_path)
+            except PersistenceError:
+                pass
+            if (
+                run is not None
+                and run.scenario == task.scenario
+                and run.run_index == task.run_index
+            ):
+                future.set_result(run)
+                return True
+            # Corrupt or mismatched result: discard it and recompute —
+            # a bad cache file must never reach the campaign.
+            run_path.unlink(missing_ok=True)
+            self.stats.corrupt_results += 1
+        failure = self.spool.failure_path(future.task_id)
+        if failure.exists():
+            try:
+                record = json.loads(failure.read_text(encoding="utf-8"))
+                message = record.get("error", "unknown worker failure")
+            except (json.JSONDecodeError, OSError):
+                message = "unreadable worker failure record"
+            future.set_exception(
+                ExperimentError(f"queue task {future.task_id} failed: {message}")
+            )
+            return True
+        # No result, no failure: the spec must still be claimable or
+        # claimed.  If both files are gone (corrupt result deleted above,
+        # or spool tampering), respool the spec so the run is recomputed.
+        if (
+            not self.spool.task_path(future.task_id).exists()
+            and not self.spool.claim_path(future.task_id).exists()
+        ):
+            save_task_spec(task, self.spool.task_path(future.task_id))
+            self.stats.tasks_resubmitted += 1
+        return False
+
+    def _requeue_stale_claims(self) -> None:
+        """Return claims with an expired heartbeat to the open queue."""
+        now = time.time()
+        for claim in self.spool.claims.glob("*.json"):
+            try:
+                if now - claim.stat().st_mtime <= self.stale_timeout:
+                    continue
+            except OSError:
+                continue  # completed between glob and stat
+            try:
+                claim.rename(self.spool.tasks / claim.name)
+                self.stats.tasks_requeued += 1
+            except OSError:
+                continue  # another coordinator beat us to it
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+@dataclass
+class WorkerStats:
+    """Accounting of one :func:`run_worker` invocation."""
+
+    claimed: int = 0    # specs successfully renamed into claims/
+    executed: int = 0   # runs actually simulated
+    cached: int = 0     # claims satisfied by an existing cache entry
+    failed: int = 0     # claims that ended in a failure record
+
+
+class _ClaimHeartbeat(threading.Thread):
+    """Touches a claim file's mtime so the coordinator sees a live lease."""
+
+    def __init__(self, path: pathlib.Path, interval_s: float) -> None:
+        super().__init__(daemon=True)
+        self._path = path
+        self._interval_s = interval_s
+        self._stopped = threading.Event()
+
+    def run(self) -> None:
+        while not self._stopped.wait(self._interval_s):
+            try:
+                os.utime(self._path)
+            except OSError:
+                return  # claim vanished (task finished or was requeued)
+
+    def stop(self) -> None:
+        self._stopped.set()
+        self.join(timeout=self._interval_s + 1.0)
+
+
+def _claim_next_task(spool: _Spool) -> Optional[pathlib.Path]:
+    """Atomically claim the lexicographically first open task, if any.
+
+    ``os.rename`` either succeeds exactly once across all racing workers
+    or raises ``FileNotFoundError`` for the losers — no locks needed.
+    """
+    for path in sorted(spool.tasks.glob("*.json")):
+        target = spool.claims / path.name
+        try:
+            path.rename(target)
+        except OSError:
+            continue  # lost the race for this spec
+        try:
+            # rename preserves mtime, so a spec that sat in the queue longer
+            # than the stale timeout would look abandoned the instant it is
+            # claimed: start the lease fresh.  If the coordinator requeued it
+            # in that window the lease is already lost — keep scanning.
+            os.utime(target)
+        except OSError:
+            continue
+        return target
+    return None
+
+
+def _record_failure(
+    spool: _Spool, task_id: str, claim: pathlib.Path, worker_id: str,
+    error: str, trace: Optional[str] = None,
+) -> None:
+    _write_json_atomic(
+        spool.failure_path(task_id),
+        {
+            "schema": TASK_FAILURE_SCHEMA,
+            "task_id": task_id,
+            "worker": worker_id,
+            "error": error,
+            "traceback": trace,
+        },
+    )
+    claim.unlink(missing_ok=True)
+
+
+def run_worker(
+    spool_dir: Union[str, pathlib.Path],
+    cache_dir: Union[str, pathlib.Path],
+    poll_interval: float = 0.5,
+    heartbeat_s: float = 5.0,
+    max_tasks: Optional[int] = None,
+    idle_exit_s: Optional[float] = None,
+    worker_id: Optional[str] = None,
+    verify_keys: bool = True,
+) -> WorkerStats:
+    """Serve a spool directory until stopped: claim, execute, deposit.
+
+    Parameters
+    ----------
+    spool_dir / cache_dir:
+        The shared spool and run cache (same values the coordinator uses).
+    poll_interval:
+        Sleep between scans while the queue is empty.
+    heartbeat_s:
+        Cadence of claim-mtime and worker-liveness heartbeats; must stay
+        well under the coordinator's ``stale_timeout``.
+    max_tasks:
+        Exit after claiming this many specs (``None`` = unbounded).
+    idle_exit_s:
+        Exit after this long without claimable work (``None`` = serve
+        forever, until the ``stop`` sentinel appears).
+    worker_id:
+        Spool-unique identifier; defaults to ``<hostname>-<pid>``.
+    verify_keys:
+        Recompute each spec's cache key and refuse mismatching specs
+        (defence against corrupted or tampered spool files).
+
+    Returns
+    -------
+    WorkerStats
+        What this worker claimed, executed, served from cache and failed.
+    """
+    spool = _Spool(spool_dir)
+    cache = RunCache(cache_dir)
+    wid = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    beat_path = spool.workers / f"{wid}.json"
+    stats = WorkerStats()
+    idle_since = time.monotonic()
+    last_beat = 0.0
+
+    try:
+        while True:
+            if spool.stop.exists():
+                break
+            if max_tasks is not None and stats.claimed >= max_tasks:
+                break
+            now = time.monotonic()
+            if now - last_beat >= heartbeat_s or not beat_path.exists():
+                _write_json_atomic(beat_path, {"worker": wid, "pid": os.getpid()})
+                last_beat = now
+            claim = _claim_next_task(spool)
+            if claim is None:
+                if idle_exit_s is not None and now - idle_since >= idle_exit_s:
+                    break
+                time.sleep(poll_interval)
+                continue
+            stats.claimed += 1
+            _process_claim(spool, cache, claim, wid, heartbeat_s, verify_keys, stats)
+            # Execution time must not count as idle time, so the clock
+            # restarts only after the claim is fully processed.
+            idle_since = time.monotonic()
+    finally:
+        beat_path.unlink(missing_ok=True)
+    return stats
+
+
+def _process_claim(
+    spool: _Spool,
+    cache: RunCache,
+    claim: pathlib.Path,
+    worker_id: str,
+    heartbeat_s: float,
+    verify_keys: bool,
+    stats: WorkerStats,
+) -> None:
+    task_id = claim.stem
+    try:
+        task = load_task_spec(claim)
+        if verify_keys:
+            expected = RunCache.scenario_key(
+                task.seed, task.scenario, task.settings,
+                task.migration_config, task.stabilization,
+            )
+            if task.key != expected:
+                raise PersistenceError(
+                    f"embedded cache key {task.key!r} does not match the spec"
+                )
+    except PersistenceError as exc:
+        if not claim.exists():
+            return  # lease lost (requeued mid-read) — not this worker's task
+        _record_failure(spool, task_id, claim, worker_id, str(exc))
+        stats.failed += 1
+        return
+
+    heartbeat = _ClaimHeartbeat(claim, heartbeat_s)
+    heartbeat.start()
+    try:
+        # A requeued-but-actually-completed task (slow worker beaten by the
+        # stale timeout) short-circuits here instead of re-simulating.
+        run = cache.get(task.key, task.scenario, task.run_index)
+        if run is not None:
+            stats.cached += 1
+        else:
+            run = task.execute()
+            cache.put(task.key, run, key_payload=task.key_payload())
+            stats.executed += 1
+    except Exception as exc:  # noqa: BLE001 - any failure must reach the coordinator
+        _record_failure(
+            spool, task_id, claim, worker_id,
+            f"{type(exc).__name__}: {exc}", traceback.format_exc(),
+        )
+        stats.failed += 1
+    else:
+        claim.unlink(missing_ok=True)
+    finally:
+        heartbeat.stop()

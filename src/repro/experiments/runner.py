@@ -245,26 +245,49 @@ class ScenarioRunner:
         scenarios: Sequence[MigrationScenario],
         min_runs: Optional[int] = None,
         max_runs: Optional[int] = None,
-        parallel: Optional[int] = None,
+        parallel: Optional[Union[int, str]] = None,
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        spool_dir: Optional[Union[str, pathlib.Path]] = None,
+        queue_options: Optional[dict] = None,
     ) -> ExperimentResult:
         """Run a list of scenarios into one :class:`ExperimentResult`.
 
         Parameters
         ----------
         parallel:
-            Number of worker processes to fan runs out across.  ``None``
-            or ``1`` keeps the in-process serial path (unless a
-            ``cache_dir`` is given); results are bit-identical either way
-            because every run's seed depends only on
+            Number of worker processes to fan runs out across, or the
+            string ``"queue"`` to dispatch runs through the file-based
+            distributed work queue (requires ``cache_dir`` and
+            ``spool_dir``; see :mod:`repro.experiments.queue_backend`).
+            ``None`` or ``1`` keeps the in-process serial path (unless a
+            ``cache_dir`` is given); results are bit-identical in every
+            mode because every run's seed depends only on
             ``(master seed, scenario label, run index)``.
         cache_dir:
             Optional on-disk run cache (see
             :class:`~repro.experiments.executor.RunCache`); re-running an
             unchanged campaign then performs zero simulation runs.
+        spool_dir:
+            Shared task spool of the ``"queue"`` mode, served by
+            ``campaign-worker`` processes (ignored otherwise).
+        queue_options:
+            Extra ``"queue"``-mode knobs forwarded to
+            :class:`~repro.experiments.queue_backend.QueueBackend`.
         """
         if not scenarios:
             raise ExperimentError("campaign needs at least one scenario")
+        if isinstance(parallel, str) and parallel != "queue":
+            raise ExperimentError(f"parallel must be an int or 'queue', got {parallel!r}")
+        if parallel == "queue":
+            from repro.experiments.executor import CampaignExecutor  # local: avoid cycle
+
+            executor = CampaignExecutor(
+                self, backend="queue", cache_dir=cache_dir,
+                spool_dir=spool_dir, queue_options=queue_options,
+            )
+            result = executor.run_campaign(scenarios, min_runs=min_runs, max_runs=max_runs)
+            self.last_executor_stats = executor.stats
+            return result
         if parallel is not None and parallel < 1:
             raise ExperimentError(f"parallel must be >= 1, got {parallel}")
         if (parallel is not None and parallel > 1) or cache_dir is not None:

@@ -10,7 +10,9 @@ plain-format round-trips:
 * **migration samples** → JSON (all per-reading arrays plus scalars and
   measured energies; the complete model-fitting input);
 * **error reports / comparison grids** → JSON for EXPERIMENTS.md-style
-  post-processing.
+  post-processing;
+* **run task specs** → JSON (the distributed queue backend's wire format:
+  one file per run, claimed and executed by ``campaign-worker`` processes).
 
 Formats are versioned with a ``schema`` field so future layouts can be
 migrated explicitly rather than silently misread.
@@ -19,10 +21,12 @@ migrated explicitly rather than silently misread.
 from __future__ import annotations
 
 import csv
+import dataclasses
 import json
 import os
 import pathlib
 import pickle
+import threading
 from typing import Iterable, Union
 
 import numpy as np
@@ -41,6 +45,10 @@ __all__ = [
     "load_error_grid_json",
     "save_run_result",
     "load_run_result",
+    "save_task_spec",
+    "load_task_spec",
+    "task_spec_to_dict",
+    "task_spec_from_dict",
 ]
 
 _PathLike = Union[str, pathlib.Path]
@@ -49,6 +57,7 @@ _PathLike = Union[str, pathlib.Path]
 SAMPLES_SCHEMA = "wavm3-samples/1"
 ERRORS_SCHEMA = "wavm3-errors/1"
 RUN_RESULT_SCHEMA = "wavm3-runresult/1"
+TASK_SPEC_SCHEMA = "wavm3-taskspec/1"
 
 
 class PersistenceError(ReproError):
@@ -160,7 +169,7 @@ def save_run_result(run, path: _PathLike) -> None:
     file.
     """
     path = pathlib.Path(path)
-    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
     with tmp.open("wb") as handle:
         pickle.dump(
             {"schema": RUN_RESULT_SCHEMA, "run": run},
@@ -195,6 +204,99 @@ def load_run_result(path: _PathLike):
     if not isinstance(run, RunResult):
         raise PersistenceError(f"{path}: payload is not a RunResult ({type(run)!r})")
     return run
+
+
+# ---------------------------------------------------------------------------
+# Run task specs <-> JSON (the distributed queue's wire format)
+# ---------------------------------------------------------------------------
+def task_spec_to_dict(task) -> dict:
+    """Serialise a :class:`~repro.experiments.executor.RunTask` to plain JSON.
+
+    Every constituent is a flat dataclass of scalars, so the canonical
+    JSON of a task is also exactly the cache-key payload the executor
+    hashes — a worker can therefore verify the embedded ``key`` before
+    trusting a spec.
+    """
+    return {
+        "schema": TASK_SPEC_SCHEMA,
+        "key": task.key,
+        "seed": int(task.seed),
+        "run_index": int(task.run_index),
+        "scenario": dataclasses.asdict(task.scenario),
+        "settings": dataclasses.asdict(task.settings),
+        "migration_config": (
+            dataclasses.asdict(task.migration_config)
+            if task.migration_config is not None
+            else None
+        ),
+        "stabilization": dataclasses.asdict(task.stabilization),
+    }
+
+
+def task_spec_from_dict(payload: dict):
+    """Rebuild a :class:`~repro.experiments.executor.RunTask` from JSON data."""
+    from repro.experiments.design import MigrationScenario  # local: avoid cycle
+    from repro.experiments.executor import RunTask
+    from repro.experiments.runner import RunnerSettings
+    from repro.hypervisor.migration import MigrationConfig
+    from repro.telemetry.stabilization import StabilizationRule
+
+    if not isinstance(payload, dict) or payload.get("schema") != TASK_SPEC_SCHEMA:
+        raise PersistenceError(
+            f"unexpected task-spec schema "
+            f"{payload.get('schema') if isinstance(payload, dict) else type(payload)!r} "
+            f"(want {TASK_SPEC_SCHEMA!r})"
+        )
+    try:
+        migration_config = (
+            MigrationConfig(**payload["migration_config"])
+            if payload["migration_config"] is not None
+            else None
+        )
+        return RunTask(
+            seed=int(payload["seed"]),
+            settings=RunnerSettings(**payload["settings"]),
+            migration_config=migration_config,
+            stabilization=StabilizationRule(**payload["stabilization"]),
+            scenario=MigrationScenario(**payload["scenario"]),
+            run_index=int(payload["run_index"]),
+            key=payload.get("key"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed task spec: {exc}") from exc
+
+
+def save_task_spec(task, path: _PathLike) -> None:
+    """Write one task spec atomically (temp file + rename).
+
+    Atomicity matters: spool directories are scanned by concurrent
+    workers, and a claim must never observe a half-written spec.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+    tmp.write_text(
+        json.dumps(task_spec_to_dict(task), sort_keys=True, indent=1),
+        encoding="utf-8",
+    )
+    tmp.replace(path)
+
+
+def load_task_spec(path: _PathLike):
+    """Read a task spec written by :func:`save_task_spec`.
+
+    Raises :class:`PersistenceError` on malformed, truncated or
+    wrong-schema files — a worker should fail such a task explicitly
+    rather than guess.
+    """
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError) as exc:
+        raise PersistenceError(f"{path}: not a readable task spec: {exc}") from exc
+    try:
+        return task_spec_from_dict(payload)
+    except PersistenceError as exc:
+        raise PersistenceError(f"{path}: {exc}") from exc
 
 
 # ---------------------------------------------------------------------------

@@ -1,20 +1,35 @@
 """The parallel campaign executor and its content-addressed run cache.
 
-Covers the PR's acceptance criteria directly: serial-vs-parallel
+Covers the PR's acceptance criteria directly: serial-vs-parallel-vs-queue
 bit-identity of campaign results, zero simulation runs on a warm cache,
 cache invalidation when the execution protocol changes, and the shared
-variance-stopping rule both paths replay.
+variance-stopping rule all paths replay.
 """
+
+import json
+import threading
 
 import numpy as np
 import pytest
 
 from repro.errors import ExperimentError
 from repro.experiments.design import MigrationScenario
-from repro.experiments.executor import CampaignExecutor, RunCache
+from repro.experiments.executor import (
+    CACHE_KEY_SCHEMA,
+    CampaignExecutor,
+    ProcessBackend,
+    RunCache,
+    SerialBackend,
+)
+from repro.experiments.queue_backend import run_worker
 from repro.experiments.runner import RunnerSettings, ScenarioRunner, resolve_run_count
 from repro.hypervisor.migration import MigrationConfig
-from repro.io import PersistenceError, load_run_result, save_run_result
+from repro.io import (
+    PersistenceError,
+    load_run_result,
+    save_run_result,
+    save_samples_json,
+)
 from repro.models.features import HostRole
 from repro.telemetry.stabilization import StabilizationRule
 
@@ -96,6 +111,69 @@ class TestBitIdentity:
         ]
         _assert_campaigns_identical(*results)
 
+    def test_queue_backend_matches_serial_and_process(self, serial_campaign, tmp_path):
+        """Acceptance: serial, process and queue (2 workers, one shared
+        cache) produce byte-identical ExperimentResult JSON."""
+        scenarios = _scenarios()
+        workers = [
+            threading.Thread(
+                target=run_worker,
+                args=(tmp_path / "spool", tmp_path / "cache"),
+                kwargs=dict(poll_interval=0.02, idle_exit_s=60.0, worker_id=f"w{i}"),
+                daemon=True,
+            )
+            for i in range(2)
+        ]
+        for thread in workers:
+            thread.start()
+        executor = CampaignExecutor(
+            ScenarioRunner(seed=SEED), backend="queue",
+            cache_dir=tmp_path / "cache", spool_dir=tmp_path / "spool",
+            queue_options={"poll_interval": 0.02, "stop_workers_on_shutdown": True},
+        )
+        assert executor.backend == "queue"
+        queued = executor.run_campaign(scenarios, min_runs=3, max_runs=3)
+        for thread in workers:
+            thread.join(timeout=60)
+        assert executor.stats.runs_executed == 9
+
+        process = CampaignExecutor(ScenarioRunner(seed=SEED), jobs=2).run_campaign(
+            scenarios, min_runs=3, max_runs=3
+        )
+        _assert_campaigns_identical(serial_campaign, queued)
+        _assert_campaigns_identical(process, queued)
+
+        blobs = {}
+        for name, result in (
+            ("serial", serial_campaign), ("process", process), ("queue", queued),
+        ):
+            path = tmp_path / f"{name}.json"
+            save_samples_json(result.samples(), path)
+            blobs[name] = path.read_bytes()
+        assert blobs["serial"] == blobs["process"] == blobs["queue"]
+
+
+class TestBackendProtocol:
+    def test_executor_accepts_backend_instances(self, serial_campaign):
+        executor = CampaignExecutor(ScenarioRunner(seed=SEED), backend=SerialBackend())
+        assert executor.backend == "serial"
+        result = executor.run_campaign(_scenarios(), min_runs=3, max_runs=3)
+        _assert_campaigns_identical(serial_campaign, result)
+
+    def test_capacity_feeds_default_wave_size(self):
+        assert CampaignExecutor(
+            ScenarioRunner(seed=SEED), backend=ProcessBackend(5)
+        ).wave_size == 5
+        assert CampaignExecutor(ScenarioRunner(seed=SEED), jobs=3).wave_size == 3
+        assert CampaignExecutor(ScenarioRunner(seed=SEED)).wave_size == 1
+
+    def test_process_backend_reusable_after_shutdown(self):
+        backend = ProcessBackend(2)
+        executor = CampaignExecutor(ScenarioRunner(seed=SEED), jobs=2, backend=backend)
+        first = executor.run_campaign(_scenarios()[:1], min_runs=2, max_runs=2)
+        second = executor.run_campaign(_scenarios()[:1], min_runs=2, max_runs=2)
+        _assert_campaigns_identical(first, second)
+
 
 class TestRunCache:
     def test_cold_then_warm(self, tmp_path, serial_campaign):
@@ -165,6 +243,83 @@ class TestRunCache:
         again.run_campaign(scenarios, min_runs=2, max_runs=2)
         assert again.stats.runs_cached == 0
         assert again.stats.runs_executed == 2
+
+    def _corrupt_meta_files(self, tmp_path, mutate):
+        metas = list(tmp_path.rglob("meta.json"))
+        assert metas
+        for meta in metas:
+            mutate(meta)
+
+    def test_unparseable_meta_invalidates_entry(self, tmp_path):
+        """The cache must not trust arbitrary JSON: garbage meta means the
+        whole entry is distrusted and its runs recomputed."""
+        scenarios = _scenarios()[:1]
+        CampaignExecutor(ScenarioRunner(seed=SEED), jobs=1, cache_dir=tmp_path).run_campaign(
+            scenarios, min_runs=2, max_runs=2
+        )
+        self._corrupt_meta_files(
+            tmp_path, lambda meta: meta.write_text("not json", encoding="utf-8")
+        )
+        again = CampaignExecutor(ScenarioRunner(seed=SEED), jobs=1, cache_dir=tmp_path)
+        again.run_campaign(scenarios, min_runs=2, max_runs=2)
+        assert again.stats.runs_cached == 0
+        assert again.stats.runs_executed == 2
+
+    def test_wrong_schema_meta_invalidates_entry(self, tmp_path):
+        scenarios = _scenarios()[:1]
+        CampaignExecutor(ScenarioRunner(seed=SEED), jobs=1, cache_dir=tmp_path).run_campaign(
+            scenarios, min_runs=2, max_runs=2
+        )
+
+        def wrong_schema(meta):
+            payload = json.loads(meta.read_text(encoding="utf-8"))
+            payload["schema"] = "wavm3-run-cache/0"
+            meta.write_text(json.dumps(payload), encoding="utf-8")
+
+        self._corrupt_meta_files(tmp_path, wrong_schema)
+        again = CampaignExecutor(ScenarioRunner(seed=SEED), jobs=1, cache_dir=tmp_path)
+        again.run_campaign(scenarios, min_runs=2, max_runs=2)
+        assert again.stats.runs_cached == 0
+
+    def test_hash_mismatching_meta_invalidates_entry(self, tmp_path):
+        """A meta whose canonical JSON no longer hashes back to the entry
+        key (hand-edited or bit-rotted) marks the entry untrustworthy."""
+        scenarios = _scenarios()[:1]
+        CampaignExecutor(ScenarioRunner(seed=SEED), jobs=1, cache_dir=tmp_path).run_campaign(
+            scenarios, min_runs=2, max_runs=2
+        )
+
+        def tamper(meta):
+            payload = json.loads(meta.read_text(encoding="utf-8"))
+            payload["seed"] = payload["seed"] + 1
+            meta.write_text(json.dumps(payload), encoding="utf-8")
+
+        self._corrupt_meta_files(tmp_path, tamper)
+        again = CampaignExecutor(ScenarioRunner(seed=SEED), jobs=1, cache_dir=tmp_path)
+        again.run_campaign(scenarios, min_runs=2, max_runs=2)
+        assert again.stats.runs_cached == 0
+        assert again.stats.runs_executed == 2
+
+    def test_recompute_repairs_bad_meta(self, tmp_path):
+        """After recomputing past a bad meta, put() rewrites a valid one,
+        so the *next* campaign is all cache hits again."""
+        scenarios = _scenarios()[:1]
+        CampaignExecutor(ScenarioRunner(seed=SEED), jobs=1, cache_dir=tmp_path).run_campaign(
+            scenarios, min_runs=2, max_runs=2
+        )
+        self._corrupt_meta_files(
+            tmp_path, lambda meta: meta.write_text("{}", encoding="utf-8")
+        )
+        CampaignExecutor(ScenarioRunner(seed=SEED), jobs=1, cache_dir=tmp_path).run_campaign(
+            scenarios, min_runs=2, max_runs=2
+        )
+        for meta in tmp_path.rglob("meta.json"):
+            payload = json.loads(meta.read_text(encoding="utf-8"))
+            assert payload["schema"] == CACHE_KEY_SCHEMA
+        healed = CampaignExecutor(ScenarioRunner(seed=SEED), jobs=1, cache_dir=tmp_path)
+        healed.run_campaign(scenarios, min_runs=2, max_runs=2)
+        assert healed.stats.runs_executed == 0
+        assert healed.stats.runs_cached == 2
 
 
 class TestCacheKey:

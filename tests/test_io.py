@@ -1,20 +1,31 @@
-"""Persistence round-trips for traces, samples and error grids."""
+"""Persistence round-trips for traces, samples, error grids and task specs."""
+
+import json
 
 import numpy as np
 import pytest
 
+from repro.experiments.design import MigrationScenario
+from repro.experiments.executor import RunCache, RunTask
+from repro.experiments.runner import RunnerSettings
+from repro.hypervisor.migration import MigrationConfig
 from repro.io import (
     PersistenceError,
     load_error_grid_json,
     load_power_trace_csv,
     load_samples_json,
+    load_task_spec,
     save_error_grid_json,
     save_power_trace_csv,
     save_samples_json,
+    save_task_spec,
+    task_spec_from_dict,
+    task_spec_to_dict,
 )
 from repro.models.features import HostRole
 from repro.models.wavm3 import Wavm3Model
 from repro.regression.metrics import ErrorReport
+from repro.telemetry.stabilization import StabilizationRule
 from repro.telemetry.traces import PowerTrace
 
 
@@ -124,3 +135,74 @@ class TestErrorGridJson:
         path.write_text('{"schema": "nope", "grid": {}}')
         with pytest.raises(PersistenceError):
             load_error_grid_json(path)
+
+
+class TestTaskSpecJson:
+    """The distributed queue's wire format: one JSON spec per run."""
+
+    def _task(self, migration_config=None):
+        scenario = MigrationScenario(
+            "MEMLOAD-VM", "io/taskspec", live=True, dirty_percent=35.0
+        )
+        settings = RunnerSettings(min_runs=4)
+        rule = StabilizationRule(n_readings=12)
+        return RunTask(
+            seed=77,
+            settings=settings,
+            migration_config=migration_config,
+            stabilization=rule,
+            scenario=scenario,
+            run_index=3,
+            key=RunCache.scenario_key(77, scenario, settings, migration_config, rule),
+        )
+
+    def test_round_trip(self, tmp_path):
+        task = self._task()
+        path = tmp_path / "task.json"
+        save_task_spec(task, path)
+        assert load_task_spec(path) == task
+        assert not list(tmp_path.glob("*.tmp"))  # atomic write cleaned up
+
+    def test_round_trip_with_migration_config(self, tmp_path):
+        task = self._task(MigrationConfig(max_iterations=5, round_overhead_s=1.5))
+        path = tmp_path / "task.json"
+        save_task_spec(task, path)
+        loaded = load_task_spec(path)
+        assert loaded == task
+        assert loaded.migration_config.max_iterations == 5
+
+    def test_dict_round_trip_preserves_key(self):
+        task = self._task()
+        rebuilt = task_spec_from_dict(task_spec_to_dict(task))
+        assert rebuilt.key == task.key
+        assert rebuilt == task
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json", encoding="utf-8")
+        with pytest.raises(PersistenceError):
+            load_task_spec(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        payload = task_spec_to_dict(self._task())
+        payload["schema"] = "wavm3-taskspec/0"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(PersistenceError):
+            load_task_spec(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "partial.json"
+        payload = task_spec_to_dict(self._task())
+        del payload["settings"]
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(PersistenceError):
+            load_task_spec(path)
+
+    def test_invalid_field_value_rejected(self, tmp_path):
+        path = tmp_path / "invalid.json"
+        payload = task_spec_to_dict(self._task())
+        payload["scenario"]["family"] = "z"  # fails MigrationScenario validation
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(PersistenceError):
+            load_task_spec(path)

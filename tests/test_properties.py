@@ -2,21 +2,33 @@
 
 These complement the per-module property tests with system-level
 guarantees: determinism of whole simulations, conservation/additivity of
-energy accounting, and the pre-copy algorithm's termination envelope.
+energy accounting, the pre-copy algorithm's termination envelope, and the
+run-cache key derivation the distributed campaign backend relies on.
 """
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro
 from repro.errors import ReproError
 from repro.experiments.design import MigrationScenario
-from repro.experiments.runner import ScenarioRunner
+from repro.experiments.executor import RunCache, RunTask
+from repro.experiments.runner import RunnerSettings, ScenarioRunner
+from repro.hypervisor.migration import MigrationConfig
+from repro.io import task_spec_to_dict
 from repro.models.features import HostRole
 from repro.phases.timeline import MigrationPhase
 from repro.simulator.engine import Simulator
 from repro.telemetry.integration import integrate_power
+from repro.telemetry.stabilization import StabilizationRule
 
 _DELAYS = st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False)
 
@@ -201,6 +213,134 @@ class TestErrorHierarchy:
 
         parts = repro.__version__.split(".")
         assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+# Strictly positive float bounds keep -0.0 (== 0.0 but with a different
+# canonical JSON repr) out of the injectivity comparisons below.
+_SETTINGS_DRAWS = st.builds(
+    RunnerSettings,
+    min_runs=st.integers(min_value=2, max_value=12),
+    max_runs=st.integers(min_value=12, max_value=20),
+    variance_delta=st.floats(min_value=0.01, max_value=0.5, allow_nan=False),
+    check_interval_s=st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+)
+_MIGRATION_CONFIG_DRAWS = st.builds(
+    MigrationConfig,
+    max_iterations=st.integers(min_value=1, max_value=40),
+    dirty_threshold_pages=st.integers(min_value=0, max_value=500),
+    max_transfer_factor=st.floats(min_value=1.0, max_value=6.0, allow_nan=False),
+    round_overhead_s=st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+    daemon_threads_source=st.floats(min_value=0.01, max_value=4.0, allow_nan=False),
+    resume_point=st.floats(min_value=0.05, max_value=0.95, allow_nan=False),
+)
+_SCENARIO_DRAWS = st.one_of(
+    st.builds(
+        MigrationScenario,
+        experiment=st.sampled_from(["CPULOAD-SOURCE", "CPULOAD-TARGET"]),
+        label=st.text(alphabet="abcdef0123456789/-", min_size=1, max_size=24),
+        live=st.booleans(),
+        load_vm_count=st.integers(min_value=0, max_value=8),
+        load_on=st.sampled_from(["source", "target"]),
+        family=st.sampled_from(["m", "o"]),
+    ),
+    st.builds(
+        MigrationScenario,
+        experiment=st.just("MEMLOAD-VM"),
+        label=st.text(alphabet="abcdef0123456789/-", min_size=1, max_size=24),
+        live=st.just(True),  # MEMLOAD scenarios are live-only
+        dirty_percent=st.floats(min_value=1.0, max_value=95.0, allow_nan=False),
+        family=st.sampled_from(["m", "o"]),
+    ),
+)
+
+
+class TestRunCacheKeyProperties:
+    """The distributed backend shares runs between machines purely by
+    cache key, so the key derivation must be deterministic, collision-free
+    across differing protocols, and identical across process boundaries."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        scenario=_SCENARIO_DRAWS,
+        runner_settings=_SETTINGS_DRAWS,
+        config=st.none() | _MIGRATION_CONFIG_DRAWS,
+    )
+    def test_key_is_stable_and_wellformed(self, seed, scenario, runner_settings, config):
+        rule = StabilizationRule()
+        first = RunCache.scenario_key(seed, scenario, runner_settings, config, rule)
+        again = RunCache.scenario_key(seed, scenario, runner_settings, config, rule)
+        assert first == again
+        assert len(first) == 64 and set(first) <= set("0123456789abcdef")
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        scenario=_SCENARIO_DRAWS,
+        a=_MIGRATION_CONFIG_DRAWS,
+        b=_MIGRATION_CONFIG_DRAWS,
+    )
+    def test_injective_over_migration_config(self, seed, scenario, a, b):
+        """Two protocol overrides share a key iff they are equal — a stale
+        ablation run can never satisfy a different configuration."""
+        rule = StabilizationRule()
+        base = RunnerSettings()
+        key_a = RunCache.scenario_key(seed, scenario, base, a, rule)
+        key_b = RunCache.scenario_key(seed, scenario, base, b, rule)
+        assert (key_a == key_b) == (a == b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        scenario=_SCENARIO_DRAWS,
+        a=_SETTINGS_DRAWS,
+        b=_SETTINGS_DRAWS,
+    )
+    def test_injective_over_runner_settings(self, scenario, a, b):
+        rule = StabilizationRule()
+        key_a = RunCache.scenario_key(0, scenario, a, None, rule)
+        key_b = RunCache.scenario_key(0, scenario, b, None, rule)
+        assert (key_a == key_b) == (a == b)
+
+    def test_key_stable_across_process_boundaries(self):
+        """A worker on another machine must derive the same key from a
+        round-tripped task spec that the coordinator hashed locally."""
+        rule = StabilizationRule()
+        combos = [
+            (0, MigrationScenario("CPULOAD-SOURCE", "xproc/a", live=True),
+             RunnerSettings(), None),
+            (7, MigrationScenario("CPULOAD-SOURCE", "xproc/b", live=False,
+                                  load_vm_count=3), RunnerSettings(min_runs=4), None),
+            (20150901, MigrationScenario("MEMLOAD-VM", "xproc/c", live=True,
+                                         dirty_percent=55.0),
+             RunnerSettings(check_interval_s=2.0),
+             MigrationConfig(max_iterations=10)),
+        ]
+        tasks = [
+            RunTask(seed=seed, settings=cfg, migration_config=mig,
+                    stabilization=rule, scenario=scn, run_index=0,
+                    key=RunCache.scenario_key(seed, scn, cfg, mig, rule))
+            for seed, scn, cfg, mig in combos
+        ]
+        script = (
+            "import json, sys\n"
+            "from repro.experiments.executor import RunCache\n"
+            "from repro.io import task_spec_from_dict\n"
+            "keys = []\n"
+            "for payload in json.load(sys.stdin):\n"
+            "    t = task_spec_from_dict(payload)\n"
+            "    keys.append(RunCache.scenario_key(t.seed, t.scenario, t.settings,\n"
+            "                                      t.migration_config, t.stabilization))\n"
+            "print(json.dumps(keys))\n"
+        )
+        env = dict(os.environ)
+        src_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps([task_spec_to_dict(t) for t in tasks]),
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert json.loads(proc.stdout) == [t.key for t in tasks]
 
 
 @settings(max_examples=20, deadline=None)

@@ -1,0 +1,422 @@
+"""The distributed (file-based work queue) campaign backend.
+
+Covers the spool claim protocol, the worker lifecycle, fault injection
+(dead workers, corrupted cache entries, tampered specs) and the
+end-to-end CLI path with real ``campaign-worker`` subprocesses.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ExperimentError
+from repro.experiments.design import MigrationScenario
+from repro.experiments.executor import CampaignExecutor, RunCache, RunTask
+from repro.experiments.queue_backend import (
+    QueueBackend,
+    _claim_next_task,
+    _Spool,
+    run_worker,
+    task_id_for,
+)
+from repro.experiments.runner import RunnerSettings, ScenarioRunner
+from repro.io import load_task_spec, save_task_spec, task_spec_to_dict
+from repro.models.features import HostRole
+from repro.telemetry.stabilization import StabilizationRule
+
+SEED = 20150901
+
+_SCENARIO = MigrationScenario("CPULOAD-SOURCE", "queue/lv/1vm", live=True, load_vm_count=1)
+
+
+def _task(run_index: int = 0, seed: int = SEED, scenario: MigrationScenario = _SCENARIO) -> RunTask:
+    settings = RunnerSettings()
+    rule = StabilizationRule()
+    key = RunCache.scenario_key(seed, scenario, settings, None, rule)
+    return RunTask(
+        seed=seed, settings=settings, migration_config=None,
+        stabilization=rule, scenario=scenario, run_index=run_index, key=key,
+    )
+
+
+def _backend(tmp_path: pathlib.Path, **options) -> QueueBackend:
+    options.setdefault("poll_interval", 0.02)
+    return QueueBackend(tmp_path / "spool", RunCache(tmp_path / "cache"), **options)
+
+
+def _start_workers(tmp_path: pathlib.Path, n: int = 1, **kwargs) -> list[threading.Thread]:
+    """Worker loops in daemon threads (same claim/heartbeat protocol as
+    separate processes; the subprocess path is covered by TestCliEndToEnd)."""
+    kwargs.setdefault("poll_interval", 0.02)
+    kwargs.setdefault("idle_exit_s", 60.0)
+    threads = []
+    for i in range(n):
+        thread = threading.Thread(
+            target=run_worker,
+            args=(tmp_path / "spool", tmp_path / "cache"),
+            kwargs={**kwargs, "worker_id": f"w{i}"},
+            daemon=True,
+        )
+        thread.start()
+        threads.append(thread)
+    return threads
+
+
+class TestSpoolProtocol:
+    def test_submit_writes_loadable_spec(self, tmp_path):
+        backend = _backend(tmp_path)
+        task = _task()
+        backend.submit(task)
+        spec_path = backend.spool.task_path(task_id_for(task))
+        assert spec_path.exists()
+        assert load_task_spec(spec_path) == task
+        assert backend.stats.tasks_submitted == 1
+
+    def test_task_id_requires_cache_key(self):
+        keyless = RunTask(
+            seed=SEED, settings=RunnerSettings(), migration_config=None,
+            stabilization=StabilizationRule(), scenario=_SCENARIO, run_index=0,
+        )
+        with pytest.raises(ExperimentError):
+            task_id_for(keyless)
+
+    def test_claim_is_exclusive(self, tmp_path):
+        backend = _backend(tmp_path)
+        backend.submit(_task())
+        first = _claim_next_task(backend.spool)
+        assert first is not None and first.parent == backend.spool.claims
+        assert _claim_next_task(backend.spool) is None  # nothing left to claim
+
+    def test_validation(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        with pytest.raises(ExperimentError):
+            QueueBackend(tmp_path / "spool", cache, poll_interval=0.0)
+        with pytest.raises(ExperimentError):
+            QueueBackend(tmp_path / "spool", cache, stale_timeout=-1.0)
+
+    def test_executor_requires_cache_and_spool(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            CampaignExecutor(ScenarioRunner(seed=SEED), backend="queue",
+                             spool_dir=tmp_path / "spool")
+        with pytest.raises(ExperimentError):
+            CampaignExecutor(ScenarioRunner(seed=SEED), backend="queue",
+                             cache_dir=tmp_path / "cache")
+
+    def test_runner_rejects_unknown_parallel_string(self):
+        with pytest.raises(ExperimentError):
+            ScenarioRunner(seed=SEED).run_campaign([_SCENARIO], parallel="cluster")
+
+
+class TestCapacityIntrospection:
+    def test_no_workers_means_unknown(self, tmp_path):
+        backend = _backend(tmp_path)
+        assert backend.active_workers() == 0
+        assert backend.capacity is None
+
+    def test_fresh_heartbeats_counted_stale_ignored(self, tmp_path):
+        backend = _backend(tmp_path, worker_fresh_s=5.0)
+        fresh = backend.spool.workers / "fresh.json"
+        stale = backend.spool.workers / "stale.json"
+        for beat in (fresh, stale):
+            beat.write_text("{}", encoding="utf-8")
+        os.utime(stale, (time.time() - 600, time.time() - 600))
+        assert backend.active_workers() == 1
+        assert backend.capacity == 1
+
+
+class TestWorkerLifecycle:
+    def test_worker_executes_and_deposits(self, tmp_path):
+        backend = _backend(tmp_path)
+        futures = [backend.submit(_task(i)) for i in range(2)]
+        stats = run_worker(
+            tmp_path / "spool", tmp_path / "cache",
+            poll_interval=0.02, idle_exit_s=0.2,
+        )
+        assert stats.claimed == 2 and stats.executed == 2 and stats.failed == 0
+        done = backend.wait(futures)
+        assert done == set(futures)
+        expected = ScenarioRunner(seed=SEED).run_once(_SCENARIO, run_index=0)
+        got = futures[0].result()
+        assert np.array_equal(got.source_trace.watts, expected.source_trace.watts)
+
+    def test_worker_short_circuits_cached_tasks(self, tmp_path):
+        backend = _backend(tmp_path)
+        task = _task()
+        run = ScenarioRunner(seed=SEED).run_once(_SCENARIO, run_index=0)
+        backend.cache.put(task.key, run, key_payload=task.key_payload())
+        backend.submit(task)
+        stats = run_worker(
+            tmp_path / "spool", tmp_path / "cache",
+            poll_interval=0.02, idle_exit_s=0.2,
+        )
+        assert stats.claimed == 1 and stats.cached == 1 and stats.executed == 0
+
+    def test_stop_sentinel_exits_immediately(self, tmp_path):
+        spool = _Spool(tmp_path / "spool")
+        spool.stop.touch()
+        stats = run_worker(tmp_path / "spool", tmp_path / "cache")
+        assert stats.claimed == 0
+
+    def test_max_tasks_bounds_the_worker(self, tmp_path):
+        backend = _backend(tmp_path)
+        for i in range(3):
+            backend.submit(_task(i))
+        stats = run_worker(
+            tmp_path / "spool", tmp_path / "cache",
+            poll_interval=0.02, max_tasks=1,
+        )
+        assert stats.claimed == 1
+        assert len(list(backend.spool.tasks.glob("*.json"))) == 2
+
+    def test_idle_exit_without_work(self, tmp_path):
+        started = time.monotonic()
+        stats = run_worker(
+            tmp_path / "spool", tmp_path / "cache",
+            poll_interval=0.02, idle_exit_s=0.1,
+        )
+        assert stats.claimed == 0
+        assert time.monotonic() - started < 10.0
+
+    def test_heartbeat_file_removed_on_exit(self, tmp_path):
+        run_worker(
+            tmp_path / "spool", tmp_path / "cache",
+            poll_interval=0.02, idle_exit_s=0.1, worker_id="wX",
+        )
+        assert not (tmp_path / "spool" / "workers" / "wX.json").exists()
+
+    def test_shutdown_writes_stop_sentinel(self, tmp_path):
+        backend = _backend(tmp_path, stop_workers_on_shutdown=True)
+        backend.shutdown()
+        assert backend.spool.stop.exists()
+
+
+class TestFaultInjection:
+    def test_stale_claim_requeued_and_completed(self, tmp_path):
+        """A worker killed mid-task: its claim's heartbeat goes stale, the
+        coordinator requeues it, and a live worker finishes the run."""
+        backend = _backend(tmp_path, stale_timeout=0.5)
+        future = backend.submit(_task())
+        # Simulate the dead worker: the spec is claimed but never
+        # heartbeated again (mtime frozen in the past).
+        claim = _claim_next_task(backend.spool)
+        assert claim is not None
+        long_ago = time.time() - 60
+        os.utime(claim, (long_ago, long_ago))
+
+        workers = _start_workers(tmp_path, heartbeat_s=0.1)
+        try:
+            done = backend.wait([future])
+        finally:
+            backend.spool.stop.touch()
+            for thread in workers:
+                thread.join(timeout=30)
+        assert done == {future}
+        assert backend.stats.tasks_requeued == 1
+        assert future.result().run_index == 0
+
+    def test_fresh_claim_not_requeued(self, tmp_path):
+        backend = _backend(tmp_path, stale_timeout=3600.0)
+        backend.submit(_task())
+        claim = _claim_next_task(backend.spool)
+        backend._requeue_stale_claims()
+        assert claim.exists()
+        assert backend.stats.tasks_requeued == 0
+
+    def test_corrupt_cache_result_recomputed(self, tmp_path):
+        """A result file that fails validation is discarded and the task is
+        respooled — garbage must never resolve a future."""
+        backend = _backend(tmp_path)
+        task = _task()
+        future = backend.submit(task)
+        # The spec vanishes (as after a claim) and a corrupt result appears.
+        backend.spool.task_path(task_id_for(task)).unlink()
+        run_path = backend.cache._run_path(task.key, task.run_index)
+        run_path.parent.mkdir(parents=True, exist_ok=True)
+        run_path.write_bytes(b"not a pickle")
+
+        workers = _start_workers(tmp_path)
+        try:
+            done = backend.wait([future])
+        finally:
+            backend.spool.stop.touch()
+            for thread in workers:
+                thread.join(timeout=30)
+        assert done == {future}
+        assert backend.stats.corrupt_results == 1
+        assert backend.stats.tasks_resubmitted == 1
+        expected = ScenarioRunner(seed=SEED).run_once(_SCENARIO, run_index=0)
+        assert np.array_equal(future.result().source_trace.watts,
+                              expected.source_trace.watts)
+
+    def test_tampered_spec_fails_the_task(self, tmp_path):
+        """A spec whose embedded key does not hash back to its contents is
+        refused by the worker and surfaces as a campaign error."""
+        backend = _backend(tmp_path)
+        task = _task()
+        future = backend.submit(task)
+        tampered = RunTask(
+            seed=task.seed + 1,  # contents no longer match task.key
+            settings=task.settings, migration_config=None,
+            stabilization=task.stabilization, scenario=task.scenario,
+            run_index=task.run_index, key=task.key,
+        )
+        save_task_spec(tampered, backend.spool.task_path(task_id_for(task)))
+
+        stats = run_worker(
+            tmp_path / "spool", tmp_path / "cache",
+            poll_interval=0.02, idle_exit_s=0.2,
+        )
+        assert stats.failed == 1
+        done = backend.wait([future])
+        assert done == {future}
+        with pytest.raises(ExperimentError, match="does not match"):
+            future.result()
+
+    def test_unreadable_spec_fails_the_task(self, tmp_path):
+        backend = _backend(tmp_path)
+        task = _task()
+        future = backend.submit(task)
+        backend.spool.task_path(task_id_for(task)).write_text("{", encoding="utf-8")
+        stats = run_worker(
+            tmp_path / "spool", tmp_path / "cache",
+            poll_interval=0.02, idle_exit_s=0.2,
+        )
+        assert stats.failed == 1
+        backend.wait([future])
+        with pytest.raises(ExperimentError):
+            future.result()
+
+    def test_resubmission_clears_stale_failure_record(self, tmp_path):
+        """A failure record from a previous campaign must not poison a
+        fresh submission of the same task."""
+        backend = _backend(tmp_path)
+        task = _task()
+        backend.spool.failure_path(task_id_for(task)).write_text(
+            json.dumps({"error": "old failure"}), encoding="utf-8"
+        )
+        future = backend.submit(task)
+        run_worker(tmp_path / "spool", tmp_path / "cache",
+                   poll_interval=0.02, idle_exit_s=0.2)
+        done = backend.wait([future])
+        assert done == {future}
+        assert future.exception() is None
+
+    def test_corrupted_cache_entry_recomputed_in_campaign(self, tmp_path):
+        """Acceptance: hash-mismatching cache bytes are recomputed, and the
+        campaign result is still bit-identical to the serial path."""
+        scenarios = [_SCENARIO]
+        serial = ScenarioRunner(seed=SEED).run_campaign(scenarios, min_runs=2, max_runs=2)
+
+        def queue_campaign():
+            executor = CampaignExecutor(
+                ScenarioRunner(seed=SEED), backend="queue",
+                cache_dir=tmp_path / "cache", spool_dir=tmp_path / "spool",
+                queue_options={"poll_interval": 0.02, "stop_workers_on_shutdown": True},
+            )
+            workers = _start_workers(tmp_path)
+            try:
+                result = executor.run_campaign(scenarios, min_runs=2, max_runs=2)
+            finally:
+                executor._backend.shutdown()
+                for thread in workers:
+                    thread.join(timeout=30)
+            return executor, result
+
+        first_executor, _ = queue_campaign()
+        assert first_executor.stats.runs_executed == 2
+        for path in (tmp_path / "cache").rglob("run-*.pkl"):
+            path.write_bytes(b"\x80\x04corrupted")
+        (tmp_path / "spool" / "stop").unlink()
+
+        second_executor, result = queue_campaign()
+        assert second_executor.stats.runs_cached == 0
+        assert second_executor.stats.runs_executed == 2  # recomputed, not returned
+        for sa, sb in zip(serial.scenario_results, result.scenario_results):
+            assert np.array_equal(
+                sa.total_energies_j(HostRole.SOURCE),
+                sb.total_energies_j(HostRole.SOURCE),
+            )
+
+
+class TestCliEndToEnd:
+    def _spawn_worker(self, tmp_path, idx: int) -> subprocess.Popen:
+        src_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli",
+                "--cache-dir", str(tmp_path / "cache"),
+                "campaign-worker",
+                "--spool-dir", str(tmp_path / "spool"),
+                "--poll-interval", "0.05",
+                "--idle-exit", "60",
+                "--worker-id", f"cli-w{idx}",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+
+    def test_two_worker_processes_bit_identical_then_all_cache_hits(self, tmp_path):
+        """Acceptance: a queue campaign served by >= 2 real worker
+        processes is byte-identical to serial, and a rerun performs zero
+        new simulation runs."""
+        scenarios = [
+            _SCENARIO,
+            MigrationScenario("MEMLOAD-VM", "queue/lv/dr55", live=True, dirty_percent=55.0),
+        ]
+        serial = ScenarioRunner(seed=SEED).run_campaign(scenarios, min_runs=2, max_runs=2)
+
+        workers = [self._spawn_worker(tmp_path, i) for i in range(2)]
+        runner = ScenarioRunner(seed=SEED)
+        try:
+            result = runner.run_campaign(
+                scenarios, min_runs=2, max_runs=2, parallel="queue",
+                cache_dir=tmp_path / "cache", spool_dir=tmp_path / "spool",
+                queue_options={"poll_interval": 0.05, "stop_workers_on_shutdown": True},
+            )
+        finally:
+            for proc in workers:
+                try:
+                    proc.wait(timeout=120)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+        assert all(proc.returncode == 0 for proc in workers), [
+            proc.stdout.read() for proc in workers
+        ]
+        assert runner.last_executor_stats.runs_executed == 4
+        for sa, sb in zip(serial.scenario_results, result.scenario_results):
+            assert sa.scenario == sb.scenario
+            for role in (HostRole.SOURCE, HostRole.TARGET):
+                assert np.array_equal(
+                    sa.total_energies_j(role), sb.total_energies_j(role)
+                )
+            for ra, rb in zip(sa.runs, sb.runs):
+                assert np.array_equal(ra.source_trace.watts, rb.source_trace.watts)
+                assert ra.timeline.bytes_total == rb.timeline.bytes_total
+
+        # Warm rerun: all cache hits, zero new simulation runs, no workers.
+        rerun_runner = ScenarioRunner(seed=SEED)
+        rerun = rerun_runner.run_campaign(
+            scenarios, min_runs=2, max_runs=2, parallel="queue",
+            cache_dir=tmp_path / "cache", spool_dir=tmp_path / "spool",
+            queue_options={"poll_interval": 0.05},
+        )
+        assert rerun_runner.last_executor_stats.runs_executed == 0
+        assert rerun_runner.last_executor_stats.runs_cached == 4
+        for sa, sb in zip(result.scenario_results, rerun.scenario_results):
+            assert np.array_equal(
+                sa.total_energies_j(HostRole.SOURCE),
+                sb.total_energies_j(HostRole.SOURCE),
+            )
