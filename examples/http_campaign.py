@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Network campaign: HTTP task handoff with no shared filesystem.
+
+Demonstrates the ``http`` campaign backend end to end inside one
+process: the coordinator binds its task-handoff service to an ephemeral
+loopback port, two worker *threads* poll it exactly like remote
+``wavm3 campaign-worker --connect URL`` processes would (same wire
+protocol, same code path), and the campaign result is compared against
+the plain serial path — byte-identical energies, as always.
+
+In real deployments the workers run on other machines:
+
+    # coordinator
+    wavm3 --seed 7 --cache-dir ~/.wavm3-cache campaign \\
+        --serve 0.0.0.0:8765 --runs 10 --max-runs 16 --stop-workers
+
+    # each worker machine
+    wavm3 campaign-worker --connect http://coordinator:8765
+
+Run:  python examples/http_campaign.py
+"""
+
+import pathlib
+import tempfile
+import threading
+
+import numpy as np
+
+from repro.experiments.design import memload_vm_scenarios
+from repro.experiments.executor import CampaignExecutor
+from repro.experiments.http_backend import fetch_status, run_http_worker
+from repro.experiments.runner import ScenarioRunner
+from repro.models.features import HostRole
+
+SEED = 7
+RUNS = 2
+
+
+def main() -> None:
+    scenarios = memload_vm_scenarios("m")[:2]
+
+    print("Serial reference campaign ...")
+    serial = ScenarioRunner(seed=SEED).run_campaign(
+        scenarios, min_runs=RUNS, max_runs=RUNS
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = pathlib.Path(tmp) / "cache"
+        executor = CampaignExecutor(
+            ScenarioRunner(seed=SEED),
+            backend="http",
+            cache_dir=cache_dir,
+            serve="127.0.0.1:0",  # ephemeral port; real deployments pick one
+            http_options={"stop_workers_on_shutdown": True},
+        )
+        url = executor.serve_url
+        print(f"Campaign service listening on {url}")
+
+        workers = [
+            threading.Thread(
+                target=run_http_worker,
+                args=(url,),
+                kwargs={"poll_interval": 0.05, "worker_id": f"example-w{i}"},
+                daemon=True,
+            )
+            for i in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+
+        print("Status before dispatch:", fetch_status(url))
+        result = executor.run_campaign(scenarios, min_runs=RUNS, max_runs=RUNS)
+        for worker in workers:
+            worker.join(timeout=60)
+
+        stats = executor.stats
+        print(
+            f"HTTP campaign done: {stats.runs_kept} runs kept, "
+            f"{stats.runs_executed} executed remotely "
+            f"[{executor.queue_stats.tasks_submitted} tasks over the wire]"
+        )
+
+        for sr_serial, sr_http in zip(
+            serial.scenario_results, result.scenario_results
+        ):
+            identical = np.array_equal(
+                sr_serial.total_energies_j(HostRole.SOURCE),
+                sr_http.total_energies_j(HostRole.SOURCE),
+            )
+            mean_kj = sr_http.mean_energy_j(HostRole.SOURCE) / 1000
+            print(
+                f"  {sr_http.scenario.label:42s} {mean_kj:8.2f} kJ  "
+                f"byte-identical to serial: {identical}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,15 @@ Examples
     # then run the campaign against it (results bit-identical to serial)
     wavm3 --cache-dir /shared/cache campaign-worker --spool-dir /shared/spool
     wavm3 --cache-dir /shared/cache campaign --spool-dir /shared/spool --stop-workers
+
+    # networked: no shared filesystem — the coordinator embeds an HTTP
+    # task service, workers only need its URL
+    wavm3 --cache-dir ~/.wavm3-cache campaign --serve 0.0.0.0:8765 --stop-workers
+    wavm3 campaign-worker --connect http://coordinator:8765
+
+    # observability: what is a campaign doing right now?
+    wavm3 campaign-status --spool-dir /shared/spool
+    wavm3 campaign-status --connect http://coordinator:8765
 """
 
 from __future__ import annotations
@@ -22,6 +31,28 @@ import sys
 from typing import Optional, Sequence
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: an integer >= 1 (a clear error beats downstream misbehaviour)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type: a finite number > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value > 0 or value != value or value == float("inf"):
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,7 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=1,
         help="worker processes for campaign runs (1 = serial; results are "
         "bit-identical either way)",
@@ -80,56 +111,96 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cap of the adaptive variance loop (default: same as --runs)",
     )
-    camp.add_argument(
+    camp_mode = camp.add_mutually_exclusive_group()
+    camp_mode.add_argument(
         "--spool-dir",
         default=None,
         help="dispatch runs through the file-based distributed work queue "
         "in this shared directory (requires --cache-dir; serve it with "
         "one or more 'campaign-worker' processes)",
     )
+    camp_mode.add_argument(
+        "--serve",
+        default=None,
+        metavar="HOST:PORT",
+        help="dispatch runs through an embedded HTTP task-handoff service "
+        "bound to this address (requires --cache-dir; serve it with "
+        "'campaign-worker --connect' processes; port 0 = ephemeral)",
+    )
     camp.add_argument(
         "--stale-timeout",
-        type=float,
+        type=_positive_float,
         default=60.0,
-        help="seconds without a heartbeat before a claimed queue task is "
-        "requeued (queue mode only)",
+        help="seconds without a heartbeat before a claimed task is "
+        "requeued (queue/http modes only)",
     )
     camp.add_argument(
         "--stop-workers",
         action="store_true",
-        help="write the spool's stop sentinel when the campaign finishes, "
-        "telling idle workers to exit (queue mode only)",
+        help="tell idle workers to exit when the campaign finishes: write "
+        "the spool's stop sentinel (queue mode) or answer claims with a "
+        "stop signal (http mode)",
     )
 
     worker = sub.add_parser(
         "campaign-worker",
-        help="serve a distributed-campaign spool directory: claim run "
-        "specs, execute them, deposit results into the shared cache",
+        help="serve a distributed campaign: claim run specs, execute "
+        "them, return the results — from a shared spool directory "
+        "(--spool-dir) or a campaign service URL (--connect)",
+    )
+    worker_mode = worker.add_mutually_exclusive_group(required=True)
+    worker_mode.add_argument(
+        "--spool-dir", default=None,
+        help="shared spool directory to serve (requires --cache-dir)",
+    )
+    worker_mode.add_argument(
+        "--connect", default=None, metavar="URL",
+        help="campaign service to poll (http://host:port; no shared "
+        "filesystem or --cache-dir needed)",
     )
     worker.add_argument(
-        "--spool-dir", required=True, help="shared spool directory to serve"
-    )
-    worker.add_argument(
-        "--poll-interval", type=float, default=0.5,
+        "--poll-interval", type=_positive_float, default=0.5,
         help="seconds between queue scans while idle",
     )
     worker.add_argument(
-        "--heartbeat", type=float, default=5.0,
+        "--heartbeat", type=_positive_float, default=5.0,
         help="claim/liveness heartbeat cadence in seconds (keep well "
         "under the coordinator's --stale-timeout)",
     )
     worker.add_argument(
-        "--max-tasks", type=int, default=None,
+        "--max-tasks", type=_positive_int, default=None,
         help="exit after claiming this many tasks (default: unbounded)",
     )
     worker.add_argument(
-        "--idle-exit", type=float, default=None,
+        "--idle-exit", type=_positive_float, default=None,
         help="exit after this many seconds without claimable work "
-        "(default: serve until the stop sentinel appears)",
+        "(default: serve until the coordinator says stop)",
     )
     worker.add_argument(
         "--worker-id", default=None,
-        help="spool-unique worker identifier (default: <hostname>-<pid>)",
+        help="campaign-unique worker identifier (default: <hostname>-<pid>)",
+    )
+
+    status = sub.add_parser(
+        "campaign-status",
+        help="summarise a running (or finished) distributed campaign: "
+        "tasks, claims, failures, worker liveness",
+    )
+    status_mode = status.add_mutually_exclusive_group(required=True)
+    status_mode.add_argument(
+        "--spool-dir", default=None, help="spool directory to inspect"
+    )
+    status_mode.add_argument(
+        "--connect", default=None, metavar="URL",
+        help="campaign service to query (http://host:port)",
+    )
+    status.add_argument(
+        "--stale-timeout", type=_positive_float, default=60.0,
+        help="claims idle longer than this are reported stale (spool mode)",
+    )
+    status.add_argument(
+        "--worker-fresh", type=_positive_float, default=15.0,
+        help="worker heartbeats younger than this count as live (spool mode)",
     )
 
     sub.add_parser("scenarios", help="list the Table IIa campaign")
@@ -255,6 +326,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 "stop_workers_on_shutdown": args.stop_workers,
             },
         )
+    elif args.serve is not None:
+        executor = CampaignExecutor(
+            ScenarioRunner(seed=args.seed),
+            backend="http",
+            cache_dir=args.cache_dir,
+            serve=args.serve,
+            http_options={
+                "stale_timeout": args.stale_timeout,
+                "stop_workers_on_shutdown": args.stop_workers,
+            },
+        )
+        # Announce the bound address (resolves port 0) so workers — and
+        # the test harness — know where to --connect.
+        print(f"serving campaign tasks on {executor.serve_url}", flush=True)
     else:
         executor = CampaignExecutor(
             ScenarioRunner(seed=args.seed), jobs=args.jobs, cache_dir=args.cache_dir
@@ -280,7 +365,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     qstats = executor.queue_stats
     if qstats is not None:
         print(
-            f"queue: {qstats.tasks_submitted} tasks spooled, "
+            f"{executor.backend}: {qstats.tasks_submitted} tasks dispatched, "
             f"{qstats.tasks_requeued} requeued, "
             f"{qstats.tasks_resubmitted} resubmitted, "
             f"{qstats.corrupt_results} corrupt results discarded"
@@ -290,24 +375,83 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _cmd_campaign_worker(args: argparse.Namespace) -> int:
     from repro.errors import ExperimentError
-    from repro.experiments.queue_backend import run_worker
 
-    if args.cache_dir is None:
-        raise ExperimentError("campaign-worker requires --cache-dir (the shared run cache)")
-    stats = run_worker(
-        args.spool_dir,
-        args.cache_dir,
-        poll_interval=args.poll_interval,
-        heartbeat_s=args.heartbeat,
-        max_tasks=args.max_tasks,
-        idle_exit_s=args.idle_exit,
-        worker_id=args.worker_id,
-    )
+    if args.connect is not None:
+        from repro.experiments.http_backend import run_http_worker
+
+        stats = run_http_worker(
+            args.connect,
+            poll_interval=args.poll_interval,
+            heartbeat_s=args.heartbeat,
+            max_tasks=args.max_tasks,
+            idle_exit_s=args.idle_exit,
+            worker_id=args.worker_id,
+        )
+    else:
+        from repro.experiments.queue_backend import run_worker
+
+        if args.cache_dir is None:
+            raise ExperimentError(
+                "campaign-worker --spool-dir requires --cache-dir (the shared run cache)"
+            )
+        stats = run_worker(
+            args.spool_dir,
+            args.cache_dir,
+            poll_interval=args.poll_interval,
+            heartbeat_s=args.heartbeat,
+            max_tasks=args.max_tasks,
+            idle_exit_s=args.idle_exit,
+            worker_id=args.worker_id,
+        )
     print(
         f"worker done: {stats.claimed} claimed, {stats.executed} executed, "
         f"{stats.cached} from cache, {stats.failed} failed"
     )
     return 0 if stats.failed == 0 else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    if args.connect is not None:
+        from repro.experiments.http_backend import fetch_status
+
+        status = fetch_status(args.connect)
+        origin = args.connect
+    else:
+        from repro.experiments.queue_backend import spool_status
+
+        status = spool_status(
+            args.spool_dir,
+            stale_timeout=args.stale_timeout,
+            worker_fresh_s=args.worker_fresh,
+        )
+        origin = args.spool_dir
+    print(f"campaign status [{status['backend']}] {origin}")
+    print(
+        f"  tasks: {status['tasks_open']} open, "
+        f"{status['tasks_leased']} claimed"
+        + (
+            f" ({status['leases_stale']} stale)"
+            if "leases_stale" in status
+            else ""
+        )
+        + (
+            f", {status['tasks_completed']} completed"
+            if "tasks_completed" in status
+            else ""
+        )
+        + f", {status['tasks_failed']} failed"
+    )
+    workers = status.get("workers", [])
+    print(
+        f"  workers: {status['workers_live']} live / {len(workers)} seen"
+        + (" [stopping]" if status.get("stopping") else "")
+    )
+    for entry in workers:
+        liveness = "live" if entry["live"] else "stale"
+        print(f"    {entry['worker']:32s} {liveness:5s} last seen {entry['age_s']:.1f}s ago")
+    for failure in status.get("failures", []):
+        print(f"  FAILED {failure['task_id']} on {failure['worker']}: {failure['error']}")
+    return 0 if status["tasks_failed"] == 0 else 1
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
@@ -332,6 +476,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure": _cmd_figure,
         "campaign": _cmd_campaign,
         "campaign-worker": _cmd_campaign_worker,
+        "campaign-status": _cmd_campaign_status,
         "scenarios": _cmd_scenarios,
     }
     try:

@@ -18,6 +18,10 @@
   file-based work queue over a shared spool directory, served by any
   number of ``campaign-worker`` processes depositing into one shared
   run cache;
+* :mod:`repro.experiments.http_backend` — the network backend: an
+  embedded stdlib HTTP task-handoff service (``/claim``, ``/heartbeat``,
+  ``/result``, ``/status``) polled by ``campaign-worker --connect``
+  processes that need nothing but the coordinator's URL;
 * :mod:`repro.experiments.results` — run/scenario/experiment result
   containers and the conversion to model samples.
 """
@@ -42,11 +46,18 @@ from repro.experiments.executor import (
     RunTask,
     SerialBackend,
 )
+from repro.experiments.http_backend import (
+    CampaignHTTPServer,
+    HttpBackend,
+    fetch_status,
+    run_http_worker,
+)
 from repro.experiments.queue_backend import (
     QueueBackend,
     QueueStats,
     WorkerStats,
     run_worker,
+    spool_status,
 )
 from repro.experiments.instances import INSTANCE_CATALOG, InstanceSpec, make_instance_vm
 from repro.experiments.results import ExperimentResult, RunResult, ScenarioResult
@@ -55,8 +66,10 @@ from repro.experiments.testbed import Testbed
 
 __all__ = [
     "CampaignExecutor",
+    "CampaignHTTPServer",
     "ExecutorBackend",
     "ExecutorStats",
+    "HttpBackend",
     "ProcessBackend",
     "QueueBackend",
     "QueueStats",
@@ -64,7 +77,10 @@ __all__ = [
     "RunTask",
     "SerialBackend",
     "WorkerStats",
+    "fetch_status",
+    "run_http_worker",
     "run_worker",
+    "spool_status",
     "resolve_run_count",
     "MigrationScenario",
     "all_scenarios",

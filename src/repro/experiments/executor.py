@@ -9,9 +9,12 @@ embarrassingly parallel at run granularity.  This module exploits that:
 * :class:`CampaignExecutor` fans runs out across an
   :class:`ExecutorBackend` — worker processes (``process`` backend on
   :class:`concurrent.futures.ProcessPoolExecutor`), inline execution
-  (``serial`` backend) or a shared-filesystem work queue served by
+  (``serial`` backend), a shared-filesystem work queue served by
   remote worker processes (``queue`` backend,
-  :mod:`repro.experiments.queue_backend`) — while preserving the
+  :mod:`repro.experiments.queue_backend`) or an embedded HTTP
+  task-handoff service polled by remote workers over the network
+  (``http`` backend, :mod:`repro.experiments.http_backend`) — while
+  preserving the
   adaptive variance-stopping loop of Section V-B.  Runs are dispatched in
   *waves*: each scenario starts with ``min_runs`` runs, the 10 % variance
   criterion is evaluated on the completed, index-ordered energies
@@ -121,7 +124,15 @@ class RunTask:
     key: Optional[str] = None
 
     def execute(self) -> RunResult:
-        """Run this task in the current process (the pure serial code path)."""
+        """Run this task in the current process (the pure serial code path).
+
+        Returns
+        -------
+        RunResult
+            The instrumented run — identical bytes for every backend,
+            because the run's seed depends only on
+            ``(seed, scenario.label, run_index)``.
+        """
         return _execute_run(
             self.seed,
             self.settings,
@@ -132,7 +143,14 @@ class RunTask:
         )
 
     def key_payload(self) -> dict:
-        """The cache-key ingredients of this task (see :class:`RunCache`)."""
+        """The cache-key ingredients of this task (see :class:`RunCache`).
+
+        Returns
+        -------
+        dict
+            The canonical key payload; its SHA-256 digest must equal
+            :attr:`key` for a trustworthy task spec.
+        """
         return RunCache._key_payload(
             self.seed, self.scenario, self.settings,
             self.migration_config, self.stabilization,
@@ -240,7 +258,24 @@ class RunCache:
 
     # -- access ---------------------------------------------------------
     def get(self, key: str, scenario: MigrationScenario, run_index: int) -> Optional[RunResult]:
-        """Load a cached run, or ``None`` on any kind of miss."""
+        """Load a cached run, or ``None`` on any kind of miss.
+
+        Parameters
+        ----------
+        key:
+            The :meth:`scenario_key` the run was stored under.
+        scenario:
+            The scenario the caller expects — a stored run for any other
+            scenario (hash collision, hand-edited cache) is a miss.
+        run_index:
+            The run's index within the scenario's stream.
+
+        Returns
+        -------
+        Optional[RunResult]
+            The cached run, or ``None`` if absent, unreadable,
+            wrong-schema or mismatched (all counted in :attr:`misses`).
+        """
         if not self._meta_ok(key):
             self.misses += 1
             return None
@@ -266,7 +301,19 @@ class RunCache:
         run: RunResult,
         key_payload: Optional[dict] = None,
     ) -> None:
-        """Store one run; (re)writes a valid ``meta.json`` describing the key."""
+        """Store one run; (re)writes a valid ``meta.json`` describing the key.
+
+        Parameters
+        ----------
+        key:
+            The :meth:`scenario_key` to file the run under.
+        run:
+            The run to persist (its ``run_index`` names the file).
+        key_payload:
+            The key's ingredient dict (:meth:`_key_payload` output); when
+            given, a missing or invalid ``meta.json`` is (re)written from
+            it atomically.
+        """
         entry = self._entry_dir(key)
         entry.mkdir(parents=True, exist_ok=True)
         meta = entry / "meta.json"
@@ -313,15 +360,44 @@ class ExecutorBackend(abc.ABC):
 
     @abc.abstractmethod
     def submit(self, task: RunTask) -> Future:
-        """Dispatch one run task, returning a future for its RunResult."""
+        """Dispatch one run task.
+
+        Parameters
+        ----------
+        task:
+            The self-contained run spec to execute.
+
+        Returns
+        -------
+        concurrent.futures.Future
+            Resolves to the task's :class:`~repro.experiments.results.RunResult`;
+            a worker-side failure surfaces as the future's exception.
+        """
 
     def wait(self, pending: Collection[Future]) -> Set[Future]:
-        """Block until at least one pending future is done; return the done set."""
+        """Block until at least one pending future is done.
+
+        Parameters
+        ----------
+        pending:
+            Futures previously returned by :meth:`submit` that the
+            scheduler has not collected yet (never empty).
+
+        Returns
+        -------
+        set[concurrent.futures.Future]
+            The non-empty subset of ``pending`` that is now done.
+        """
         done, _ = wait(pending, return_when=FIRST_COMPLETED)
         return set(done)
 
     def shutdown(self) -> None:
-        """Release backend resources; the backend may be reused afterwards."""
+        """Release backend resources once the campaign is over.
+
+        Process and queue backends may be reused after ``shutdown()``;
+        the ``http`` backend's embedded service is gone for good (build
+        a fresh executor for the next campaign).
+        """
 
 
 class _SerialFuture(Future):
@@ -424,11 +500,14 @@ class CampaignExecutor:
         Worker-process count; ``1`` selects the serial backend under
         ``backend="auto"``.
     backend:
-        ``"process"``, ``"serial"``, ``"queue"``, ``"auto"`` (process iff
-        ``jobs > 1``) — or any :class:`ExecutorBackend` instance.  The
-        ``queue`` backend additionally requires ``cache_dir`` (the shared
-        result store) and ``spool_dir`` (the shared task spool served by
-        ``campaign-worker`` processes).
+        ``"process"``, ``"serial"``, ``"queue"``, ``"http"``, ``"auto"``
+        (process iff ``jobs > 1``) — or any :class:`ExecutorBackend`
+        instance.  The ``queue`` backend additionally requires
+        ``cache_dir`` (the shared result store) and ``spool_dir`` (the
+        shared task spool served by ``campaign-worker`` processes); the
+        ``http`` backend requires ``cache_dir`` and ``serve`` (the
+        address its task-handoff service binds, polled by
+        ``campaign-worker --connect`` processes).
     cache_dir:
         Optional directory for the content-addressed :class:`RunCache`.
     wave_size:
@@ -442,6 +521,19 @@ class CampaignExecutor:
         Extra keyword arguments forwarded to
         :class:`~repro.experiments.queue_backend.QueueBackend`
         (``poll_interval``, ``stale_timeout``, ``stop_workers_on_shutdown``, …).
+    serve:
+        ``HOST:PORT`` the ``http`` backend binds its campaign service to
+        (ignored otherwise); port ``0`` selects an ephemeral port.
+    http_options:
+        Extra keyword arguments forwarded to
+        :class:`~repro.experiments.http_backend.HttpBackend`
+        (``stale_timeout``, ``stop_workers_on_shutdown``, ``stop_grace_s``, …).
+
+    Raises
+    ------
+    ExperimentError
+        On invalid ``jobs``/``wave_size``, an unknown backend name, or a
+        backend whose required companion arguments are missing.
     """
 
     def __init__(
@@ -453,13 +545,17 @@ class CampaignExecutor:
         wave_size: Optional[int] = None,
         spool_dir: Optional[Union[str, pathlib.Path]] = None,
         queue_options: Optional[dict] = None,
+        serve: Optional[str] = None,
+        http_options: Optional[dict] = None,
     ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         self.runner = runner
         self.jobs = int(jobs)
         self.cache = RunCache(cache_dir) if cache_dir is not None else None
-        self._backend = self._make_backend(backend, spool_dir, queue_options)
+        self._backend = self._make_backend(
+            backend, spool_dir, queue_options, serve, http_options
+        )
         self.backend = self._backend.name
         self._explicit_wave_size = None if wave_size is None else int(wave_size)
         if self._explicit_wave_size is not None and self._explicit_wave_size < 1:
@@ -480,8 +576,16 @@ class CampaignExecutor:
         return max(self._backend.capacity or self.jobs, 1)
 
     @property
+    def serve_url(self) -> Optional[str]:
+        """The ``http`` backend's bound service URL (workers ``--connect``
+        here; resolves an ephemeral port), or ``None`` for other backends."""
+        return getattr(self._backend, "url", None)
+
+    @property
     def queue_stats(self):
-        """The queue backend's traffic stats, or ``None`` for other backends."""
+        """The queue/http backend's traffic stats (a
+        :class:`~repro.experiments.queue_backend.QueueStats`), or ``None``
+        for in-process backends."""
         return getattr(self._backend, "stats", None)
 
     def _make_backend(
@@ -489,10 +593,12 @@ class CampaignExecutor:
         backend: Union[str, ExecutorBackend],
         spool_dir: Optional[Union[str, pathlib.Path]],
         queue_options: Optional[dict],
+        serve: Optional[str],
+        http_options: Optional[dict],
     ) -> ExecutorBackend:
         if isinstance(backend, ExecutorBackend):
             return backend
-        if backend not in ("auto", "process", "serial", "queue"):
+        if backend not in ("auto", "process", "serial", "queue", "http"):
             raise ExperimentError(f"unknown backend {backend!r}")
         if backend == "auto":
             backend = "process" if self.jobs > 1 else "serial"
@@ -500,6 +606,17 @@ class CampaignExecutor:
             return SerialBackend()
         if backend == "process":
             return ProcessBackend(self.jobs)
+        if backend == "http":
+            # http: workers upload into the coordinator's cache over the wire.
+            if self.cache is None:
+                raise ExperimentError("the http backend requires a cache_dir")
+            if serve is None:
+                raise ExperimentError(
+                    "the http backend requires a serve address (HOST:PORT)"
+                )
+            from repro.experiments.http_backend import HttpBackend  # local: avoid cycle
+
+            return HttpBackend(serve, self.cache, **(http_options or {}))
         # queue: remote workers share the cache, so both dirs are required.
         if self.cache is None:
             raise ExperimentError("the queue backend requires a cache_dir")
@@ -516,7 +633,28 @@ class CampaignExecutor:
         min_runs: Optional[int] = None,
         max_runs: Optional[int] = None,
     ) -> ExperimentResult:
-        """Execute a campaign; bit-identical to the serial path."""
+        """Execute a campaign; bit-identical to the serial path.
+
+        Parameters
+        ----------
+        scenarios:
+            The scenarios to measure (at least one).
+        min_runs / max_runs:
+            Bounds of the Section V-B variance-stopping loop; default to
+            the runner's :class:`~repro.experiments.runner.RunnerSettings`.
+
+        Returns
+        -------
+        ExperimentResult
+            Exactly the runs the serial path would keep, for any backend
+            and worker count; accounting lands in :attr:`stats`.
+
+        Raises
+        ------
+        ExperimentError
+            On an empty scenario list, invalid run bounds, or any
+            worker-side task failure (propagated from the backend).
+        """
         if not scenarios:
             raise ExperimentError("campaign needs at least one scenario")
         settings = self.runner.settings

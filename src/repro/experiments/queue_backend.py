@@ -54,10 +54,21 @@ from repro.errors import ExperimentError
 from repro.experiments.executor import ExecutorBackend, RunCache, RunTask
 from repro.io import PersistenceError, load_run_result, load_task_spec, save_task_spec
 
-__all__ = ["QueueBackend", "QueueStats", "WorkerStats", "run_worker", "task_id_for"]
+__all__ = [
+    "QueueBackend",
+    "QueueStats",
+    "WorkerStats",
+    "run_worker",
+    "spool_status",
+    "task_id_for",
+]
 
 #: Schema tag of the ``failed/`` error records.
 TASK_FAILURE_SCHEMA = "wavm3-taskfailure/1"
+
+#: Schema tag of the campaign-status documents (shared by
+#: :func:`spool_status` and the HTTP service's ``GET /status``).
+STATUS_SCHEMA = "wavm3-campaign-status/1"
 
 
 def task_id_for(task: RunTask) -> str:
@@ -68,17 +79,19 @@ def task_id_for(task: RunTask) -> str:
 
 
 class _Spool:
-    """Paths of one spool directory; creates the layout on construction."""
+    """Paths of one spool directory; creates the layout on construction
+    (unless ``create=False`` — read-only inspection)."""
 
-    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+    def __init__(self, root: Union[str, pathlib.Path], create: bool = True) -> None:
         self.root = pathlib.Path(root)
         self.tasks = self.root / "tasks"
         self.claims = self.root / "claims"
         self.failed = self.root / "failed"
         self.workers = self.root / "workers"
         self.stop = self.root / "stop"
-        for directory in (self.tasks, self.claims, self.failed, self.workers):
-            directory.mkdir(parents=True, exist_ok=True)
+        if create:
+            for directory in (self.tasks, self.claims, self.failed, self.workers):
+                directory.mkdir(parents=True, exist_ok=True)
 
     def task_path(self, task_id: str) -> pathlib.Path:
         return self.tasks / f"{task_id}.json"
@@ -265,6 +278,90 @@ class QueueBackend(ExecutorBackend):
                 self.stats.tasks_requeued += 1
             except OSError:
                 continue  # another coordinator beat us to it
+
+
+def spool_status(
+    spool_dir: Union[str, pathlib.Path],
+    stale_timeout: float = 60.0,
+    worker_fresh_s: float = 15.0,
+) -> dict:
+    """Summarise a spool directory for ``wavm3 campaign-status``.
+
+    A strictly read-only scan — nothing is claimed, requeued, deleted or
+    even created, so it is safe to run against a live campaign from any
+    machine that can see the spool (and usable post-mortem on an
+    abandoned one).
+
+    Parameters
+    ----------
+    spool_dir:
+        The spool directory to inspect.
+    stale_timeout:
+        Claims whose heartbeat mtime is older than this are reported as
+        stale (the coordinator would requeue them).
+    worker_fresh_s:
+        Worker heartbeat files younger than this count as live.
+
+    Returns
+    -------
+    dict
+        Counts and details: ``tasks_open``, ``tasks_leased``,
+        ``leases_stale``, ``tasks_failed``, ``workers``/``workers_live``,
+        ``stopping``, plus a ``failures`` list of the ``failed/`` records
+        (task id, worker, error).
+
+    Raises
+    ------
+    ExperimentError
+        If ``spool_dir`` does not exist — a typo'd path must not report
+        an idle, healthy campaign.
+    """
+    root = pathlib.Path(spool_dir)
+    if not root.is_dir():
+        raise ExperimentError(f"spool directory {root} does not exist")
+    spool = _Spool(root, create=False)
+    now = time.time()
+
+    def _ages(directory: pathlib.Path) -> list[tuple[str, float]]:
+        entries = []
+        for path in sorted(directory.glob("*.json")):
+            try:
+                entries.append((path.stem, now - path.stat().st_mtime))
+            except OSError:
+                continue  # vanished between glob and stat
+        return entries
+
+    claims = _ages(spool.claims)
+    workers = [
+        {"worker": name, "age_s": round(age, 3), "live": age <= worker_fresh_s}
+        for name, age in _ages(spool.workers)
+    ]
+    failures = []
+    for path in sorted(spool.failed.glob("*.json")):
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            record = {}
+        failures.append(
+            {
+                "task_id": record.get("task_id", path.stem),
+                "worker": record.get("worker", "?"),
+                "error": record.get("error", "unreadable failure record"),
+            }
+        )
+    return {
+        "schema": STATUS_SCHEMA,
+        "backend": "queue",
+        "spool_dir": str(spool.root),
+        "tasks_open": len(list(spool.tasks.glob("*.json"))),
+        "tasks_leased": len(claims),
+        "leases_stale": sum(1 for _, age in claims if age > stale_timeout),
+        "tasks_failed": len(failures),
+        "failures": failures,
+        "workers": workers,
+        "workers_live": sum(1 for w in workers if w["live"]),
+        "stopping": spool.stop.exists(),
+    }
 
 
 # ---------------------------------------------------------------------------

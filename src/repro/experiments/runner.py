@@ -249,17 +249,27 @@ class ScenarioRunner:
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         spool_dir: Optional[Union[str, pathlib.Path]] = None,
         queue_options: Optional[dict] = None,
+        serve: Optional[str] = None,
+        http_options: Optional[dict] = None,
     ) -> ExperimentResult:
         """Run a list of scenarios into one :class:`ExperimentResult`.
 
         Parameters
         ----------
+        scenarios:
+            The scenarios to measure (at least one).
+        min_runs / max_runs:
+            Bounds of the variance-stopping loop; default to
+            :attr:`settings`.
         parallel:
-            Number of worker processes to fan runs out across, or the
+            Number of worker processes to fan runs out across, the
             string ``"queue"`` to dispatch runs through the file-based
             distributed work queue (requires ``cache_dir`` and
-            ``spool_dir``; see :mod:`repro.experiments.queue_backend`).
-            ``None`` or ``1`` keeps the in-process serial path (unless a
+            ``spool_dir``; see :mod:`repro.experiments.queue_backend`),
+            or the string ``"http"`` to serve runs over the network
+            task-handoff service (requires ``cache_dir`` and ``serve``;
+            see :mod:`repro.experiments.http_backend`).  ``None`` or
+            ``1`` keeps the in-process serial path (unless a
             ``cache_dir`` is given); results are bit-identical in every
             mode because every run's seed depends only on
             ``(master seed, scenario label, run index)``.
@@ -273,17 +283,40 @@ class ScenarioRunner:
         queue_options:
             Extra ``"queue"``-mode knobs forwarded to
             :class:`~repro.experiments.queue_backend.QueueBackend`.
+        serve:
+            ``HOST:PORT`` the ``"http"`` mode binds its campaign service
+            to, polled by ``campaign-worker --connect`` processes
+            (ignored otherwise).
+        http_options:
+            Extra ``"http"``-mode knobs forwarded to
+            :class:`~repro.experiments.http_backend.HttpBackend`.
+
+        Returns
+        -------
+        ExperimentResult
+            One :class:`~repro.experiments.results.ScenarioResult` per
+            scenario, in input order.
+
+        Raises
+        ------
+        ExperimentError
+            On an empty scenario list, invalid ``parallel``/run bounds,
+            missing companion arguments of a distributed mode, or any
+            propagated run failure.
         """
         if not scenarios:
             raise ExperimentError("campaign needs at least one scenario")
-        if isinstance(parallel, str) and parallel != "queue":
-            raise ExperimentError(f"parallel must be an int or 'queue', got {parallel!r}")
-        if parallel == "queue":
+        if isinstance(parallel, str) and parallel not in ("queue", "http"):
+            raise ExperimentError(
+                f"parallel must be an int, 'queue' or 'http', got {parallel!r}"
+            )
+        if parallel in ("queue", "http"):
             from repro.experiments.executor import CampaignExecutor  # local: avoid cycle
 
             executor = CampaignExecutor(
-                self, backend="queue", cache_dir=cache_dir,
+                self, backend=parallel, cache_dir=cache_dir,
                 spool_dir=spool_dir, queue_options=queue_options,
+                serve=serve, http_options=http_options,
             )
             result = executor.run_campaign(scenarios, min_runs=min_runs, max_runs=max_runs)
             self.last_executor_stats = executor.stats

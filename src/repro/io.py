@@ -45,6 +45,8 @@ __all__ = [
     "load_error_grid_json",
     "save_run_result",
     "load_run_result",
+    "dump_run_result_bytes",
+    "load_run_result_bytes",
     "save_task_spec",
     "load_task_spec",
     "task_spec_to_dict",
@@ -157,53 +159,126 @@ def load_samples_json(path: _PathLike) -> list[MigrationSample]:
 # ---------------------------------------------------------------------------
 # Run results <-> pickle (the campaign executor's cache payload)
 # ---------------------------------------------------------------------------
-def save_run_result(run, path: _PathLike) -> None:
-    """Persist one :class:`~repro.experiments.results.RunResult` losslessly.
+def dump_run_result_bytes(run) -> bytes:
+    """Serialise one :class:`~repro.experiments.results.RunResult` losslessly.
 
     Pickle is used (rather than JSON) because a run result is an internal
-    cache artifact read back by the same codebase, and the campaign
-    executor's bit-identity guarantee requires an exact round-trip of
-    every trace sample, timeline instant and round record.  The payload is
-    wrapped in a schema envelope and the file is written via a temporary
-    name + atomic rename so concurrent readers never observe a partial
-    file.
+    artifact read back by the same codebase, and the campaign executor's
+    bit-identity guarantee requires an exact round-trip of every trace
+    sample, timeline instant and round record.  The payload is wrapped in
+    a ``wavm3-runresult/1`` schema envelope.  These bytes are both the
+    run-cache file format (:func:`save_run_result`) and the body of the
+    HTTP backend's ``POST /result`` requests.
+
+    Parameters
+    ----------
+    run:
+        The :class:`~repro.experiments.results.RunResult` to serialise.
+
+    Returns
+    -------
+    bytes
+        The schema-enveloped pickle of the run.
+    """
+    return pickle.dumps(
+        {"schema": RUN_RESULT_SCHEMA, "run": run},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def load_run_result_bytes(data: bytes, origin: str = "run result"):
+    """Rebuild a run result from :func:`dump_run_result_bytes` output.
+
+    .. warning::
+        Unpickling executes code embedded in the payload, so only bytes
+        from a trusted source (this codebase's own cache files, or an
+        HTTP campaign service bound to a trusted network) may be passed
+        here.
+
+    Parameters
+    ----------
+    data:
+        The serialised run result.
+    origin:
+        Human-readable provenance used in error messages (a file path,
+        a worker id, …).
+
+    Returns
+    -------
+    RunResult
+        The deserialised run.
+
+    Raises
+    ------
+    PersistenceError
+        If the bytes are not a valid schema-enveloped
+        :class:`~repro.experiments.results.RunResult` pickle.
+    """
+    from repro.experiments.results import RunResult  # local: avoid import cycle
+
+    try:
+        payload = pickle.loads(data)
+    except Exception as exc:  # noqa: BLE001 - unpickling arbitrary bytes
+        raise PersistenceError(f"{origin}: not a readable run result: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != RUN_RESULT_SCHEMA:
+        raise PersistenceError(
+            f"{origin}: unexpected schema "
+            f"{payload.get('schema') if isinstance(payload, dict) else type(payload)!r} "
+            f"(want {RUN_RESULT_SCHEMA!r})"
+        )
+    run = payload.get("run")
+    if not isinstance(run, RunResult):
+        raise PersistenceError(f"{origin}: payload is not a RunResult ({type(run)!r})")
+    return run
+
+
+def save_run_result(run, path: _PathLike) -> None:
+    """Persist one :class:`~repro.experiments.results.RunResult` to disk.
+
+    The payload is :func:`dump_run_result_bytes` and the file is written
+    via a temporary name + atomic rename so concurrent readers never
+    observe a partial file.
+
+    Parameters
+    ----------
+    run:
+        The run to persist.
+    path:
+        Destination file (conventionally ``run-NNNN.pkl`` inside a
+        :class:`~repro.experiments.executor.RunCache` entry).
     """
     path = pathlib.Path(path)
     tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
-    with tmp.open("wb") as handle:
-        pickle.dump(
-            {"schema": RUN_RESULT_SCHEMA, "run": run},
-            handle,
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
+    tmp.write_bytes(dump_run_result_bytes(run))
     tmp.replace(path)
 
 
 def load_run_result(path: _PathLike):
     """Read a run result written by :func:`save_run_result`.
 
-    Raises :class:`PersistenceError` on any malformed, truncated or
-    wrong-schema file — callers treating the file as a cache entry should
-    catch it and fall back to re-executing the run.
-    """
-    from repro.experiments.results import RunResult  # local: avoid import cycle
+    Parameters
+    ----------
+    path:
+        The file to read.
 
+    Returns
+    -------
+    RunResult
+        The deserialised run.
+
+    Raises
+    ------
+    PersistenceError
+        On any malformed, truncated or wrong-schema file — callers
+        treating the file as a cache entry should catch it and fall back
+        to re-executing the run.
+    """
     path = pathlib.Path(path)
     try:
-        with path.open("rb") as handle:
-            payload = pickle.load(handle)
-    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError, OSError) as exc:
+        data = path.read_bytes()
+    except OSError as exc:
         raise PersistenceError(f"{path}: not a readable run result: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("schema") != RUN_RESULT_SCHEMA:
-        raise PersistenceError(
-            f"{path}: unexpected schema "
-            f"{payload.get('schema') if isinstance(payload, dict) else type(payload)!r} "
-            f"(want {RUN_RESULT_SCHEMA!r})"
-        )
-    run = payload.get("run")
-    if not isinstance(run, RunResult):
-        raise PersistenceError(f"{path}: payload is not a RunResult ({type(run)!r})")
-    return run
+    return load_run_result_bytes(data, origin=str(path))
 
 
 # ---------------------------------------------------------------------------
@@ -215,7 +290,19 @@ def task_spec_to_dict(task) -> dict:
     Every constituent is a flat dataclass of scalars, so the canonical
     JSON of a task is also exactly the cache-key payload the executor
     hashes — a worker can therefore verify the embedded ``key`` before
-    trusting a spec.
+    trusting a spec.  This dict is the wire format of both distributed
+    backends: the queue backend writes it to spool files, the HTTP
+    backend returns it from ``POST /claim``.
+
+    Parameters
+    ----------
+    task:
+        The :class:`~repro.experiments.executor.RunTask` to serialise.
+
+    Returns
+    -------
+    dict
+        A JSON-ready ``wavm3-taskspec/1`` document.
     """
     return {
         "schema": TASK_SPEC_SCHEMA,
@@ -234,7 +321,24 @@ def task_spec_to_dict(task) -> dict:
 
 
 def task_spec_from_dict(payload: dict):
-    """Rebuild a :class:`~repro.experiments.executor.RunTask` from JSON data."""
+    """Rebuild a :class:`~repro.experiments.executor.RunTask` from JSON data.
+
+    Parameters
+    ----------
+    payload:
+        A ``wavm3-taskspec/1`` document (:func:`task_spec_to_dict` output).
+
+    Returns
+    -------
+    RunTask
+        The reconstructed task.
+
+    Raises
+    ------
+    PersistenceError
+        On a wrong schema tag or any missing/mistyped field — a worker
+        should fail such a task explicitly rather than guess.
+    """
     from repro.experiments.design import MigrationScenario  # local: avoid cycle
     from repro.experiments.executor import RunTask
     from repro.experiments.runner import RunnerSettings
@@ -271,6 +375,14 @@ def save_task_spec(task, path: _PathLike) -> None:
 
     Atomicity matters: spool directories are scanned by concurrent
     workers, and a claim must never observe a half-written spec.
+
+    Parameters
+    ----------
+    task:
+        The :class:`~repro.experiments.executor.RunTask` to spool.
+    path:
+        Destination file (conventionally ``<task-id>.json`` in a spool's
+        ``tasks/`` directory).
     """
     path = pathlib.Path(path)
     tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
@@ -284,9 +396,21 @@ def save_task_spec(task, path: _PathLike) -> None:
 def load_task_spec(path: _PathLike):
     """Read a task spec written by :func:`save_task_spec`.
 
-    Raises :class:`PersistenceError` on malformed, truncated or
-    wrong-schema files — a worker should fail such a task explicitly
-    rather than guess.
+    Parameters
+    ----------
+    path:
+        The spec file to read.
+
+    Returns
+    -------
+    RunTask
+        The reconstructed task.
+
+    Raises
+    ------
+    PersistenceError
+        On malformed, truncated or wrong-schema files — a worker should
+        fail such a task explicitly rather than guess.
     """
     path = pathlib.Path(path)
     try:

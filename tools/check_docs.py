@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Documentation checks: resolvable links + runnable doc snippets.
+
+Two passes over ``README.md`` and ``docs/*.md`` (plus any extra paths
+given on the command line):
+
+1. **link check** — every relative markdown link/image target
+   (``[text](path)``) must exist on disk, anchors and query strings
+   stripped; ``http(s)``/``mailto`` links are skipped (the suite must
+   pass offline).
+2. **doctests** — every ``>>>`` example in the files is executed via
+   :mod:`doctest` (run with ``PYTHONPATH=src`` so ``repro`` imports).
+
+Exit status is non-zero on any broken link or failing example, which is
+what CI's docs job and ``tests/test_docs.py`` assert.
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Markdown inline links/images: [text](target) — target captured.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that are not files to check.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def default_docs() -> list[pathlib.Path]:
+    """README.md plus every markdown file under docs/."""
+    paths = [REPO_ROOT / "README.md"]
+    paths.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in paths if path.exists()]
+
+
+def check_links(path: pathlib.Path) -> list[str]:
+    """All broken relative link targets of one markdown file."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        plain = target.split("#", 1)[0].split("?", 1)[0]
+        if not plain:
+            continue
+        resolved = (path.parent / plain).resolve()
+        if not resolved.exists():
+            try:
+                shown = path.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = path
+            problems.append(f"{shown}: broken link -> {target}")
+    return problems
+
+
+def check_doctests(path: pathlib.Path) -> tuple[int, int]:
+    """Run a markdown file's ``>>>`` examples; returns (failures, attempts)."""
+    results = doctest.testfile(
+        str(path),
+        module_relative=False,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+    )
+    return results.failed, results.attempted
+
+
+def main(argv: list[str]) -> int:
+    paths = [pathlib.Path(arg) for arg in argv] or default_docs()
+    broken: list[str] = []
+    failed = attempted = 0
+    for path in paths:
+        broken.extend(check_links(path))
+        file_failed, file_attempted = check_doctests(path)
+        failed += file_failed
+        attempted += file_attempted
+    for problem in broken:
+        print(problem)
+    print(
+        f"checked {len(paths)} docs: {len(broken)} broken links, "
+        f"{failed}/{attempted} doc examples failed"
+    )
+    return 1 if broken or failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
