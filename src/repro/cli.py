@@ -203,6 +203,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker heartbeats younger than this count as live (spool mode)",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf microbenchmarks and write BENCH_<rev>.json "
+        "(campaign batched-vs-events speedup, simulator events/sec, "
+        "telemetry samples/sec)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI-friendly sizes (fewer runs, smaller event storm)",
+    )
+    bench.add_argument(
+        "--repeats", type=_positive_int, default=None,
+        help="repetitions per benchmark; the best time counts",
+    )
+    bench.add_argument(
+        "--output-dir", default=".",
+        help="directory for BENCH_<rev>.json (default: current directory)",
+    )
+    bench.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against a committed baseline JSON and exit non-zero "
+        "on regression (see benchmarks/bench_baseline.json)",
+    )
+    bench.add_argument(
+        "--tolerance", type=_positive_float, default=0.25,
+        help="allowed relative shortfall vs the baseline's guarded "
+        "metrics (default 0.25 = fail below 75%%)",
+    )
+
     sub.add_parser("scenarios", help="list the Table IIa campaign")
     return parser
 
@@ -454,6 +483,49 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     return 0 if status["tasks_failed"] == 0 else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import check_regression, run_benchmarks, write_bench_json
+
+    if args.tolerance >= 1.0:
+        raise SystemExit("--tolerance must be below 1.0")
+    payload = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    results = payload["results"]
+    campaign = results["campaign"]
+    print(f"wavm3 bench @ {payload['revision']} (quick={payload['quick']})")
+    print(
+        f"  campaign [{campaign['scenario']} x{campaign['runs']}]: "
+        f"batched {campaign['batched']['wall_s']:.2f}s "
+        f"({campaign['batched']['runs_per_s']:.2f} runs/s, "
+        f"{campaign['batched']['samples_per_s']:,.0f} samples/s) | "
+        f"events {campaign['events']['wall_s']:.2f}s | "
+        f"speedup {campaign['speedup']:.2f}x"
+    )
+    print(
+        f"  simulator: {results['simulator']['events_per_s']:,.0f} events/s"
+    )
+    print(
+        f"  telemetry: batched "
+        f"{results['telemetry']['batched']['samples_per_s']:,.0f} samples/s | "
+        f"events {results['telemetry']['events']['samples_per_s']:,.0f} | "
+        f"speedup {results['telemetry']['speedup']:.2f}x"
+    )
+    path = write_bench_json(payload, args.output_dir)
+    print(f"wrote {path}")
+    if args.check is not None:
+        import pathlib
+
+        baseline = json.loads(pathlib.Path(args.check).read_text(encoding="utf-8"))
+        failures = check_regression(payload, baseline, tolerance=args.tolerance)
+        if failures:
+            for line in failures:
+                print(f"PERF REGRESSION {line}")
+            return 1
+        print(f"perf-smoke ok: within {args.tolerance:.0%} of {args.check}")
+    return 0
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     from repro.experiments.design import all_scenarios
 
@@ -477,6 +549,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "campaign-worker": _cmd_campaign_worker,
         "campaign-status": _cmd_campaign_status,
+        "bench": _cmd_bench,
         "scenarios": _cmd_scenarios,
     }
     try:

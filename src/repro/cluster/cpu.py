@@ -52,6 +52,14 @@ class CpuAccountant:
             )
         self._capacity = float(capacity_threads)
         self._demands: dict[str, float] = {}
+        # Demand-table version, bumped on every mutation: aggregate reads
+        # memoise against it (telemetry reads aggregates per sample, the
+        # table only changes on simulation events).  The cached value is
+        # always produced by the same summation expression, so memoised
+        # and fresh reads are bit-identical.
+        self._version = 0
+        self._total_version = -1
+        self._total_cache = 0.0
 
     # ------------------------------------------------------------------
     # Registration
@@ -65,6 +73,7 @@ class CpuAccountant:
         if threads < 0:
             raise CapacityError(f"demand must be non-negative, got {threads!r} for {key!r}")
         self._demands[key] = float(threads)
+        self._version += 1
 
     def add_demand(self, key: str, delta_threads: float) -> None:
         """Adjust an entry by a delta, clamping at zero."""
@@ -73,10 +82,12 @@ class CpuAccountant:
         if updated < 0:
             updated = 0.0
         self._demands[key] = updated
+        self._version += 1
 
     def remove(self, key: str) -> None:
         """Deregister a component; missing keys are ignored."""
         self._demands.pop(key, None)
+        self._version += 1
 
     def demand(self, key: str) -> float:
         """Registered demand of ``key`` (0 if unregistered)."""
@@ -96,7 +107,10 @@ class CpuAccountant:
 
     def total_demand(self) -> float:
         """Sum of all registered demands in threads (may exceed capacity)."""
-        return sum(self._demands.values())
+        if self._total_version != self._version:
+            self._total_cache = sum(self._demands.values())
+            self._total_version = self._version
+        return self._total_cache
 
     def total_demand_excluding(self, *keys: str) -> float:
         """Total demand ignoring the listed keys (used by the network model

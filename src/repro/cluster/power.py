@@ -132,6 +132,12 @@ class PowerModelParams:
             + self.fan_power(1.0)
         )
 
+    # NOTE: the batched telemetry kernel
+    # (PhysicalHost.instantaneous_power_values) replays this model's term
+    # sequence operation-by-operation with hoisted constants for speed.
+    # Any change to cpu_power/fan_power/instantaneous_power below must be
+    # mirrored there; the cross-path golden tests
+    # (tests/test_telemetry_batched.py) fail on any divergence.
     def cpu_power(self, utilisation_fraction: float) -> float:
         """Dynamic CPU power (W) at a given utilisation in [0, 1]."""
         u = min(max(utilisation_fraction, 0.0), 1.0)

@@ -210,11 +210,16 @@ class RunCache:
         migration_config: Optional[MigrationConfig],
         stabilization: StabilizationRule,
     ) -> dict:
+        settings_payload = dataclasses.asdict(settings)
+        # The telemetry implementation ("batched" vs "events") is proven
+        # bit-identical (cross-path golden tests), so it must not split
+        # the cache: a campaign warmed in one mode serves the other.
+        settings_payload.pop("telemetry", None)
         return {
             "schema": CACHE_KEY_SCHEMA,
             "seed": int(seed),
             "scenario": dataclasses.asdict(scenario),
-            "settings": dataclasses.asdict(settings),
+            "settings": settings_payload,
             "migration_config": (
                 dataclasses.asdict(migration_config)
                 if migration_config is not None

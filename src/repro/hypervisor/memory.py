@@ -75,9 +75,26 @@ class VmMemory:
             raise ConfigurationError(f"ram_mb must be positive, got {ram_mb!r}")
         self.ram_mb = int(ram_mb)
         self.n_pages = mib_to_pages(ram_mb)
-        self._bitmap: Optional[np.ndarray] = None  # allocated when logging starts
+        self._logging = False
         self._working_pages = 0
         self._write_rate_pages_s = 0.0
+        # Dirty-page accounting.  Pages are only ever marked by advance()
+        # — always uniformly inside the working set — and cleared
+        # wholesale by clear_dirty(), so while the working set stays
+        # fixed (which every migration path guarantees: the dirty
+        # process is only re-synced on suspend/resume, with the same
+        # workload) the log reduces exactly to a counter: every
+        # observable (dirty_count, clean-set size, the RNG draws) is a
+        # function of counts alone.  This makes the whole log O(1)
+        # instead of O(n_pages) bitmap passes per pre-copy round, and
+        # advance() still consumes the generator identically to the
+        # explicit-bitmap implementation it replaced
+        # (``Generator.choice`` draws the same variates for an int
+        # population as for an index array of the same size).
+        # Resizing the working set while pages are logged is rejected
+        # (see set_dirty_process): page identity is gone, so the
+        # inside/outside split could not be reconstructed.
+        self._dirty_logged = 0
 
     # ------------------------------------------------------------------
     # Workload coupling
@@ -92,8 +109,25 @@ class VmMemory:
             raise ConfigurationError(
                 f"working_set_fraction must be in [0, 1], got {working_set_fraction!r}"
             )
+        new_working = int(round(working_set_fraction * self.n_pages))
+        if (
+            self._logging
+            and self._dirty_logged
+            and new_working != self._working_pages
+        ):
+            # The counter log cannot attribute already-dirty pages to a
+            # *resized* working set (page identity is gone), so fail
+            # loudly rather than silently diverge from the bitmap
+            # semantics.  No migration path resizes the set while
+            # logging: the dirty process is only re-synced on
+            # suspend/resume, with the same workload.
+            raise ConfigurationError(
+                "cannot resize the working set while dirty pages are "
+                f"logged ({self._dirty_logged} dirty, "
+                f"{self._working_pages} -> {new_working} pages)"
+            )
         self._write_rate_pages_s = float(write_rate_pages_s)
-        self._working_pages = int(round(working_set_fraction * self.n_pages))
+        self._working_pages = new_working
 
     def stop_dirty_process(self) -> None:
         """Suspend dirtying (VM paused or destroyed)."""
@@ -114,29 +148,29 @@ class VmMemory:
     # ------------------------------------------------------------------
     @property
     def logging(self) -> bool:
-        """Whether the log-dirty bitmap is active."""
-        return self._bitmap is not None
+        """Whether log-dirty mode is active."""
+        return self._logging
 
     def enable_logging(self) -> None:
-        """Start log-dirty mode with a clean bitmap (shadow page tables on)."""
-        self._bitmap = np.zeros(self.n_pages, dtype=bool)
+        """Start log-dirty mode with a clean log (shadow page tables on)."""
+        self._logging = True
+        self._dirty_logged = 0
 
     def disable_logging(self) -> None:
-        """Leave log-dirty mode and drop the bitmap."""
-        self._bitmap = None
+        """Leave log-dirty mode and drop the log."""
+        self._logging = False
+        self._dirty_logged = 0
 
     def dirty_count(self) -> int:
         """Number of pages currently marked dirty (0 when not logging)."""
-        if self._bitmap is None:
-            return 0
-        return int(self._bitmap.sum())
+        return self._dirty_logged if self._logging else 0
 
     def clear_dirty(self) -> int:
         """Clear the log (start of a pre-copy round); returns pages cleared."""
-        if self._bitmap is None:
+        if not self._logging:
             return 0
-        count = int(self._bitmap.sum())
-        self._bitmap[:] = False
+        count = self._dirty_logged
+        self._dirty_logged = 0
         return count
 
     def advance(self, dt: float, rng: np.random.Generator) -> int:
@@ -149,7 +183,7 @@ class VmMemory:
         """
         if dt < 0:
             raise ConfigurationError(f"dt must be non-negative, got {dt!r}")
-        if self._bitmap is None or dt == 0.0:
+        if not self._logging or dt == 0.0:
             return 0
         w = self._working_pages
         rate = self._write_rate_pages_s
@@ -158,15 +192,16 @@ class VmMemory:
         writes = rate * dt
         # Probability that a specific working page got touched at least once.
         p_touched = 1.0 - math.exp(writes * math.log1p(-1.0 / w)) if w > 1 else 1.0
-        working_view = self._bitmap[:w]
-        clean_idx = np.flatnonzero(~working_view)
-        if clean_idx.size == 0:
+        clean = w - self._dirty_logged
+        if clean <= 0:
             return 0
-        n_new = int(rng.binomial(clean_idx.size, min(max(p_touched, 0.0), 1.0)))
+        n_new = int(rng.binomial(clean, min(max(p_touched, 0.0), 1.0)))
         if n_new == 0:
             return 0
-        chosen = rng.choice(clean_idx, size=n_new, replace=False)
-        working_view[chosen] = True
+        # Draw the page choice exactly as the explicit-bitmap version did
+        # (uniform distinct clean pages); only the count is observable.
+        rng.choice(clean, size=n_new, replace=False)
+        self._dirty_logged += n_new
         return n_new
 
     # ------------------------------------------------------------------

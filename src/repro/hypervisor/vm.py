@@ -19,9 +19,15 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from repro.errors import VMStateError
 from repro.hypervisor.memory import VmMemory
-from repro.simulator.noise import ou_like_noise
+from repro.simulator.noise import (
+    ou_like_noise,
+    ou_like_noise_cached,
+    ou_like_noise_values,
+)
 from repro.workloads.base import Workload
 from repro.workloads.idle import IdleWorkload
 
@@ -92,6 +98,10 @@ class VirtualMachine:
         self.host: Optional["PhysicalHost"] = None
         self._workload: Workload = workload or IdleWorkload()
         self._noise_seed = int(noise_seed)
+        # Per-tick N(0,1) memo of the VM's CPU-feature jitter (see
+        # PhysicalHost's tick caches for the rationale).
+        self._noise_cache: dict[int, float] = {}
+        self._vmcpu_noise_key = f"vmcpu:{name}"
         self._sync_dirty_process()
 
     # ------------------------------------------------------------------
@@ -188,6 +198,46 @@ class VirtualMachine:
             sigma=_VM_CPU_JITTER_PCT,
         )
         return float(min(max(base + jitter, 0.0), 100.0))
+
+    def cpu_percent_block(self, times: np.ndarray) -> np.ndarray:
+        """Batched :meth:`cpu_percent` over an event-free interval.
+
+        The workload share and scheduler allocation are constant between
+        events; only the deterministic read jitter varies per sample.
+        Bit-identical to per-sample scalar calls.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        return np.asarray(self.cpu_percent_values(times.tolist()), dtype=np.float64)
+
+    def cpu_percent_cached(self, t: float) -> float:
+        """Scalar :meth:`cpu_percent` through the per-tick noise memo.
+
+        The single-sample core of :meth:`cpu_percent_block`; bit-identical
+        to ``cpu_percent(t)``.
+        """
+        if not self.running:
+            return 0.0
+        base = self._workload.cpu_fraction() * 100.0
+        if self.host is not None:
+            base *= self.host.cpu.allocation_fraction(f"vm:{self.name}")
+        jitter = ou_like_noise_cached(
+            self._noise_seed, self._vmcpu_noise_key, t, _JITTER_QUANTUM_S,
+            _VM_CPU_JITTER_PCT, 0.6, self._noise_cache,
+        )
+        return float(min(max(base + jitter, 0.0), 100.0))
+
+    def cpu_percent_values(self, times: list[float]) -> list[float]:
+        """Batched :meth:`cpu_percent` (plain floats, loop core)."""
+        if not self.running:
+            return [0.0] * len(times)
+        base = self._workload.cpu_fraction() * 100.0
+        if self.host is not None:
+            base *= self.host.cpu.allocation_fraction(f"vm:{self.name}")
+        jitter = ou_like_noise_values(
+            self._noise_seed, self._vmcpu_noise_key, times, _JITTER_QUANTUM_S,
+            sigma=_VM_CPU_JITTER_PCT, cache=self._noise_cache,
+        )
+        return [float(min(max(base + j, 0.0), 100.0)) for j in jitter]
 
     def dirtying_ratio_percent(self) -> float:
         """``DR(v,t)``: steady-state dirtying ratio in percent (Eq. 1)."""

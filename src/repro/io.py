@@ -58,7 +58,9 @@ _PathLike = Union[str, pathlib.Path]
 #: Schema tag written into every JSON artifact.
 SAMPLES_SCHEMA = "wavm3-samples/1"
 ERRORS_SCHEMA = "wavm3-errors/1"
-RUN_RESULT_SCHEMA = "wavm3-runresult/1"
+# /2: traces moved from list-backed to numpy-block storage (their pickle
+# state changed shape); old /1 cache entries are rejected and recomputed.
+RUN_RESULT_SCHEMA = "wavm3-runresult/2"
 TASK_SPEC_SCHEMA = "wavm3-taskspec/1"
 
 
@@ -166,7 +168,7 @@ def dump_run_result_bytes(run) -> bytes:
     artifact read back by the same codebase, and the campaign executor's
     bit-identity guarantee requires an exact round-trip of every trace
     sample, timeline instant and round record.  The payload is wrapped in
-    a ``wavm3-runresult/1`` schema envelope.  These bytes are both the
+    a :data:`RUN_RESULT_SCHEMA` envelope.  These bytes are both the
     run-cache file format (:func:`save_run_result`) and the body of the
     HTTP backend's ``POST /result`` requests.
 

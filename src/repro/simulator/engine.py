@@ -42,6 +42,13 @@ class Simulator:
         self._heap: list[Event] = []
         self._running = False
         self._processed = 0
+        # Live pending-event count: incremented on schedule, decremented on
+        # fire and on cancel (via the event's owner back-reference), so the
+        # property below is O(1) instead of an O(heap) scan.
+        self._pending = 0
+        # Interval hooks (e.g. batched telemetry samplers): advanced over
+        # every event-free time interval before the clock crosses it.
+        self._interval_hooks: list[Any] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -53,8 +60,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still waiting on the heap (incl. cancelled)."""
-        return sum(1 for e in self._heap if e.pending)
+        """Number of events still waiting to fire (cancelled ones excluded)."""
+        return self._pending
 
     @property
     def processed_events(self) -> int:
@@ -95,12 +102,55 @@ class Simulator:
                 + (f" ({label})" if label else "")
             )
         event = Event(time, callback, args, label=label)
+        event._owner = self
+        self._pending += 1
         heapq.heappush(self._heap, event)
         return event
 
     def cancel(self, event: Event) -> bool:
         """Cancel a previously scheduled event (lazy removal)."""
         return event.cancel()
+
+    def _event_cancelled(self) -> None:
+        """Owner callback from :meth:`Event.cancel` (keeps the counter live)."""
+        self._pending -= 1
+
+    # ------------------------------------------------------------------
+    # Interval hooks (the batched-telemetry fast path)
+    # ------------------------------------------------------------------
+    def add_interval_hook(self, hook: Any) -> None:
+        """Register an interval hook.
+
+        A hook is any object with an ``advance_to(t1: float)`` method.  The
+        engine calls it every time the clock is about to move from ``now``
+        to a later instant ``t1`` (the next event's time, or ``run``'s
+        ``until`` bound), letting the hook process the whole event-free
+        interval ``(now, t1]`` in one step.  State is piecewise constant
+        between events, so a hook observing it anywhere in the interval
+        sees exactly what per-tick event callbacks would have seen.
+
+        Hooks run in registration order, *before* the event at ``t1``
+        fires — an observation at exactly ``t1`` sees pre-event state.
+        (In the per-event reference path a tick coinciding exactly with
+        a state-changing event is ordered by scheduling history instead;
+        the simulation's event times carry per-run jitter precisely so
+        such grid collisions do not occur, and the cross-path golden
+        tests would surface one.)  Hooks must not schedule or cancel
+        events.
+        """
+        if hook not in self._interval_hooks:
+            self._interval_hooks.append(hook)
+
+    def remove_interval_hook(self, hook: Any) -> None:
+        """Deregister an interval hook; missing hooks are ignored."""
+        try:
+            self._interval_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _advance_hooks(self, t1: float) -> None:
+        for hook in self._interval_hooks:
+            hook.advance_to(t1)
 
     # ------------------------------------------------------------------
     # Execution
@@ -116,11 +166,16 @@ class Simulator:
         self._drop_cancelled_head()
         if not self._heap:
             return False
+        if self._interval_hooks and self._heap[0].time > self._now:
+            # Let batched samplers observe the event-free interval before
+            # the event at its far end mutates state.
+            self._advance_hooks(self._heap[0].time)
         event = heapq.heappop(self._heap)
         if event.time < self._now:  # pragma: no cover - defensive
             raise SimulationError("heap invariant violated: event in the past")
         self._now = event.time
         self._processed += 1
+        self._pending -= 1
         event.fire()
         return True
 
@@ -158,6 +213,8 @@ class Simulator:
                 self.step()
                 fired += 1
             if until is not None and until > self._now:
+                if self._interval_hooks:
+                    self._advance_hooks(float(until))
                 self._now = float(until)
         finally:
             self._running = False

@@ -43,7 +43,7 @@ class Event:
         Optional human-readable tag used in ``repr`` and error messages.
     """
 
-    __slots__ = ("time", "callback", "args", "label", "state", "_seq")
+    __slots__ = ("time", "callback", "args", "label", "state", "_seq", "_owner")
 
     def __init__(
         self,
@@ -58,6 +58,10 @@ class Event:
         self.label = label
         self.state = EventState.PENDING
         self._seq = next(_sequence)
+        # Set by the simulator on scheduling so PENDING -> CANCELLED
+        # transitions keep its live pending-event counter exact even when
+        # cancel() is called on the event directly.
+        self._owner: Any = None
 
     # Heap ordering -------------------------------------------------------
     def __lt__(self, other: "Event") -> bool:
@@ -87,6 +91,8 @@ class Event:
         """
         if self.state is EventState.PENDING:
             self.state = EventState.CANCELLED
+            if self._owner is not None:
+                self._owner._event_cancelled()
             return True
         return False
 

@@ -14,12 +14,35 @@ scheduler-tick timescale, not per femtosecond.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import struct
+from typing import Dict
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.simulator.rng import derive_seed
 
-__all__ = ["hash_uniform", "hash_normal", "ou_like_noise"]
+_sha256 = hashlib.sha256
+#: Little-endian u64 of a digest's first 8 bytes — exactly what
+#: ``int.from_bytes(digest[:8], "little")`` yields, without the slice.
+_u64_prefix = struct.Struct("<Q").unpack_from
+
+__all__ = [
+    "hash_uniform",
+    "hash_normal",
+    "hash_normal_unit",
+    "ou_like_noise",
+    "ou_like_noise_block",
+    "ou_like_noise_cached",
+    "ou_like_noise_values",
+]
+
+#: Memo table type of the block evaluators: ``tick -> N(0,1) draw``.
+#: One table per noise key (the key is folded into the owner's attribute,
+#: keeping memo lookups to a plain int hash).
+NoiseCache = Dict[int, float]
 
 _TWO_PI = 2.0 * math.pi
 _U64 = float(2**64)
@@ -57,6 +80,137 @@ def hash_normal(seed: int, key: str, t: float, quantum: float, sigma: float = 1.
     return sigma * math.sqrt(-2.0 * math.log(u1)) * math.cos(_TWO_PI * u2)
 
 
+def hash_normal_unit(seed: int, key: str, tick: int) -> float:
+    """Standard-normal hash noise at an integer ``tick``.
+
+    This is the ``sigma=1`` core of :func:`hash_normal` keyed directly by
+    tick: ``hash_normal(seed, key, tick * quantum, quantum, 1.0)`` equals
+    ``hash_normal_unit(seed, key, tick)`` bit for bit (``1.0 * x == x``
+    for every float).  The batched telemetry kernel memoises these per
+    ``(key, tick)`` — consecutive samples and co-located instruments
+    reuse the same ticks, so the expensive SHA-256 evaluations drop from
+    per-read to per-unique-tick.
+
+    The two hash uniforms are built inline (one formatted string and one
+    SHA-256 each, exactly :func:`_hash_unit`'s bytes) rather than through
+    the scalar helper chain — this memo-miss path is the fast path's hot
+    spot.
+    """
+    prefix = f"{seed}:{key}#{tick}#".encode("utf-8")
+    raw1 = _u64_prefix(_sha256(prefix + b"1").digest())[0]
+    raw2 = _u64_prefix(_sha256(prefix + b"2").digest())[0]
+    u1 = (raw1 + 0.5) / _U64
+    u2 = (raw2 + 0.5) / _U64
+    return math.sqrt(-2.0 * math.log(u1)) * math.cos(_TWO_PI * u2)
+
+
+def ou_like_noise_values(
+    seed: int,
+    key: str,
+    times: list[float],
+    quantum: float,
+    sigma: float,
+    blend: float = 0.6,
+    cache: NoiseCache | None = None,
+) -> list[float]:
+    """Batched :func:`ou_like_noise` over a list of sample times.
+
+    Bit-identical to calling the scalar function per element: ticks are
+    floored with the same ``t / quantum`` float arithmetic (including the
+    *previous* tick via ``(t - quantum) / quantum``, which is not always
+    ``tick - 1`` in floats), the per-tick standard normals are the same
+    Box–Muller hash draws, and the blend/renormalisation arithmetic is
+    the same float64 operations.  A tight scalar loop beats elementwise
+    numpy here: telemetry blocks are typically a handful of samples, and
+    the dominant cost is the per-unique-tick SHA-256 — which the memo
+    ``cache`` bounds across calls and across instruments sharing a key.
+
+    Parameters
+    ----------
+    seed, key, quantum, sigma, blend:
+        As in :func:`ou_like_noise`.
+    times:
+        Sample times (plain floats).
+    cache:
+        Optional ``(key, tick) -> draw`` memo shared across calls.
+    """
+    if quantum <= 0:
+        raise ConfigurationError(f"quantum must be positive, got {quantum!r}")
+    if not 0.0 <= blend < 1.0:
+        raise ConfigurationError(f"blend must be in [0, 1), got {blend!r}")
+    if cache is None:
+        cache = {}
+    get = cache.get
+    floor = math.floor
+    one_minus = 1.0 - blend
+    norm = math.sqrt(blend * blend + one_minus * one_minus)
+    out = []
+    for t in times:
+        tick = floor(t / quantum)
+        current = get(tick)
+        if current is None:
+            current = hash_normal_unit(seed, key, tick)
+            cache[tick] = current
+        tick = floor((t - quantum) / quantum)
+        previous = get(tick)
+        if previous is None:
+            previous = hash_normal_unit(seed, key, tick)
+            cache[tick] = previous
+        mixed = blend * previous + one_minus * current
+        out.append(sigma * mixed / norm)
+    return out
+
+
+def ou_like_noise_block(
+    seed: int,
+    key: str,
+    times: np.ndarray,
+    quantum: float,
+    sigma: float,
+    blend: float = 0.6,
+    cache: NoiseCache | None = None,
+) -> np.ndarray:
+    """Array wrapper of :func:`ou_like_noise_values`."""
+    times = np.asarray(times, dtype=np.float64)
+    values = ou_like_noise_values(
+        seed, key, times.tolist(), quantum, sigma, blend, cache
+    )
+    return np.asarray(values, dtype=np.float64)
+
+
+def ou_like_noise_cached(
+    seed: int,
+    key: str,
+    t: float,
+    quantum: float,
+    sigma: float,
+    blend: float,
+    cache: NoiseCache,
+) -> float:
+    """Scalar :func:`ou_like_noise` through a per-tick memo.
+
+    The single-sample core of :func:`ou_like_noise_values`, used by the
+    batched telemetry kernel when an event-free interval holds too few
+    samples for array operations to pay off.  Bit-identical to the
+    uncached scalar function (memoised draws are pure).
+    """
+    get = cache.get
+    cur_tick = math.floor(t / quantum)
+    current = get(cur_tick)
+    if current is None:
+        current = hash_normal_unit(seed, key, cur_tick)
+        cache[cur_tick] = current
+    prev_tick = math.floor((t - quantum) / quantum)
+    previous = get(prev_tick)
+    if previous is None:
+        previous = hash_normal_unit(seed, key, prev_tick)
+        cache[prev_tick] = previous
+    one_minus = 1.0 - blend
+    mixed = blend * previous + one_minus * current
+    norm = math.sqrt(blend * blend + one_minus * one_minus)
+    return sigma * mixed / norm
+
+
 def ou_like_noise(
     seed: int,
     key: str,
@@ -66,6 +220,12 @@ def ou_like_noise(
     blend: float = 0.6,
 ) -> float:
     """Correlated noise approximating an Ornstein–Uhlenbeck process.
+
+    NOTE: the batched kernels (:func:`ou_like_noise_values`,
+    :func:`ou_like_noise_cached`, and the fused drift block in
+    ``PhysicalHost.instantaneous_power_values``) replay this blend
+    arithmetic bit for bit; mirror any change there (the cross-path
+    golden tests fail on divergence).
 
     Blends the noise of the current quantum with the previous one, giving
     lag-1 correlation ≈ ``blend`` without any mutable state.  Variance is

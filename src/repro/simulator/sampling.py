@@ -3,19 +3,41 @@
 The paper's instruments are periodic samplers: the Voltech PM1000+ reads
 wall power at 2 Hz, and ``dstat`` reads CPU/memory/network once per second.
 :class:`PeriodicSampler` implements that pattern on top of the event
-engine: it re-schedules itself every ``period`` seconds and invokes a
-user callback with the current simulated time.
+engine in one of two modes:
+
+* **event mode** (default) — the sampler re-schedules a heap event every
+  ``period`` seconds and invokes a user callback with the current
+  simulated time; one event dispatch per sample.
+* **batched mode** — the sampler registers as an *interval hook* on the
+  simulator (:meth:`repro.simulator.engine.Simulator.add_interval_hook`)
+  and, whenever the clock advances across an event-free interval,
+  computes **all** of its tick timestamps in that interval analytically
+  and delivers them in one vectorized block.  Because simulation state is
+  piecewise constant between events, the block observes exactly what the
+  per-tick events would have — the tick grid (and therefore every
+  timestamp, bit for bit) is the same ``anchor + phase + k * period``
+  float arithmetic in both modes.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.simulator.engine import Simulator
 from repro.simulator.events import Event
 
-__all__ = ["PeriodicSampler"]
+__all__ = ["PeriodicSampler", "SCALAR_BLOCK_MAX"]
+
+#: Block size below which batched instruments sample through their scalar
+#: memoised pipelines: numpy's fixed per-call overhead (array RNG
+#: broadcasting, reductions) only pays off on longer event-free
+#: intervals.  Any threshold yields the same bits — array draws consume
+#: the identical RNG stream as scalar draws — so this is purely a
+#: performance knob, shared by every batched instrument.
+SCALAR_BLOCK_MAX = 12
 
 
 class PeriodicSampler:
@@ -32,12 +54,20 @@ class PeriodicSampler:
     phase:
         Offset of the first sample relative to :meth:`start` time.  Defaults
         to one full period (first sample after one interval).
+    batched:
+        Select the interval-hook fast path instead of per-tick heap events.
+    batch_callback:
+        Called with a float64 array of tick timestamps per interval in
+        batched mode.  When omitted, batched mode falls back to invoking
+        ``callback`` per tick (still avoiding the event heap).
 
     Notes
     -----
     The sampler schedules ticks at ``start + phase + k * period`` computed
     from the *anchor* time rather than accumulating floating-point deltas,
-    so long traces do not drift.
+    so long traces do not drift.  Batched mode evaluates the identical
+    expression (``(anchor + phase) + k * period`` in float64), so tick
+    timestamps are bit-identical across modes.
     """
 
     def __init__(
@@ -46,6 +76,8 @@ class PeriodicSampler:
         period: float,
         callback: Callable[[float], Any],
         phase: Optional[float] = None,
+        batched: bool = False,
+        batch_callback: Optional[Callable[[np.ndarray], Any]] = None,
     ) -> None:
         if period <= 0:
             raise ConfigurationError(f"sampling period must be positive, got {period!r}")
@@ -55,15 +87,25 @@ class PeriodicSampler:
         self._period = float(period)
         self._phase = self._period if phase is None else float(phase)
         self._callback = callback
+        self._batched = bool(batched)
+        self._batch_callback = batch_callback
         self._anchor: Optional[float] = None
         self._tick_index = 0
         self._event: Optional[Event] = None
+        self._active = False  # batched-mode registration flag
 
     # ------------------------------------------------------------------
     @property
     def running(self) -> bool:
         """Whether the sampler currently has a tick scheduled."""
+        if self._batched:
+            return self._active
         return self._event is not None and self._event.pending
+
+    @property
+    def batched(self) -> bool:
+        """Whether this sampler uses the interval-hook fast path."""
+        return self._batched
 
     @property
     def period(self) -> float:
@@ -82,14 +124,25 @@ class PeriodicSampler:
             return
         self._anchor = self._sim.now
         self._tick_index = 0
-        self._schedule_next()
+        if self._batched:
+            self._active = True
+            self._sim.add_interval_hook(self)
+        else:
+            self._schedule_next()
 
     def stop(self) -> None:
         """Stop sampling; a pending tick is cancelled."""
+        if self._batched:
+            if self._active:
+                self._active = False
+                self._sim.remove_interval_hook(self)
+            return
         if self._event is not None:
             self._event.cancel()
             self._event = None
 
+    # ------------------------------------------------------------------
+    # Event mode
     # ------------------------------------------------------------------
     def _schedule_next(self) -> None:
         assert self._anchor is not None
@@ -105,3 +158,35 @@ class PeriodicSampler:
         self._tick_index += 1
         self._callback(self._sim.now)
         self._schedule_next()
+
+    # ------------------------------------------------------------------
+    # Batched mode (simulator interval hook)
+    # ------------------------------------------------------------------
+    def advance_to(self, t1: float) -> None:
+        """Generate every tick with timestamp ``<= t1`` not yet delivered.
+
+        Called by the simulator before its clock crosses the event-free
+        interval ``(now, t1]``.  Tick timestamps are computed with the
+        same float64 expression the event path uses, and the ``<= t1``
+        comparison mirrors the engine's ``heap[0].time > until`` stop
+        rule, so both modes fire exactly the same ticks.
+        """
+        assert self._anchor is not None
+        base = self._anchor + self._phase
+        period = self._period
+        k = self._tick_index
+        next_time = base + k * period
+        if next_time > t1:
+            return  # no tick in this interval (the common case)
+        ticks = []
+        while next_time <= t1:
+            ticks.append(next_time)
+            k += 1
+            next_time = base + k * period
+        self._tick_index = k
+        if self._batch_callback is not None:
+            self._batch_callback(np.asarray(ticks, dtype=np.float64))
+        else:
+            callback = self._callback
+            for t in ticks:
+                callback(t)
