@@ -42,10 +42,13 @@ from repro.simulator.engine import Simulator
 __all__ = [
     "BENCH_SCHEMA",
     "bench_campaign",
+    "bench_consolidation",
     "bench_simulator",
     "bench_telemetry",
     "check_regression",
+    "collect_bench_history",
     "current_revision",
+    "render_bench_history",
     "run_benchmarks",
     "write_bench_json",
 ]
@@ -59,6 +62,16 @@ _CAMPAIGN_SCENARIO = dict(
     experiment="CPULOAD-SOURCE", label="bench/nl/0vm", live=False, load_vm_count=0
 )
 _CAMPAIGN_SEED = 0
+
+#: The consolidation microbenchmark: a manager-driven drain under the
+#: full measurement protocol.  Exercises the control-plane half the
+#: campaign benchmark does not touch — the manager's ControlLoop riding
+#: the engine's two-phase control-hook protocol vs one heap event per
+#: monitoring tick.
+_CONSOLIDATION_SCENARIO = dict(
+    experiment="CONSOLIDATION-CPU", label="bench/consolidation/0vm",
+    live=False, load_vm_count=0, load_on="target", driver="manager",
+)
 
 
 def current_revision() -> str:
@@ -85,26 +98,8 @@ def _best_of(repeats: int, fn) -> float:
     return best
 
 
-def bench_campaign(runs: int = 2, repeats: int = 3, seed: int = _CAMPAIGN_SEED) -> dict:
-    """The single-scenario campaign microbenchmark, one pass per telemetry mode.
-
-    Parameters
-    ----------
-    runs:
-        Runs per campaign pass (``min_runs == max_runs``, no adaptive
-        top-up, so both modes execute exactly the same workload).
-    repeats:
-        Interleaved repetitions per mode; the best time counts.
-    seed:
-        Campaign master seed (fixed: the benchmark is deterministic).
-
-    Returns
-    -------
-    dict
-        Per-mode wall time, runs/sec and samples/sec, plus ``speedup``
-        (events wall time over batched wall time).
-    """
-    scenario = MigrationScenario(**_CAMPAIGN_SCENARIO)
+def _bench_scenario_cross_mode(scenario: MigrationScenario, runs: int, repeats: int, seed: int) -> dict:
+    """One single-scenario campaign per telemetry mode, interleaved timing."""
     results: dict[str, dict] = {}
     times = {"batched": float("inf"), "events": float("inf")}
     samples = {"batched": 0, "events": 0}
@@ -128,8 +123,57 @@ def bench_campaign(runs: int = 2, repeats: int = 3, seed: int = _CAMPAIGN_SEED) 
         }
     results["speedup"] = times["events"] / times["batched"]
     results["runs"] = runs
-    results["scenario"] = _CAMPAIGN_SCENARIO["label"]
+    results["scenario"] = scenario.label
     return results
+
+
+def bench_campaign(runs: int = 2, repeats: int = 3, seed: int = _CAMPAIGN_SEED) -> dict:
+    """The single-scenario campaign microbenchmark, one pass per telemetry mode.
+
+    Parameters
+    ----------
+    runs:
+        Runs per campaign pass (``min_runs == max_runs``, no adaptive
+        top-up, so both modes execute exactly the same workload).
+    repeats:
+        Interleaved repetitions per mode; the best time counts.
+    seed:
+        Campaign master seed (fixed: the benchmark is deterministic).
+
+    Returns
+    -------
+    dict
+        Per-mode wall time, runs/sec and samples/sec, plus ``speedup``
+        (events wall time over batched wall time).
+    """
+    return _bench_scenario_cross_mode(
+        MigrationScenario(**_CAMPAIGN_SCENARIO), runs, repeats, seed
+    )
+
+
+def bench_consolidation(runs: int = 2, repeats: int = 3, seed: int = _CAMPAIGN_SEED) -> dict:
+    """The consolidation microbenchmark, one pass per telemetry mode.
+
+    A manager-driven drain scenario (``driver="manager"``) run under the
+    full Section V-B protocol: the consolidation manager's monitoring
+    loop, the estimator-backed policy and the batched instruments all ride
+    the shared control plane.  The two passes are bit-identical (the
+    cross-path golden tests assert it); the dimensionless ``speedup`` is
+    the guarded number.
+
+    Parameters
+    ----------
+    runs / repeats / seed:
+        As in :func:`bench_campaign`.
+
+    Returns
+    -------
+    dict
+        Per-mode wall time, runs/sec and samples/sec, plus ``speedup``.
+    """
+    return _bench_scenario_cross_mode(
+        MigrationScenario(**_CONSOLIDATION_SCENARIO), runs, repeats, seed
+    )
 
 
 def bench_simulator(n_events: int = 50_000, repeats: int = 3) -> dict:
@@ -209,8 +253,10 @@ def run_benchmarks(quick: bool = False, repeats: Optional[int] = None) -> dict:
         "revision": current_revision(),
         "version": __version__,
         "quick": bool(quick),
+        "generated_at": time.time(),
         "results": {
             "campaign": bench_campaign(runs=2 if quick else 3, repeats=reps),
+            "consolidation": bench_consolidation(runs=2 if quick else 3, repeats=reps),
             "simulator": bench_simulator(
                 n_events=10_000 if quick else 50_000, repeats=reps
             ),
@@ -229,6 +275,90 @@ def write_bench_json(payload: dict, output_dir: Union[str, pathlib.Path] = ".") 
     path = output_dir / f"BENCH_{payload['revision']}.json"
     path.write_text(json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8")
     return path
+
+
+def collect_bench_history(root: Union[str, pathlib.Path] = ".") -> list[dict]:
+    """Gather every ``BENCH_<rev>.json`` under a directory, oldest first.
+
+    The perf-trajectory input: committed bench payloads accumulate one
+    per revision (``benchmarks/``, the repo root, CI artifact folders …),
+    and this walks ``root`` recursively for all of them.  Unreadable or
+    wrong-schema files are skipped — the trajectory must render even when
+    one old artifact predates a schema change.
+
+    Parameters
+    ----------
+    root:
+        Directory to scan (recursive).
+
+    Returns
+    -------
+    list[dict]
+        Valid payloads sorted by their ``generated_at`` stamp (file mtime
+        for payloads predating the stamp).
+    """
+    root = pathlib.Path(root)
+    entries: list[tuple[float, dict]] = []
+    for path in sorted(root.rglob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
+            continue
+        stamp = payload.get("generated_at")
+        if not isinstance(stamp, (int, float)):
+            try:
+                stamp = path.stat().st_mtime
+            except OSError:
+                stamp = 0.0
+        entries.append((float(stamp), payload))
+    entries.sort(key=lambda item: item[0])
+    return [payload for _, payload in entries]
+
+
+def render_bench_history(payloads: list[dict]) -> str:
+    """Render the perf trajectory across accumulated bench payloads.
+
+    One row per payload (oldest first): raw campaign throughput plus the
+    dimensionless batched-vs-events speedups of every benchmark that
+    carries one — the cross-revision view that makes a regression visible
+    against the whole history, not just one baseline.
+
+    Parameters
+    ----------
+    payloads:
+        :func:`collect_bench_history` output (or any list of
+        ``wavm3-bench/1`` payloads).
+
+    Returns
+    -------
+    str
+        A fixed-width table, or a short notice when ``payloads`` is empty.
+    """
+    if not payloads:
+        return "no BENCH_<rev>.json files found"
+
+    def _metric(payload: dict, dotted: str, spec: str = ".2f") -> str:
+        value = _lookup(payload, dotted)
+        return format(value, spec) if isinstance(value, (int, float)) else "-"
+
+    header = (
+        f"{'revision':12s} {'quick':5s} {'runs/s':>8s} {'events/s':>12s} "
+        f"{'campaign x':>10s} {'consol x':>9s} {'telemetry x':>11s}"
+    )
+    lines = [header, "-" * len(header)]
+    for payload in payloads:
+        lines.append(
+            f"{str(payload.get('revision', '?')):12s} "
+            f"{('yes' if payload.get('quick') else 'no'):5s} "
+            f"{_metric(payload, 'campaign.batched.runs_per_s'):>8s} "
+            f"{_metric(payload, 'simulator.events_per_s', ',.0f'):>12s} "
+            f"{_metric(payload, 'campaign.speedup'):>10s} "
+            f"{_metric(payload, 'consolidation.speedup'):>9s} "
+            f"{_metric(payload, 'telemetry.speedup'):>11s}"
+        )
+    return "\n".join(lines)
 
 
 def _lookup(payload: dict, dotted: str):

@@ -141,6 +141,27 @@ def build_parser() -> argparse.ArgumentParser:
         "the spool's stop sentinel (queue mode) or answer claims with a "
         "stop signal (http mode)",
     )
+    camp.add_argument(
+        "--gc-spool",
+        action="store_true",
+        help="instead of running a campaign, garbage-collect abandoned "
+        "artifacts (task specs, stale claims, failure records, worker "
+        "heartbeats, progress sidecars, the stop sentinel) from "
+        "--spool-dir, then exit",
+    )
+    camp.add_argument(
+        "--gc-age",
+        type=float,
+        default=3600.0,
+        help="spool files younger than this many seconds survive "
+        "--gc-spool (default 3600; 0 cleans everything)",
+    )
+    camp.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --gc-spool: list what would be removed without "
+        "touching anything",
+    )
 
     worker = sub.add_parser(
         "campaign-worker",
@@ -202,6 +223,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--worker-fresh", type=_positive_float, default=15.0,
         help="worker heartbeats younger than this count as live (spool mode)",
     )
+    status.add_argument(
+        "--follow", action="store_true",
+        help="keep refreshing the status (live per-worker progress) until "
+        "interrupted or --updates refreshes have been printed",
+    )
+    status.add_argument(
+        "--interval", type=_positive_float, default=2.0,
+        help="seconds between --follow refreshes (default 2)",
+    )
+    status.add_argument(
+        "--updates", type=_positive_int, default=None,
+        help="stop --follow after this many refreshes (default: until ^C)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -231,6 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed relative shortfall vs the baseline's guarded "
         "metrics (default 0.25 = fail below 75%%)",
     )
+    bench.add_argument(
+        "--history", action="store_true",
+        help="instead of benchmarking, render the perf trajectory: a "
+        "table of every BENCH_<rev>.json found under --output-dir "
+        "(runs/sec and speedups per revision)",
+    )
 
     sub.add_parser("scenarios", help="list the Table IIa campaign")
     return parser
@@ -243,6 +283,7 @@ _EXPERIMENT_FAMILIES = {
     "memload-vm": "memload_vm_scenarios",
     "memload-source": "memload_source_scenarios",
     "memload-target": "memload_target_scenarios",
+    "consolidation": "consolidation_scenarios",
 }
 
 
@@ -339,6 +380,25 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.experiments.runner import ScenarioRunner
     from repro.models.features import HostRole
 
+    if args.gc_spool:
+        from repro.errors import ExperimentError
+        from repro.experiments.queue_backend import spool_gc
+
+        if args.spool_dir is None:
+            raise ExperimentError("--gc-spool requires --spool-dir (the spool to clean)")
+        report = spool_gc(args.spool_dir, max_age_s=args.gc_age, dry_run=args.dry_run)
+        verb = "would remove" if report["dry_run"] else "removed"
+        print(
+            f"spool gc [{args.spool_dir}] {verb} {report['removed_total']} files: "
+            f"{report['tasks']} task specs, {report['claims']} claims, "
+            f"{report['failures']} failure records, {report['workers']} worker "
+            f"heartbeats, {report['progress']} progress sidecars"
+            + (", stop sentinel" if report["stop"] else "")
+        )
+        for name in report["files"]:
+            print(f"  {name}")
+        return 0
+
     chosen = args.experiment or sorted(_EXPERIMENT_FAMILIES)
     scenarios = []
     for name in chosen:
@@ -399,6 +459,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"{qstats.tasks_resubmitted} resubmitted, "
             f"{qstats.corrupt_results} corrupt results discarded"
         )
+    events = executor.progress_events
+    if events:
+        workers = sorted({e.worker for e in events})
+        total_samples = sum(e.samples for e in events)
+        total_wall = sum(e.wall_s for e in events)
+        rate = total_samples / total_wall if total_wall > 0 else 0.0
+        print(
+            f"progress: {len(events)} runs reported by {len(workers)} "
+            f"worker{'s' if len(workers) != 1 else ''}, "
+            f"{total_samples:,} samples at {rate:,.0f} samples/s"
+        )
     return 0
 
 
@@ -439,21 +510,22 @@ def _cmd_campaign_worker(args: argparse.Namespace) -> int:
     return 0 if stats.failed == 0 else 1
 
 
-def _cmd_campaign_status(args: argparse.Namespace) -> int:
+def _fetch_campaign_status(args: argparse.Namespace) -> tuple[dict, str]:
     if args.connect is not None:
         from repro.experiments.http_backend import fetch_status
 
-        status = fetch_status(args.connect)
-        origin = args.connect
-    else:
-        from repro.experiments.queue_backend import spool_status
+        return fetch_status(args.connect), args.connect
+    from repro.experiments.queue_backend import spool_status
 
-        status = spool_status(
-            args.spool_dir,
-            stale_timeout=args.stale_timeout,
-            worker_fresh_s=args.worker_fresh,
-        )
-        origin = args.spool_dir
+    status = spool_status(
+        args.spool_dir,
+        stale_timeout=args.stale_timeout,
+        worker_fresh_s=args.worker_fresh,
+    )
+    return status, args.spool_dir
+
+
+def _render_campaign_status(status: dict, origin: str) -> None:
     print(f"campaign status [{status['backend']}] {origin}")
     print(
         f"  tasks: {status['tasks_open']} open, "
@@ -478,21 +550,57 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     for entry in workers:
         liveness = "live" if entry["live"] else "stale"
         print(f"    {entry['worker']:32s} {liveness:5s} last seen {entry['age_s']:.1f}s ago")
+    progress = status.get("progress", [])
+    if progress:
+        print(f"  progress: {status.get('progress_events', len(progress))} events")
+        for entry in progress:
+            print(
+                f"    {entry['worker']:32s} {entry['runs_completed']:4d} runs  "
+                f"{entry['samples_per_s']:>12,.0f} samples/s  "
+                f"last {entry['last_task']} ({entry['age_s']:.1f}s ago)"
+            )
     for failure in status.get("failures", []):
         print(f"  FAILED {failure['task_id']} on {failure['worker']}: {failure['error']}")
-    return 0 if status["tasks_failed"] == 0 else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    import time
+
+    updates = 0
+    while True:
+        status, origin = _fetch_campaign_status(args)
+        if args.follow and updates:
+            print()  # blank line between refreshes (log-friendly "live" view)
+        _render_campaign_status(status, origin)
+        updates += 1
+        if not args.follow or (args.updates is not None and updates >= args.updates):
+            return 0 if status["tasks_failed"] == 0 else 1
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0 if status["tasks_failed"] == 0 else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
-    from repro.bench import check_regression, run_benchmarks, write_bench_json
+    from repro.bench import (
+        check_regression,
+        collect_bench_history,
+        render_bench_history,
+        run_benchmarks,
+        write_bench_json,
+    )
 
+    if args.history:
+        print(render_bench_history(collect_bench_history(args.output_dir)))
+        return 0
     if args.tolerance >= 1.0:
         raise SystemExit("--tolerance must be below 1.0")
     payload = run_benchmarks(quick=args.quick, repeats=args.repeats)
     results = payload["results"]
     campaign = results["campaign"]
+    consolidation = results["consolidation"]
     print(f"wavm3 bench @ {payload['revision']} (quick={payload['quick']})")
     print(
         f"  campaign [{campaign['scenario']} x{campaign['runs']}]: "
@@ -501,6 +609,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{campaign['batched']['samples_per_s']:,.0f} samples/s) | "
         f"events {campaign['events']['wall_s']:.2f}s | "
         f"speedup {campaign['speedup']:.2f}x"
+    )
+    print(
+        f"  consolidation [{consolidation['scenario']} x{consolidation['runs']}]: "
+        f"batched {consolidation['batched']['wall_s']:.2f}s | "
+        f"events {consolidation['events']['wall_s']:.2f}s | "
+        f"speedup {consolidation['speedup']:.2f}x"
     )
     print(
         f"  simulator: {results['simulator']['events_per_s']:,.0f} events/s"

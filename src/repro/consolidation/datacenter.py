@@ -78,6 +78,62 @@ class DataCenter:
         self.toolstack = Toolstack(sim, self.hypervisors, self.streams.stream("migration"))
         self._switch = switch_spec(self.family)
         self._seed = seed
+        self._paths: dict[tuple[str, str], NetworkPath] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def adopt(
+        cls,
+        sim: Simulator,
+        hypervisors: dict[str, "XenHypervisor"],
+        toolstack: Toolstack,
+        switch,
+        seed: int = 0,
+        paths: Optional[dict[tuple[str, str], NetworkPath]] = None,
+    ) -> "DataCenter":
+        """Wrap pre-built components as a data-centre view.
+
+        The experiment harness builds its own two-host
+        :class:`~repro.experiments.testbed.Testbed` (hosts, hypervisors,
+        toolstack, instrumented network path); the consolidation-driver
+        scenarios hand those exact components to the manager through this
+        constructor so decisions and migrations act on the *instrumented*
+        fleet rather than a parallel copy.
+
+        Parameters
+        ----------
+        sim:
+            The driving simulator (shared with the adopted components).
+        hypervisors:
+            Host name → hypervisor map; hosts are taken from each
+            hypervisor's ``host`` attribute.
+        toolstack:
+            The toolstack migrations are issued through.
+        switch:
+            Switch spec used when a path must be constructed on demand.
+        seed:
+            Seed for on-demand path jitter derivation.
+        paths:
+            Pre-built ``(source, target) -> NetworkPath`` overrides (e.g.
+            the testbed's instrumented path); missing pairs fall back to
+            seed-derived construction as in :meth:`path`.
+        """
+        dc = cls.__new__(cls)
+        dc.sim = sim
+        dc.hypervisors = dict(hypervisors)
+        dc.hosts = {name: xen.host for name, xen in dc.hypervisors.items()}
+        families = {host.spec.family for host in dc.hosts.values()}
+        if len(families) != 1:
+            raise ClusterError(
+                f"hosts must share one family (Xen homogeneity), got {sorted(families)}"
+            )
+        dc.family = families.pop()
+        dc.streams = None  # components come pre-seeded
+        dc.toolstack = toolstack
+        dc._switch = switch
+        dc._seed = seed
+        dc._paths = dict(paths or {})
+        return dc
 
     # ------------------------------------------------------------------
     def host_names(self) -> tuple[str, ...]:
@@ -88,6 +144,9 @@ class DataCenter:
         """The network path between two hosts (through the family switch)."""
         if source == target:
             raise ClusterError("source and target must differ")
+        adopted = self._paths.get((source, target))
+        if adopted is not None:
+            return adopted
         return NetworkPath(
             self.hosts[source],
             self.hosts[target],

@@ -9,6 +9,17 @@ the consolidation threshold, it tries to drain the host's guests onto
 other machines through the configured placement policy, issuing at most
 one migration at a time (the paper never overlaps migrations — and
 neither does Xen gladly).
+
+The monitoring cadence rides the shared
+:class:`~repro.simulator.control.ControlLoop`: under
+``telemetry="batched"`` (the default, matching
+:class:`~repro.experiments.runner.RunnerSettings`) the manager evaluates
+its policy through the engine's two-phase control-hook protocol — no-op
+ticks are consumed in bulk across event-free intervals, and only ticks
+that actually issue a migration re-enter the event loop.  Decisions,
+issue times and the resulting migrations are bit-identical to
+``telemetry="events"`` (one heap event per tick) because the decision is
+a pure read of piecewise-constant state plus the tick time.
 """
 
 from __future__ import annotations
@@ -19,8 +30,8 @@ from typing import Optional
 from repro.consolidation.datacenter import DataCenter
 from repro.consolidation.policies import PlacementPolicy, ScoredMove
 from repro.errors import ConfigurationError
-from repro.hypervisor.migration import MigrationJob
-from repro.simulator.sampling import PeriodicSampler
+from repro.hypervisor.migration import MigrationConfig, MigrationJob
+from repro.simulator.control import ControlLoop
 
 __all__ = ["ConsolidationDecision", "ConsolidationManager"]
 
@@ -63,6 +74,19 @@ class ConsolidationManager:
         A VM that was just migrated is not considered again for this many
         seconds — the hysteresis that stops naive drain policies from
         ping-ponging a guest between two underloaded hosts.
+    telemetry:
+        ``"batched"`` (default) rides the engine's control-hook fast path;
+        ``"events"`` keeps one heap event per monitoring tick.  Decisions
+        are bit-identical either way.
+    phase_s:
+        Offset of the first monitoring tick after :meth:`start`; defaults
+        to one full period.  Pick a value off the telemetry samplers' tick
+        grids (e.g. ``period_s + 0.137``) so a migration issue never
+        coincides exactly with a power-meter reading — at an exact float
+        tie the two telemetry modes order the two differently.
+    migration_config:
+        Optional migration-engine override forwarded to every issued
+        migration (ablation studies).
     """
 
     def __init__(
@@ -73,19 +97,36 @@ class ConsolidationManager:
         period_s: float = 10.0,
         live: bool = True,
         cooldown_s: float = 600.0,
+        telemetry: str = "batched",
+        phase_s: Optional[float] = None,
+        migration_config: Optional[MigrationConfig] = None,
     ) -> None:
         if not 0.0 < underload_threshold <= 1.0:
             raise ConfigurationError("underload_threshold must be in (0, 1]")
         if cooldown_s < 0:
             raise ConfigurationError("cooldown_s must be non-negative")
+        if telemetry not in ("batched", "events"):
+            raise ConfigurationError(
+                f"telemetry must be 'batched' or 'events', got {telemetry!r}"
+            )
         self.dc = dc
         self.policy = policy
         self.underload_threshold = underload_threshold
         self.live = live
         self.cooldown_s = cooldown_s
+        self.telemetry = telemetry
+        self.migration_config = migration_config
         self._cooldowns: dict[str, float] = {}
         self._state = _ManagerState()
-        self._sampler = PeriodicSampler(dc.sim, period_s, self._tick)
+        self._loop = ControlLoop(
+            dc.sim,
+            period_s,
+            decide=self._decide,
+            act=self._act,
+            phase=phase_s,
+            batched=telemetry == "batched",
+            label="consolidation-manager",
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -99,6 +140,11 @@ class ConsolidationManager:
         return self._state.migrations_issued
 
     @property
+    def active_job(self) -> Optional[MigrationJob]:
+        """The most recently issued migration job (may have finished)."""
+        return self._state.active_job
+
+    @property
     def busy(self) -> bool:
         """Whether a manager-issued migration is currently in flight."""
         job = self._state.active_job
@@ -106,25 +152,33 @@ class ConsolidationManager:
 
     def start(self) -> None:
         """Begin monitoring."""
-        self._sampler.start()
+        self._loop.start()
 
     def stop(self) -> None:
         """Stop monitoring (in-flight migrations continue)."""
-        self._sampler.stop()
+        self._loop.stop()
 
     # ------------------------------------------------------------------
-    def _tick(self, t: float) -> None:
+    def _decide(self, t: float) -> Optional[ScoredMove]:
+        """The monitoring-tick decision — a pure read of ``(state, t)``.
+
+        Evaluated by the control loop in both telemetry modes (and, under
+        ``"batched"``, possibly more than once per tick): it must not
+        mutate anything, which is why issuing lives in :meth:`_act`.
+        """
         if self.busy:
-            return  # one migration at a time
-        move = self._select_move()
-        if move is None:
-            return
+            return None  # one migration at a time
+        return self._select_move(t)
+
+    def _act(self, t: float, move: ScoredMove) -> None:
+        """Issue the selected migration (``sim.now == t`` in both modes)."""
         job = self.dc.toolstack.migrate(
             move.vm_name,
             move.source,
             move.target,
             self.dc.path(move.source, move.target),
             live=self.live,
+            config=self.migration_config,
         )
         self._state.active_job = job
         self._state.migrations_issued += 1
@@ -133,8 +187,8 @@ class ConsolidationManager:
             ConsolidationDecision(at=t, move=move, issued=True, reason="underload drain")
         )
 
-    def _select_move(self) -> Optional[ScoredMove]:
-        """Pick the best policy move from the most underloaded host."""
+    def _select_move(self, now: float) -> Optional[ScoredMove]:
+        """Pick the best policy move from the most underloaded host at ``now``."""
         utilisations = self.dc.utilisations()
         candidates = sorted(
             (
@@ -144,13 +198,12 @@ class ConsolidationManager:
                 and self.dc.hypervisors[name].running_vms()
             ),
         )
-        now = self.dc.sim.now
         for _, host_name in candidates:
             xen = self.dc.hypervisors[host_name]
             for vm in xen.running_vms():
                 if self._cooldowns.get(vm.name, 0.0) > now:
                     continue  # recently moved: hysteresis
-                move = self.policy.propose(self.dc, vm, host_name)
+                move = self.policy.propose(self.dc, vm, host_name, now=now)
                 if move is not None:
                     return move
         return None

@@ -38,13 +38,29 @@ class ScoredMove:
 
 
 class PlacementPolicy(abc.ABC):
-    """Strategy choosing where a candidate VM should go."""
+    """Strategy choosing where a candidate VM should go.
+
+    ``propose`` (and every helper it calls) must be a **pure read** of the
+    data centre plus the evaluation time ``now``: the consolidation
+    manager's batched control loop evaluates it speculatively while
+    scanning event-free intervals, so a side effect here would desync the
+    two telemetry modes.
+    """
 
     @abc.abstractmethod
     def propose(
-        self, dc: DataCenter, vm: VirtualMachine, source: str
+        self,
+        dc: DataCenter,
+        vm: VirtualMachine,
+        source: str,
+        now: Optional[float] = None,
     ) -> Optional[ScoredMove]:
-        """Best move for ``vm`` off ``source`` (None = keep it in place)."""
+        """Best move for ``vm`` off ``source`` (None = keep it in place).
+
+        ``now`` is the evaluation instant — the manager's monitoring tick
+        time, which under batched control may lie *ahead* of ``dc.sim.now``
+        (defaults to ``dc.sim.now`` for direct callers).
+        """
 
     @staticmethod
     def _fits(dc: DataCenter, target: str, vm: VirtualMachine) -> bool:
@@ -55,7 +71,11 @@ class FirstFitPolicy(PlacementPolicy):
     """Move to the first non-source host with enough free memory."""
 
     def propose(
-        self, dc: DataCenter, vm: VirtualMachine, source: str
+        self,
+        dc: DataCenter,
+        vm: VirtualMachine,
+        source: str,
+        now: Optional[float] = None,
     ) -> Optional[ScoredMove]:
         """First host (catalogue order) that fits the VM."""
         for target in dc.host_names():
@@ -94,9 +114,19 @@ class EnergyAwarePolicy(PlacementPolicy):
         self.live = live
 
     def forecast(
-        self, dc: DataCenter, vm: VirtualMachine, source: str, target: str
+        self,
+        dc: DataCenter,
+        vm: VirtualMachine,
+        source: str,
+        target: str,
+        now: Optional[float] = None,
     ) -> MigrationPlan:
-        """Forecast the migration of ``vm`` from ``source`` to ``target``."""
+        """Forecast the migration of ``vm`` from ``source`` to ``target``.
+
+        ``now`` is the planning instant driving the time-dependent reads
+        (the noise-free bandwidth view); defaults to ``dc.sim.now``.
+        """
+        at = dc.sim.now if now is None else float(now)
         path = dc.path(source, target)
         src_host, tgt_host = dc.hosts[source], dc.hosts[target]
         workload = vm.workload
@@ -107,14 +137,16 @@ class EnergyAwarePolicy(PlacementPolicy):
             dirty_pages_per_s=workload.dirty_page_rate(),
             source_cpu_pct=src_host.cpu.utilisation_percent(),
             target_cpu_pct=tgt_host.cpu.utilisation_percent(),
-            bw_bps=path.effective_bandwidth_bps(
-                dc.sim.now, with_jitter=False
-            ),
+            bw_bps=path.effective_bandwidth_bps(at, with_jitter=False),
             live=self.live,
         )
 
     def propose(
-        self, dc: DataCenter, vm: VirtualMachine, source: str
+        self,
+        dc: DataCenter,
+        vm: VirtualMachine,
+        source: str,
+        now: Optional[float] = None,
     ) -> Optional[ScoredMove]:
         """Cheapest-energy feasible target under the budget."""
         best: Optional[ScoredMove] = None
@@ -123,7 +155,7 @@ class EnergyAwarePolicy(PlacementPolicy):
                 continue
             if not self._fits(dc, target, vm):
                 continue
-            plan = self.forecast(dc, vm, source, target)
+            plan = self.forecast(dc, vm, source, target, now=now)
             if (
                 self.energy_budget_j is not None
                 and plan.energy_total_j > self.energy_budget_j

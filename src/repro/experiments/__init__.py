@@ -29,6 +29,7 @@
 from repro.experiments.design import (
     MigrationScenario,
     all_scenarios,
+    consolidation_scenarios,
     cpuload_source_scenarios,
     cpuload_target_scenarios,
     memload_source_scenarios,
@@ -57,10 +58,17 @@ from repro.experiments.queue_backend import (
     QueueStats,
     WorkerStats,
     run_worker,
+    spool_gc,
     spool_status,
 )
 from repro.experiments.instances import INSTANCE_CATALOG, InstanceSpec, make_instance_vm
-from repro.experiments.results import ExperimentResult, RunResult, ScenarioResult
+from repro.experiments.results import (
+    ExperimentResult,
+    ProgressEvent,
+    RunResult,
+    ScenarioResult,
+    run_sample_count,
+)
 from repro.experiments.runner import ScenarioRunner, resolve_run_count
 from repro.experiments.testbed import Testbed
 
@@ -80,10 +88,12 @@ __all__ = [
     "fetch_status",
     "run_http_worker",
     "run_worker",
+    "spool_gc",
     "spool_status",
     "resolve_run_count",
     "MigrationScenario",
     "all_scenarios",
+    "consolidation_scenarios",
     "cpuload_source_scenarios",
     "cpuload_target_scenarios",
     "memload_source_scenarios",
@@ -95,7 +105,9 @@ __all__ = [
     "InstanceSpec",
     "make_instance_vm",
     "ExperimentResult",
+    "ProgressEvent",
     "RunResult",
+    "run_sample_count",
     "ScenarioResult",
     "ScenarioRunner",
     "Testbed",

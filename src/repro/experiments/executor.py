@@ -53,13 +53,20 @@ import json
 import os
 import pathlib
 import threading
+import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Collection, Optional, Sequence, Set, Union
 
 from repro.errors import ExperimentError
 from repro.experiments.design import MigrationScenario
-from repro.experiments.results import ExperimentResult, RunResult, ScenarioResult
+from repro.experiments.results import (
+    ExperimentResult,
+    ProgressEvent,
+    RunResult,
+    ScenarioResult,
+    run_sample_count,
+)
 from repro.experiments.runner import RunnerSettings, ScenarioRunner, resolve_run_count
 from repro.hypervisor.migration import MigrationConfig
 from repro.io import PersistenceError, load_run_result, save_run_result
@@ -79,7 +86,9 @@ __all__ = [
 
 #: Versions the cache-key derivation itself: bump to invalidate every
 #: existing cache entry after a change to run semantics.
-CACHE_KEY_SCHEMA = "wavm3-run-cache/1"
+#: /2: MigrationScenario gained the ``driver`` field (consolidation-manager
+#: scenarios), which changes the canonical scenario payload.
+CACHE_KEY_SCHEMA = "wavm3-run-cache/2"
 
 
 def _execute_run(
@@ -160,6 +169,18 @@ class RunTask:
 def _execute_task(task: RunTask) -> RunResult:
     """Module-level trampoline so :class:`RunTask` dispatch can pickle."""
     return task.execute()
+
+
+def _execute_task_timed(task: RunTask) -> tuple[RunResult, float]:
+    """Like :func:`_execute_task`, plus the worker-side wall time.
+
+    The process backend uses this so progress events report the run's
+    true execution time — submit-to-collect timing on the coordinator
+    would fold pool queueing and collection delay into ``wall_s``.
+    """
+    started = time.perf_counter()
+    run = task.execute()
+    return run, time.perf_counter() - started
 
 
 # ---------------------------------------------------------------------------
@@ -404,6 +425,25 @@ class ExecutorBackend(abc.ABC):
         a fresh executor for the next campaign).
         """
 
+    def drain_progress(self) -> list:
+        """Worker-reported progress events for the current campaign.
+
+        Distributed backends override this to return the
+        :class:`~repro.experiments.results.ProgressEvent` records their
+        workers published through the task-handoff channel (spool NDJSON
+        sidecars, ``POST /progress``).  The default — for in-process
+        backends, whose workers cannot self-report — is an empty list,
+        which makes the executor fall back to its own coordinator-side
+        synthesis.
+
+        Returns
+        -------
+        list[ProgressEvent]
+            Events in announcement order; empty when the backend has no
+            worker-side channel.
+        """
+        return []
+
 
 class _SerialFuture(Future):
     """An already-resolved future: lets the serial backend share the
@@ -411,10 +451,17 @@ class _SerialFuture(Future):
 
     def __init__(self, fn, *args) -> None:
         super().__init__()
+        started = time.perf_counter()
         try:
-            self.set_result(fn(*args))
+            result = fn(*args)
         except BaseException as exc:  # noqa: BLE001 - mirrored to the caller
             self.set_exception(exc)
+        else:
+            #: True execution wall time — collection happens after *all*
+            #: inline futures of a wave resolved, so the submit-to-collect
+            #: clock the executor keeps would overstate serial runs.
+            self.wall_s = time.perf_counter() - started
+            self.set_result(result)
 
 
 class SerialBackend(ExecutorBackend):
@@ -451,7 +498,22 @@ class ProcessBackend(ExecutorBackend):
     def submit(self, task: RunTask) -> Future:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        return self._pool.submit(_execute_task, task)
+        inner = self._pool.submit(_execute_task_timed, task)
+        # Unwrap (run, wall) into a RunResult future carrying the
+        # worker-side wall time as an attribute, mirroring _SerialFuture.
+        outer: Future = Future()
+
+        def _unwrap(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                outer.set_exception(exc)
+            else:
+                run, wall = done.result()
+                outer.wall_s = wall
+                outer.set_result(run)
+
+        inner.add_done_callback(_unwrap)
+        return outer
 
     def shutdown(self) -> None:
         if self._pool is not None:
@@ -566,6 +628,11 @@ class CampaignExecutor:
         if self._explicit_wave_size is not None and self._explicit_wave_size < 1:
             raise ExperimentError(f"wave_size must be >= 1, got {wave_size}")
         self.stats = ExecutorStats()
+        #: Per-run progress announcements of the most recent campaign:
+        #: worker-reported events where the backend has a channel for them
+        #: (queue sidecars, HTTP ``/progress``), coordinator-synthesised
+        #: completion records otherwise.
+        self.progress_events: list[ProgressEvent] = []
 
     @property
     def wave_size(self) -> int:
@@ -669,12 +736,19 @@ class CampaignExecutor:
             raise ExperimentError(f"invalid run bounds: min={lo} max={hi}")
 
         self.stats = ExecutorStats(scenarios=len(scenarios))
+        self.progress_events = []
         states = [
             _ScenarioState(s, self._key_for(s), target=lo) for s in scenarios
         ]
         try:
             self._drive(states, lo, hi)
         finally:
+            # Worker-reported progress (richer: true worker ids and
+            # worker-side wall times) supersedes the coordinator-side
+            # synthesis when the backend carries such a channel.
+            worker_reported = self._backend.drain_progress()
+            if worker_reported:
+                self.progress_events = list(worker_reported)
             self._backend.shutdown()
 
         results = []
@@ -709,9 +783,15 @@ class CampaignExecutor:
             key=state.key,
         )
 
+    def _task_progress_id(self, state: _ScenarioState, index: int) -> str:
+        if state.key is not None:
+            return f"{state.key[:16]}-{index:04d}"
+        return f"{state.scenario.label}#{index}"
+
     def _drive(self, states: Sequence[_ScenarioState], lo: int, hi: int) -> None:
         """The wave scheduler: dispatch, collect, evaluate, top up."""
         pending: dict[Future, tuple[_ScenarioState, int]] = {}
+        submitted_at: dict[Future, float] = {}
 
         def advance(state: _ScenarioState) -> None:
             """Dispatch missing runs below target; evaluate once complete."""
@@ -729,8 +809,13 @@ class CampaignExecutor:
                         self.stats.runs_cached += 1
                     else:
                         state.inflight.add(index)
+                        # Clock starts before submit: the serial backend
+                        # executes inside submit(), and its wall time must
+                        # not read as zero.
+                        t_submit = time.perf_counter()
                         future = self._backend.submit(self._task_for(state, index))
                         pending[future] = (state, index)
+                        submitted_at[future] = t_submit
                 if state.inflight:
                     return  # evaluate when the wave completes
                 energies = [
@@ -755,6 +840,25 @@ class CampaignExecutor:
                 state.runs[index] = run
                 state.inflight.discard(index)
                 self.stats.runs_executed += 1
+                submitted = submitted_at.pop(future, None)
+                wall = getattr(future, "wall_s", None)
+                if wall is None:
+                    wall = time.perf_counter() - (submitted or time.perf_counter())
+                wall = max(wall, 1e-9)
+                samples = run_sample_count(run)
+                self.progress_events.append(
+                    ProgressEvent(
+                        task_id=self._task_progress_id(state, index),
+                        scenario=state.scenario.label,
+                        run_index=index,
+                        worker=getattr(future, "worker", None) or self._backend.name,
+                        runs_completed=self.stats.runs_executed,
+                        samples=samples,
+                        wall_s=wall,
+                        samples_per_s=samples / wall,
+                        at=time.time(),
+                    )
+                )
                 # Queue futures resolve *from* the shared cache (a worker
                 # already deposited the result), so skip the re-write.
                 if (

@@ -15,8 +15,15 @@ and remote workers need nothing but its URL:
   format) or a JSON failure record; the coordinator validates the upload
   and deposits it straight into its own content-addressed
   :class:`~repro.experiments.executor.RunCache`;
+* ``POST /progress`` — the worker announces a completed run (the
+  ``wavm3-progress/1`` JSON document: task id, runs completed,
+  samples/sec, wall time).  Strictly observational — the coordinator
+  keeps a bounded per-worker history for ``/status`` and the campaign
+  summary, and a malformed announcement is rejected with 400 without
+  touching the task state;
 * ``GET /status`` — live campaign observability (open/leased/completed/
-  failed tasks, worker liveness) for ``wavm3 campaign-status``.
+  failed tasks, worker liveness, per-worker progress) for
+  ``wavm3 campaign-status`` and its ``--follow`` mode.
 
 :class:`HttpBackend` implements the :class:`~repro.experiments.executor.ExecutorBackend`
 protocol (``submit``/``wait``/``shutdown``/``capacity``), so the central
@@ -61,10 +68,13 @@ from repro.experiments.queue_backend import (
     WorkerStats,
     task_id_for,
 )
+from repro.experiments.results import ProgressEvent, run_sample_count
 from repro.io import (
     PersistenceError,
     dump_run_result_bytes,
     load_run_result_bytes,
+    progress_event_from_dict,
+    progress_event_to_dict,
     task_spec_from_dict,
     task_spec_to_dict,
 )
@@ -153,6 +163,9 @@ class _State:
     futures: dict = field(default_factory=dict)
     #: worker_id -> monotonic instant of the last request it made.
     workers: dict = field(default_factory=dict)
+    #: Chronological worker progress announcements (bounded; see
+    #: ``HttpBackend.progress_history``).
+    progress: list = field(default_factory=list)
     completed: int = 0
     failed: int = 0
     stopping: bool = False
@@ -175,7 +188,7 @@ class CampaignHTTPServer(ThreadingHTTPServer):
 
 
 class _CampaignRequestHandler(BaseHTTPRequestHandler):
-    """The four-endpoint campaign wire protocol."""
+    """The five-endpoint campaign wire protocol."""
 
     server: CampaignHTTPServer
     server_version = "wavm3-campaign/1"
@@ -219,6 +232,8 @@ class _CampaignRequestHandler(BaseHTTPRequestHandler):
             self._handle_heartbeat()
         elif path == "/result":
             self._handle_result()
+        elif path == "/progress":
+            self._handle_progress()
         else:
             self._send_json(404, {"error": f"unknown endpoint {self.path!r}"})
 
@@ -240,6 +255,19 @@ class _CampaignRequestHandler(BaseHTTPRequestHandler):
             str(payload["worker"]), str(payload["task_id"])
         )
         self._send_json(200, {"ok": ok})
+
+    def _handle_progress(self) -> None:
+        payload = self._read_json_body()
+        if payload is None:
+            self._send_json(400, {"error": "progress body must be a JSON object"})
+            return
+        try:
+            event = progress_event_from_dict(payload)
+        except PersistenceError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self.server.backend._record_progress(event)
+        self._send_json(200, {"ok": True})
 
     def _handle_result(self) -> None:
         task_id = self.headers.get("X-Wavm3-Task-Id", "")
@@ -310,6 +338,11 @@ class HttpBackend(ExecutorBackend):
     """
 
     name = "http"
+
+    #: Bound on the retained ``/progress`` history: a campaign announces
+    #: one event per run, so this comfortably covers real campaigns while
+    #: keeping a misbehaving worker from growing coordinator memory.
+    progress_history = 4096
 
     def __init__(
         self,
@@ -448,6 +481,28 @@ class HttpBackend(ExecutorBackend):
                 }
             return {"task_id": None, "stop": False}
 
+    def _record_progress(self, event: ProgressEvent) -> None:
+        """Store one worker progress announcement (service-thread entry)."""
+        with self._state.lock:
+            self._state.workers[event.worker] = time.monotonic()
+            self._state.progress.append(event)
+            if len(self._state.progress) > self.progress_history:
+                del self._state.progress[: -self.progress_history]
+
+    def drain_progress(self) -> list:
+        """The ``/progress`` announcements received this campaign.
+
+        A stale-requeued task re-executed by a second worker announces
+        twice; only the latest announcement per task survives, so the
+        campaign summary counts each run exactly once.  (``/status``
+        keeps the raw per-worker view — its ``progress_events`` is an
+        event count, not a run count.)
+        """
+        with self._state.lock:
+            events = list(self._state.progress)
+        latest = {e.task_id: e for e in events}
+        return sorted(latest.values(), key=lambda e: e.at)
+
     def _heartbeat(self, worker: str, task_id: str) -> bool:
         with self._state.lock:
             if self._state.stopping:
@@ -512,6 +567,7 @@ class HttpBackend(ExecutorBackend):
             if future.done():
                 return 200, {"ok": True, "duplicate": True}
             self._state.completed += 1
+            future.worker = worker  # executor-side progress attribution
             future.set_result(run)
         return 200, {"ok": True}
 
@@ -545,6 +601,7 @@ class HttpBackend(ExecutorBackend):
         stale-lease sweep runs on ``/claim``, where a worker is present
         to pick the requeued task up)."""
         now = time.monotonic()
+        wall_now = time.time()
         with self._state.lock:
             stale = sum(
                 1 for lease in self._state.leases.values()
@@ -558,6 +615,20 @@ class HttpBackend(ExecutorBackend):
                 }
                 for worker, seen in sorted(self._state.workers.items())
             ]
+            latest: dict = {}
+            for event in self._state.progress:
+                latest[event.worker] = event
+            progress = [
+                {
+                    "worker": event.worker,
+                    "runs_completed": event.runs_completed,
+                    "samples_per_s": round(event.samples_per_s, 1),
+                    "last_task": f"{event.scenario}#{event.run_index}",
+                    "age_s": round(max(wall_now - event.at, 0.0), 3),
+                }
+                for event in sorted(latest.values(), key=lambda e: e.worker)
+            ]
+            progress_events = len(self._state.progress)
             return {
                 "schema": STATUS_SCHEMA,
                 "backend": self.name,
@@ -571,6 +642,8 @@ class HttpBackend(ExecutorBackend):
                 "corrupt_results": self.stats.corrupt_results,
                 "workers": workers,
                 "workers_live": sum(1 for w in workers if w["live"]),
+                "progress": progress,
+                "progress_events": progress_events,
                 "stopping": self._state.stopping,
             }
 
@@ -821,6 +894,7 @@ def _process_http_claim(
 
     heartbeat = _HttpHeartbeat(url, worker_id, task_id, heartbeat_s)
     heartbeat.start()
+    started = time.perf_counter()
     try:
         run = task.execute()
     except Exception as exc:  # noqa: BLE001 - any failure must reach the coordinator
@@ -832,6 +906,28 @@ def _process_http_claim(
         return
     finally:
         heartbeat.stop()
+    # Announce progress *before* the result upload: the coordinator drains
+    # its /progress history the moment the final /result resolves the
+    # campaign, and the announcement for that run must already be there.
+    # (A subsequently rejected upload leaves a surplus announcement in the
+    # observational stream — harmless by design.)
+    wall = max(time.perf_counter() - started, 1e-9)
+    samples = run_sample_count(run)
+    event = ProgressEvent(
+        task_id=task_id,
+        scenario=task.scenario.label,
+        run_index=task.run_index,
+        worker=worker_id,
+        runs_completed=stats.executed + stats.cached + 1,
+        samples=samples,
+        wall_s=wall,
+        samples_per_s=samples / wall,
+        at=time.time(),
+    )
+    try:
+        _post_json(url, "/progress", progress_event_to_dict(event))
+    except (urllib.error.URLError, OSError):
+        pass  # progress is observational: never fail the task over it
     try:
         _upload_result(url, worker_id, task_id, run)
         stats.executed += 1

@@ -24,6 +24,13 @@ result file is deleted and its task resubmitted rather than returned.
 Because every run is deterministic given its spec, re-execution after
 any of these failures reproduces the original result exactly.
 
+Workers also publish **live progress** through the spool: after every
+completed run they append a ``wavm3-progress/1`` NDJSON line to their own
+sidecar under ``progress/`` (task id, runs completed, samples/sec, wall
+time).  The stream is strictly observational — nothing reads it to make
+scheduling decisions — but ``wavm3 campaign-status`` (and ``--follow``)
+renders it, and the coordinator folds it into the campaign summary.
+
 Spool layout::
 
     <spool>/
@@ -31,7 +38,12 @@ Spool layout::
       claims/   specs claimed by a worker; mtime = worker heartbeat
       failed/   terminal task failures (error + traceback JSON)
       workers/  one heartbeat file per live worker (capacity introspection)
+      progress/ per-worker NDJSON progress sidecars (live campaign progress)
       stop      sentinel: workers drain and exit when it appears
+
+Abandoned campaigns leave all of this behind; :func:`spool_gc` (CLI:
+``wavm3 campaign --gc-spool``) removes artifacts older than a grace age,
+with a dry-run mode.
 
 See ``docs/parallel_campaigns.md`` ("Distributed campaigns") for the
 operational guide.
@@ -52,13 +64,22 @@ from typing import Collection, Optional, Set, Union
 
 from repro.errors import ExperimentError
 from repro.experiments.executor import ExecutorBackend, RunCache, RunTask
-from repro.io import PersistenceError, load_run_result, load_task_spec, save_task_spec
+from repro.experiments.results import ProgressEvent, run_sample_count
+from repro.io import (
+    PersistenceError,
+    append_progress_event,
+    load_progress_events,
+    load_run_result,
+    load_task_spec,
+    save_task_spec,
+)
 
 __all__ = [
     "QueueBackend",
     "QueueStats",
     "WorkerStats",
     "run_worker",
+    "spool_gc",
     "spool_status",
     "task_id_for",
 ]
@@ -88,9 +109,12 @@ class _Spool:
         self.claims = self.root / "claims"
         self.failed = self.root / "failed"
         self.workers = self.root / "workers"
+        self.progress = self.root / "progress"
         self.stop = self.root / "stop"
         if create:
-            for directory in (self.tasks, self.claims, self.failed, self.workers):
+            for directory in (
+                self.tasks, self.claims, self.failed, self.workers, self.progress,
+            ):
                 directory.mkdir(parents=True, exist_ok=True)
 
     def task_path(self, task_id: str) -> pathlib.Path:
@@ -180,6 +204,10 @@ class QueueBackend(ExecutorBackend):
         self.stop_workers_on_shutdown = bool(stop_workers_on_shutdown)
         self.worker_fresh_s = float(worker_fresh_s)
         self.stats = QueueStats()
+        #: Task ids submitted by this coordinator: drain_progress uses it
+        #: to keep sidecar events of *other* campaigns sharing the spool
+        #: out of this campaign's summary.
+        self._session_task_ids: Set[str] = set()
 
     # -- capacity introspection -----------------------------------------
     def active_workers(self) -> int:
@@ -206,7 +234,28 @@ class QueueBackend(ExecutorBackend):
         self.spool.failure_path(task_id).unlink(missing_ok=True)
         save_task_spec(task, self.spool.task_path(task_id))
         self.stats.tasks_submitted += 1
+        self._session_task_ids.add(task_id)
         return _QueueFuture(task, task_id)
+
+    def drain_progress(self) -> list:
+        """Worker progress sidecar events belonging to this campaign.
+
+        Reads every ``progress/*.ndjson`` sidecar and keeps the events
+        whose task id was submitted by this coordinator (spools are
+        reusable, so sidecars may also hold lines from earlier
+        campaigns).  A stale-requeued task re-executed by a second worker
+        announces twice; only the latest announcement per task survives,
+        so the campaign summary counts each run exactly once.
+        """
+        events = []
+        for sidecar in sorted(self.spool.progress.glob("*.ndjson")):
+            events.extend(
+                e for e in load_progress_events(sidecar)
+                if e.task_id in self._session_task_ids
+            )
+        events.sort(key=lambda e: e.at)
+        latest = {e.task_id: e for e in events}
+        return sorted(latest.values(), key=lambda e: e.at)
 
     def wait(self, pending: Collection[Future]) -> Set[Future]:
         while True:
@@ -307,8 +356,11 @@ def spool_status(
     dict
         Counts and details: ``tasks_open``, ``tasks_leased``,
         ``leases_stale``, ``tasks_failed``, ``workers``/``workers_live``,
-        ``stopping``, plus a ``failures`` list of the ``failed/`` records
-        (task id, worker, error).
+        ``stopping``, a ``failures`` list of the ``failed/`` records
+        (task id, worker, error), plus live progress: ``progress`` (one
+        entry per worker sidecar — runs completed, samples/sec, last
+        task, age of the last announcement) and ``progress_events`` (the
+        total event count across sidecars).
 
     Raises
     ------
@@ -336,6 +388,23 @@ def spool_status(
         {"worker": name, "age_s": round(age, 3), "live": age <= worker_fresh_s}
         for name, age in _ages(spool.workers)
     ]
+    progress = []
+    progress_events = 0
+    for sidecar in sorted(spool.progress.glob("*.ndjson")) if spool.progress.is_dir() else []:
+        events = load_progress_events(sidecar)
+        if not events:
+            continue
+        progress_events += len(events)
+        last = events[-1]
+        progress.append(
+            {
+                "worker": last.worker,
+                "runs_completed": last.runs_completed,
+                "samples_per_s": round(last.samples_per_s, 1),
+                "last_task": f"{last.scenario}#{last.run_index}",
+                "age_s": round(max(now - last.at, 0.0), 3),
+            }
+        )
     failures = []
     for path in sorted(spool.failed.glob("*.json")):
         try:
@@ -360,7 +429,102 @@ def spool_status(
         "failures": failures,
         "workers": workers,
         "workers_live": sum(1 for w in workers if w["live"]),
+        "progress": progress,
+        "progress_events": progress_events,
         "stopping": spool.stop.exists(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Spool janitor
+# ---------------------------------------------------------------------------
+def spool_gc(
+    spool_dir: Union[str, pathlib.Path],
+    max_age_s: float = 3600.0,
+    dry_run: bool = False,
+) -> dict:
+    """Garbage-collect artifacts of abandoned campaigns from a spool.
+
+    Spools are reusable across campaigns, so a crashed coordinator (or a
+    worker that never came back) leaves debris behind: unclaimed task
+    specs no coordinator is polling for, claims whose lease died with
+    their worker, failure records, worker heartbeats, progress sidecars,
+    and the ``stop`` sentinel.  This removes every such file whose mtime
+    is older than ``max_age_s`` — young files are presumed to belong to a
+    live campaign and are left alone.  CLI:
+    ``wavm3 campaign --gc-spool --spool-dir …`` (with ``--dry-run``).
+
+    Parameters
+    ----------
+    spool_dir:
+        The spool directory to clean.
+    max_age_s:
+        Grace age in seconds; files younger than this survive.  ``0``
+        cleans everything (only safe once the campaign is known dead).
+    dry_run:
+        Report what *would* be removed without touching anything.
+
+    Returns
+    -------
+    dict
+        Per-category removal counts (``tasks``, ``claims``, ``failures``,
+        ``workers``, ``progress``, ``stop``), ``removed_total``, the
+        ``files`` list (spool-relative paths, sorted), and the echoed
+        ``dry_run`` flag.
+
+    Raises
+    ------
+    ExperimentError
+        If ``spool_dir`` does not exist.
+    """
+    root = pathlib.Path(spool_dir)
+    if not root.is_dir():
+        raise ExperimentError(f"spool directory {root} does not exist")
+    if max_age_s < 0:
+        raise ExperimentError(f"max_age_s must be non-negative, got {max_age_s}")
+    spool = _Spool(root, create=False)
+    now = time.time()
+    counts = {"tasks": 0, "claims": 0, "failures": 0, "workers": 0, "progress": 0, "stop": 0}
+    removed: list[str] = []
+
+    def _sweep(directory: pathlib.Path, pattern: str, category: str) -> None:
+        if not directory.is_dir():
+            return
+        for path in sorted(directory.glob(pattern)):
+            try:
+                if now - path.stat().st_mtime < max_age_s:
+                    continue
+                if not dry_run:
+                    path.unlink()
+            except OSError:
+                continue  # claimed/completed underneath us: not ours to count
+            counts[category] += 1
+            removed.append(str(path.relative_to(spool.root)))
+
+    _sweep(spool.tasks, "*.json", "tasks")
+    _sweep(spool.claims, "*.json", "claims")
+    _sweep(spool.failed, "*.json", "failures")
+    _sweep(spool.workers, "*.json", "workers")
+    _sweep(spool.progress, "*.ndjson", "progress")
+    # Orphaned atomic-write temp files (writer died mid-rename).
+    for directory, category in (
+        (spool.tasks, "tasks"), (spool.claims, "claims"),
+        (spool.failed, "failures"), (spool.workers, "workers"),
+    ):
+        _sweep(directory, "*.tmp", category)
+    try:
+        if spool.stop.exists() and now - spool.stop.stat().st_mtime >= max_age_s:
+            if not dry_run:
+                spool.stop.unlink()
+            counts["stop"] = 1
+            removed.append("stop")
+    except OSError:
+        pass
+    return {
+        **counts,
+        "removed_total": sum(counts.values()),
+        "files": removed,
+        "dry_run": bool(dry_run),
     }
 
 
@@ -538,18 +702,43 @@ def _process_claim(
         stats.failed += 1
         return
 
+    def _announce(run, counted: int) -> None:
+        """Append the progress line *before* the result becomes visible in
+        the cache: a coordinator that resolves the final run and drains the
+        sidecars immediately must still see every announcement."""
+        wall = max(time.perf_counter() - started, 1e-9)
+        samples = run_sample_count(run)
+        event = ProgressEvent(
+            task_id=task_id,
+            scenario=task.scenario.label,
+            run_index=task.run_index,
+            worker=worker_id,
+            runs_completed=counted,
+            samples=samples,
+            wall_s=wall,
+            samples_per_s=samples / wall,
+            at=time.time(),
+        )
+        try:
+            append_progress_event(event, spool.progress / f"{worker_id}.ndjson")
+        except OSError:
+            pass  # progress is observational: never fail the task over it
+
     heartbeat = _ClaimHeartbeat(claim, heartbeat_s)
     heartbeat.start()
+    started = time.perf_counter()
     try:
         # A requeued-but-actually-completed task (slow worker beaten by the
         # stale timeout) short-circuits here instead of re-simulating.
         run = cache.get(task.key, task.scenario, task.run_index)
         if run is not None:
             stats.cached += 1
+            _announce(run, stats.executed + stats.cached)
         else:
             run = task.execute()
-            cache.put(task.key, run, key_payload=task.key_payload())
             stats.executed += 1
+            _announce(run, stats.executed + stats.cached)
+            cache.put(task.key, run, key_payload=task.key_payload())
     except Exception as exc:  # noqa: BLE001 - any failure must reach the coordinator
         _record_failure(
             spool, task_id, claim, worker_id,

@@ -25,7 +25,54 @@ from repro.regression.training import TrainTestSplit, split_runs
 from repro.telemetry.integration import integrate_power
 from repro.telemetry.traces import PowerTrace, SeriesTrace
 
-__all__ = ["RunResult", "ScenarioResult", "ExperimentResult", "FigureSeries"]
+__all__ = [
+    "ProgressEvent",
+    "RunResult",
+    "ScenarioResult",
+    "ExperimentResult",
+    "FigureSeries",
+    "run_sample_count",
+]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One worker's announcement that a campaign run finished.
+
+    The live-progress record of the telemetry control plane's campaign
+    half: emitted after every completed run and carried through whichever
+    channel the backend already uses for task handoff — kept in memory by
+    the in-process backends, appended to per-worker NDJSON sidecars in the
+    spool (queue backend), POSTed to ``/progress`` (HTTP backend) — then
+    surfaced by ``wavm3 campaign-status --follow`` and aggregated into the
+    campaign summary.  Purely observational: no entry in this stream ever
+    influences scheduling or results.
+    """
+
+    #: Spool/service task identifier (``<key16>-<index>``), or
+    #: ``<label>#<index>`` when no cache key exists (in-process backends).
+    task_id: str
+    #: Scenario label of the completed run.
+    scenario: str
+    #: Run index within the scenario's stream.
+    run_index: int
+    #: Worker identifier (``<hostname>-<pid>`` by convention).
+    worker: str
+    #: Runs this worker has completed so far (its lifetime counter).
+    runs_completed: int
+    #: Telemetry samples recorded by the run (power + feature rows).
+    samples: int
+    #: Wall-clock seconds the run took on the worker.
+    wall_s: float
+    #: Simulation samples produced per wall second (``samples / wall_s``).
+    samples_per_s: float
+    #: Unix timestamp of the announcement (``time.time()``).
+    at: float
+
+
+def run_sample_count(run: "RunResult") -> int:
+    """Telemetry samples recorded by one run (the progress-rate numerator)."""
+    return len(run.source_trace) + len(run.target_trace) + len(run.features)
 
 
 @dataclass(frozen=True)

@@ -36,7 +36,32 @@ from repro.models.features import HostRole
 from repro.simulator.rng import derive_seed
 from repro.telemetry.stabilization import StabilizationRule
 
-__all__ = ["RunnerSettings", "ScenarioRunner", "resolve_run_count"]
+__all__ = [
+    "CONSOLIDATION_PERIOD_S",
+    "CONSOLIDATION_PHASE_S",
+    "CONSOLIDATION_UNDERLOAD",
+    "RunnerSettings",
+    "ScenarioRunner",
+    "resolve_run_count",
+]
+
+#: Monitoring cadence of the consolidation-driver scenarios (the
+#: Section III-B(a) manager "constantly monitors" loop, scaled to the
+#: simulated protocol).
+CONSOLIDATION_PERIOD_S = 5.0
+
+#: First-tick offset after the manager starts.  Deliberately off every
+#: telemetry grid (meters tick on the 0.5 s grid, dstat on 1 s): a
+#: migration issue must never share an exact float timestamp with a
+#: sampler reading, because the two telemetry modes order such a tie
+#: differently (batched: action first; events: scheduling history).
+CONSOLIDATION_PHASE_S = CONSOLIDATION_PERIOD_S + 0.137
+
+#: Hosts below this CPU utilisation fraction are drain candidates.  Sits
+#: between one idling migrating guest (~14 % of the 32-thread m-pair) and
+#: the ≥ 3-load-VM levels (~38 %) the consolidation scenarios place on
+#: the target, so the drain direction is never ambiguous.
+CONSOLIDATION_UNDERLOAD = 0.20
 
 
 def resolve_run_count(
@@ -182,14 +207,17 @@ class ScenarioRunner:
         self._run_until_stable(bed, cfg.max_warmup_s)
 
         # --- migrate -------------------------------------------------------
-        job = bed.toolstack.migrate(
-            "migrating",
-            bed.source_name,
-            bed.target_name,
-            bed.path,
-            live=scenario.live,
-            config=self.migration_config,
-        )
+        if scenario.driver == "manager":
+            job = self._issue_via_manager(bed, scenario, recorder)
+        else:
+            job = bed.toolstack.migrate(
+                "migrating",
+                bed.source_name,
+                bed.target_name,
+                bed.path,
+                live=scenario.live,
+                config=self.migration_config,
+            )
         recorder.attach_job(job)
         deadline = bed.sim.now + cfg.migration_timeout_s
         while not job.finished:
@@ -218,6 +246,72 @@ class ScenarioRunner:
             target_idle_w=bed.target.idle_power_w(),
             vm_ram_mb=vm.memory.ram_mb,
         )
+
+    def _issue_via_manager(self, bed: Testbed, scenario: MigrationScenario, recorder):
+        """Let a consolidation manager detect and drain the source host.
+
+        Builds a :class:`~repro.consolidation.datacenter.DataCenter` view
+        over the testbed's own components (shared simulator, hypervisors,
+        toolstack and instrumented network path), starts the manager on
+        the shared :class:`~repro.simulator.control.ControlLoop` cadence
+        in the runner's telemetry mode, and advances the simulation on the
+        check grid until the manager's energy-aware policy issues the
+        drain.  The feature recorder is pointed at ``manager.active_job``
+        up front, so bandwidth rows are correct from the issue tick
+        itself — not from the check-grid poll that later notices it.
+        Returns the issued migration job; the measurement protocol then
+        proceeds exactly as in the scripted path.
+        """
+        from repro.cluster.machines import switch_spec  # local: keep import light
+        from repro.consolidation import (
+            ConsolidationManager,
+            DataCenter,
+            EnergyAwarePolicy,
+            Wavm3PlanningEstimator,
+        )
+        from repro.models.coefficients import paper_wavm3_coefficients
+
+        cfg = self.settings
+        dc = DataCenter.adopt(
+            bed.sim,
+            {bed.source_name: bed.source_xen, bed.target_name: bed.target_xen},
+            bed.toolstack,
+            switch_spec(scenario.family),
+            seed=bed.seed,
+            paths={(bed.source_name, bed.target_name): bed.path},
+        )
+        estimator = Wavm3PlanningEstimator(
+            paper_wavm3_coefficients(live=scenario.live),
+            config=self.migration_config,
+        )
+        manager = ConsolidationManager(
+            dc,
+            EnergyAwarePolicy(estimator, live=scenario.live),
+            underload_threshold=CONSOLIDATION_UNDERLOAD,
+            period_s=CONSOLIDATION_PERIOD_S,
+            phase_s=CONSOLIDATION_PHASE_S,
+            live=scenario.live,
+            telemetry=cfg.telemetry,
+            migration_config=self.migration_config,
+        )
+        recorder.attach_job_provider(lambda: manager.active_job)
+        manager.start()
+        deadline = bed.sim.now + cfg.migration_timeout_s
+        try:
+            while manager.migrations_issued == 0:
+                if bed.sim.now >= deadline:
+                    raise ExperimentError(
+                        f"consolidation manager issued no migration within "
+                        f"{cfg.migration_timeout_s}s ({scenario.label})"
+                    )
+                bed.sim.run_for(cfg.check_interval_s)
+        finally:
+            # One measured migration per run: stop monitoring so the
+            # post-migration phases stay manager-free.
+            manager.stop()
+        job = manager.active_job
+        assert job is not None
+        return job
 
     def _run_until_stable(self, bed: Testbed, budget_s: float) -> None:
         """Advance simulation until both meters satisfy the rule (or budget).

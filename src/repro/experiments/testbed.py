@@ -10,7 +10,7 @@ from the run's master seed.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -64,6 +64,7 @@ class FeatureRecorder:
         self.vm = vm
         self.trace = SeriesTrace(FEATURE_COLUMNS, label="features")
         self._job: Optional[MigrationJob] = None
+        self._job_provider: Optional[Callable[[], Optional[MigrationJob]]] = None
         self._sampler = PeriodicSampler(
             sim,
             period_s,
@@ -76,6 +77,27 @@ class FeatureRecorder:
         """Point the bandwidth column at an in-flight migration."""
         self._job = job
 
+    def attach_job_provider(
+        self, provider: Callable[[], Optional[MigrationJob]]
+    ) -> None:
+        """Point the bandwidth column at a migration *source*.
+
+        Manager-driven runs do not know the migration job up front — the
+        consolidation manager issues it on its own monitoring tick, in
+        the middle of a simulated wait.  A provider (e.g.
+        ``lambda: manager.active_job``) lets the recorder pick the job up
+        at the very tick it is issued, instead of recording bandwidth 0
+        until the runner's next check-grid poll notices it.
+        """
+        self._job_provider = provider
+
+    def _current_job(self) -> Optional[MigrationJob]:
+        if self._job is not None:
+            return self._job
+        if self._job_provider is not None:
+            return self._job_provider()
+        return None
+
     def start(self) -> None:
         """Begin sampling."""
         self._sampler.start()
@@ -86,7 +108,8 @@ class FeatureRecorder:
 
     def _sample(self, t: float) -> None:
         on_target = 1.0 if self.vm.host is self.target else 0.0
-        bw = self._job.current_bandwidth_bps if self._job is not None else 0.0
+        job = self._current_job()
+        bw = job.current_bandwidth_bps if job is not None else 0.0
         self.trace.append(
             t,
             cpu_src_pct=self.source.cpu_utilisation_percent(t),
@@ -107,7 +130,8 @@ class FeatureRecorder:
         less fixed numpy overhead.
         """
         on_target = 1.0 if self.vm.host is self.target else 0.0
-        bw = self._job.current_bandwidth_bps if self._job is not None else 0.0
+        job = self._current_job()
+        bw = job.current_bandwidth_bps if job is not None else 0.0
         dr = self.vm.dirtying_ratio_percent()
         if times.size <= SCALAR_BLOCK_MAX:
             times_list = times.tolist()

@@ -51,6 +51,10 @@ __all__ = [
     "load_task_spec",
     "task_spec_to_dict",
     "task_spec_from_dict",
+    "progress_event_to_dict",
+    "progress_event_from_dict",
+    "append_progress_event",
+    "load_progress_events",
 ]
 
 _PathLike = Union[str, pathlib.Path]
@@ -62,6 +66,7 @@ ERRORS_SCHEMA = "wavm3-errors/1"
 # state changed shape); old /1 cache entries are rejected and recomputed.
 RUN_RESULT_SCHEMA = "wavm3-runresult/2"
 TASK_SPEC_SCHEMA = "wavm3-taskspec/1"
+PROGRESS_SCHEMA = "wavm3-progress/1"
 
 
 class PersistenceError(ReproError):
@@ -423,6 +428,133 @@ def load_task_spec(path: _PathLike):
         return task_spec_from_dict(payload)
     except PersistenceError as exc:
         raise PersistenceError(f"{path}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Progress events <-> JSON / NDJSON (the live campaign-progress stream)
+# ---------------------------------------------------------------------------
+_PROGRESS_INT_FIELDS = ("run_index", "runs_completed", "samples")
+_PROGRESS_FLOAT_FIELDS = ("wall_s", "samples_per_s", "at")
+_PROGRESS_STR_FIELDS = ("task_id", "scenario", "worker")
+
+
+def progress_event_to_dict(event) -> dict:
+    """Serialise a :class:`~repro.experiments.results.ProgressEvent`.
+
+    This dict is the progress wire format of both distributed backends:
+    one NDJSON line in a queue worker's spool sidecar, and the body of
+    the HTTP backend's ``POST /progress`` requests.
+
+    Parameters
+    ----------
+    event:
+        The :class:`~repro.experiments.results.ProgressEvent` to serialise.
+
+    Returns
+    -------
+    dict
+        A JSON-ready ``wavm3-progress/1`` document.
+    """
+    record: dict = {"schema": PROGRESS_SCHEMA}
+    for name in _PROGRESS_STR_FIELDS:
+        record[name] = str(getattr(event, name))
+    for name in _PROGRESS_INT_FIELDS:
+        record[name] = int(getattr(event, name))
+    for name in _PROGRESS_FLOAT_FIELDS:
+        record[name] = float(getattr(event, name))
+    return record
+
+
+def progress_event_from_dict(payload: dict):
+    """Rebuild a :class:`~repro.experiments.results.ProgressEvent`.
+
+    Parameters
+    ----------
+    payload:
+        A ``wavm3-progress/1`` document (:func:`progress_event_to_dict`
+        output).
+
+    Returns
+    -------
+    ProgressEvent
+        The reconstructed event.
+
+    Raises
+    ------
+    PersistenceError
+        On a wrong schema tag or any missing/mistyped field.
+    """
+    from repro.experiments.results import ProgressEvent  # local: avoid cycle
+
+    if not isinstance(payload, dict) or payload.get("schema") != PROGRESS_SCHEMA:
+        raise PersistenceError(
+            f"unexpected progress schema "
+            f"{payload.get('schema') if isinstance(payload, dict) else type(payload)!r} "
+            f"(want {PROGRESS_SCHEMA!r})"
+        )
+    try:
+        kwargs: dict = {name: str(payload[name]) for name in _PROGRESS_STR_FIELDS}
+        kwargs.update({name: int(payload[name]) for name in _PROGRESS_INT_FIELDS})
+        kwargs.update({name: float(payload[name]) for name in _PROGRESS_FLOAT_FIELDS})
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed progress event: {exc}") from exc
+    return ProgressEvent(**kwargs)
+
+
+def append_progress_event(event, path: _PathLike) -> None:
+    """Append one progress event to an NDJSON sidecar file.
+
+    Each queue worker appends to its *own* per-worker sidecar
+    (``<spool>/progress/<worker>.ndjson``), so lines never interleave
+    across processes; a single ``write`` of one ``\\n``-terminated line
+    keeps concurrent readers from seeing torn records in practice.
+
+    Parameters
+    ----------
+    event:
+        The :class:`~repro.experiments.results.ProgressEvent` to record.
+    path:
+        The sidecar file (created, along with its parent, if missing).
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(progress_event_to_dict(event), sort_keys=True) + "\n"
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line)
+
+
+def load_progress_events(path: _PathLike) -> list:
+    """Read every valid progress event from an NDJSON sidecar.
+
+    Tolerant by design: the file may be mid-append by a live worker, so a
+    torn or malformed trailing line is skipped rather than fatal (the
+    status views re-read the file on their next refresh).
+
+    Parameters
+    ----------
+    path:
+        The sidecar file; a missing file reads as no events.
+
+    Returns
+    -------
+    list[ProgressEvent]
+        The decodable events, in file (chronological) order.
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return []
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(progress_event_from_dict(json.loads(line)))
+        except (json.JSONDecodeError, PersistenceError):
+            continue  # torn or corrupt line: skip, keep the stream usable
+    return events
 
 
 # ---------------------------------------------------------------------------

@@ -6,10 +6,14 @@ A deliberately small, dependency-free event-driven core:
 * :class:`~repro.simulator.events.Event` — cancellable scheduled callbacks;
 * :class:`~repro.simulator.rng.RandomStreams` — named, seed-derived
   deterministic random streams (one per simulated component);
+* :class:`~repro.simulator.control.ControlLoop` — the shared periodic
+  evaluate-and-maybe-act cadence (telemetry control plane);
 * :class:`~repro.simulator.sampling.PeriodicSampler` — fixed-rate sampling
-  processes used by the simulated measurement devices.
+  processes used by the simulated measurement devices (the pure-observer
+  specialisation of :class:`~repro.simulator.control.ControlLoop`).
 """
 
+from repro.simulator.control import ControlLoop
 from repro.simulator.engine import Simulator
 from repro.simulator.events import Event, EventState
 from repro.simulator.rng import RandomStreams, derive_seed
@@ -21,5 +25,6 @@ __all__ = [
     "EventState",
     "RandomStreams",
     "derive_seed",
+    "ControlLoop",
     "PeriodicSampler",
 ]

@@ -1,0 +1,288 @@
+"""Periodic control loops over the simulation clock.
+
+Both halves of the telemetry control plane ride the same cadence: the
+instruments (:class:`~repro.simulator.sampling.PeriodicSampler`) *observe*
+state on a fixed grid, and the consolidation manager *evaluates a policy*
+on a fixed grid and occasionally *acts* on the outcome (issues a
+migration).  :class:`ControlLoop` is the shared abstraction: the tick-grid
+arithmetic (``anchor + phase + k * period`` in float64, drift-free and
+bit-identical across execution modes), start/stop lifecycle, and the two
+execution modes —
+
+* **event mode** — one heap event per tick, the classic pattern: the tick
+  callback evaluates the loop's decision and, when one is due, executes it
+  immediately;
+* **batched mode** — the loop registers as a *control hook* on the
+  simulator and participates in the engine's two-phase interval protocol:
+
+  1. ``bound_advance(t1)`` — a **read-only** scan of the loop's pending
+     ticks in ``(now, t1]``: the first tick whose decision is non-``None``
+     *bounds* the event-free interval (the engine will not let observer
+     hooks advance past it);
+  2. ``advance_to(t_cut)`` — consume the no-op ticks up to the engine's
+     agreed cut and arm the action if this loop's acting tick *is* the
+     cut;
+  3. ``fire_control()`` — execute the armed action with the clock moved
+     to the tick's exact timestamp (the engine sets ``now`` first), where
+     scheduling events is allowed again.
+
+Because simulation state is piecewise constant between events and the
+decision function is required to be a **pure read** of ``(state, t)``,
+evaluating it during the scan and again during consumption returns the
+same verdict, and the batched loop takes exactly the actions — at exactly
+the tick times, bit for bit — that the event-mode loop takes.  This is
+the property the consolidation cross-path golden tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.simulator.engine import Simulator
+from repro.simulator.events import Event
+
+__all__ = ["ControlLoop"]
+
+
+class ControlLoop:
+    """Evaluate a decision every ``period`` simulated seconds; act on it.
+
+    Parameters
+    ----------
+    sim:
+        The simulator driving the clock.
+    period:
+        Tick interval in seconds.
+    decide:
+        ``decide(t) -> Optional[decision]`` — evaluated at every tick.
+        Must be a **pure read** of simulation state and ``t``: no state
+        mutation, no RNG draws, no event (de)scheduling.  In batched mode
+        it may be evaluated more than once per tick (scan + consume
+        phases); purity is what makes that invisible.
+    act:
+        ``act(t, decision)`` — executed for every tick whose decision is
+        non-``None``.  May mutate state and schedule events; the engine
+        guarantees ``sim.now == t`` when it runs, in both modes.
+    phase:
+        Offset of the first tick relative to :meth:`start` time; defaults
+        to one full period.  Control loops sharing a simulation with
+        fixed-grid samplers should pick a phase that keeps their acting
+        ticks off the samplers' grids — at an *exact* float tie the
+        batched protocol orders the action before same-instant
+        observations, while event mode orders by scheduling history.
+    batched:
+        Select the control-hook fast path instead of per-tick heap events.
+    label:
+        Event label / debugging tag.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        decide: Optional[Callable[[float], Any]] = None,
+        act: Optional[Callable[[float, Any], None]] = None,
+        phase: Optional[float] = None,
+        batched: bool = False,
+        label: str = "control",
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"control period must be positive, got {period!r}")
+        if phase is not None and phase < 0:
+            raise ConfigurationError(f"control phase must be non-negative, got {phase!r}")
+        self._sim = sim
+        self._period = float(period)
+        self._phase = self._period if phase is None else float(phase)
+        self._decide = decide
+        self._act = act
+        self._label = label
+        self._batched = bool(batched)
+        self._anchor: Optional[float] = None
+        self._tick_index = 0
+        self._event: Optional[Event] = None
+        self._active = False  # batched-mode registration flag
+        self._armed: Optional[tuple[float, Any]] = None
+        # Per-interval decision memo: the engine always follows a
+        # bound_advance scan with an advance_to over a prefix of the same
+        # ticks, with no state change in between, so the scan's verdicts
+        # can be reused instead of re-running a (possibly expensive)
+        # policy evaluation.  Cleared once the interval is consumed —
+        # unconsumed ticks must be re-evaluated next interval, because a
+        # control action (this loop's or another's) may have changed
+        # state at the cut.
+        self._decision_memo: dict[float, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the loop currently has a tick scheduled."""
+        if self._batched:
+            return self._active
+        return self._event is not None and self._event.pending
+
+    @property
+    def batched(self) -> bool:
+        """Whether this loop rides the interval-hook fast path."""
+        return self._batched
+
+    @property
+    def period(self) -> float:
+        """Tick interval in seconds."""
+        return self._period
+
+    @property
+    def samples_taken(self) -> int:
+        """Number of ticks consumed since the last :meth:`start`."""
+        return self._tick_index
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin ticking; the first tick fires after ``phase`` seconds."""
+        if self.running:
+            return
+        self._anchor = self._sim.now
+        self._tick_index = 0
+        self._armed = None
+        self._decision_memo.clear()
+        if self._batched:
+            self._active = True
+            self._sim.add_interval_hook(self)
+        else:
+            self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop ticking; a pending tick (or armed action) is dropped."""
+        if self._batched:
+            if self._active:
+                self._active = False
+                self._armed = None
+                self._sim.remove_interval_hook(self)
+            return
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    # ------------------------------------------------------------------
+    # Subclass contract (callable-backed by default)
+    # ------------------------------------------------------------------
+    def _evaluate(self, t: float) -> Any:
+        """The tick decision — pure read of ``(state, t)``; None = no-op."""
+        return self._decide(t) if self._decide is not None else None
+
+    def _execute(self, t: float, decision: Any) -> None:
+        """Run one non-``None`` decision (``sim.now == t`` is guaranteed)."""
+        if self._act is not None:
+            self._act(t, decision)
+
+    def _fire_tick(self, t: float) -> None:
+        """Event-mode per-tick behaviour (samplers override this)."""
+        decision = self._evaluate(t)
+        if decision is not None:
+            self._execute(t, decision)
+
+    # ------------------------------------------------------------------
+    # Event mode
+    # ------------------------------------------------------------------
+    def _next_time(self) -> float:
+        assert self._anchor is not None
+        return (self._anchor + self._phase) + self._tick_index * self._period
+
+    def _schedule_next(self) -> None:
+        next_time = self._next_time()
+        # Guard against a zero phase scheduling "now" repeatedly.
+        if next_time < self._sim.now:
+            next_time = self._sim.now
+        self._event = self._sim.schedule_at(
+            next_time, self._on_event_tick, label=f"{self._label}@{self._period}s"
+        )
+
+    def _on_event_tick(self) -> None:
+        self._tick_index += 1
+        self._fire_tick(self._sim.now)
+        self._schedule_next()
+
+    # ------------------------------------------------------------------
+    # Batched mode (the engine's two-phase control-hook protocol)
+    # ------------------------------------------------------------------
+    def bound_advance(self, t1: float) -> float:
+        """Furthest time ``<= t1`` the event-free interval may reach.
+
+        Read-only: scans this loop's unconsumed ticks in ascending order
+        and returns the first one whose decision is non-``None`` (the
+        engine must hand control back there), or ``t1`` if every pending
+        tick in the interval is a no-op.
+        """
+        assert self._anchor is not None
+        base = self._anchor + self._phase
+        period = self._period
+        k = self._tick_index
+        t_k = base + k * period
+        while t_k <= t1:
+            if self._evaluate_memo(t_k) is not None:
+                return t_k
+            k += 1
+            t_k = base + k * period
+        return t1
+
+    def _evaluate_memo(self, t: float) -> Any:
+        """``_evaluate`` with the per-interval memo (see ``__init__``)."""
+        if t in self._decision_memo:
+            return self._decision_memo[t]
+        decision = self._evaluate(t)
+        self._decision_memo[t] = decision
+        return decision
+
+    def advance_to(self, t_cut: float) -> None:
+        """Consume ticks ``<= t_cut``; arm the action if one is due at the cut.
+
+        The engine guarantees ``t_cut`` does not exceed any control hook's
+        :meth:`bound_advance`, so a non-``None`` decision can only surface
+        exactly at ``t_cut`` — anything earlier would mean the decision
+        function is not pure.
+        """
+        assert self._anchor is not None
+        base = self._anchor + self._phase
+        period = self._period
+        k = self._tick_index
+        t_k = base + k * period
+        try:
+            while t_k <= t_cut:
+                decision = self._evaluate_memo(t_k)
+                if decision is not None:
+                    if t_k != t_cut:  # pragma: no cover - purity violation guard
+                        raise SimulationError(
+                            f"control loop {self._label!r}: decision surfaced at "
+                            f"t={t_k!r} inside an interval bounded at {t_cut!r} — "
+                            "decide() is not a pure read"
+                        )
+                    self._armed = (t_k, decision)
+                    self._tick_index = k + 1
+                    return
+                k += 1
+                t_k = base + k * period
+            self._tick_index = k
+        finally:
+            # The interval ends here; whatever fires at the cut may change
+            # state, so cached verdicts for unconsumed ticks are stale.
+            self._decision_memo.clear()
+
+    def fire_control(self) -> bool:
+        """Execute the armed action, if any.  Engine-internal.
+
+        Returns
+        -------
+        bool
+            ``True`` if an action ran (the engine uses this to detect a
+            control hook that bounded an interval but then did nothing).
+        """
+        if self._armed is None:
+            return False
+        t, decision = self._armed
+        self._armed = None
+        self._execute(t, decision)
+        return True

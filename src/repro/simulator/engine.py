@@ -129,14 +129,29 @@ class Simulator:
         between events, so a hook observing it anywhere in the interval
         sees exactly what per-tick event callbacks would have seen.
 
-        Hooks run in registration order, *before* the event at ``t1``
-        fires — an observation at exactly ``t1`` sees pre-event state.
-        (In the per-event reference path a tick coinciding exactly with
-        a state-changing event is ordered by scheduling history instead;
-        the simulation's event times carry per-run jitter precisely so
-        such grid collisions do not occur, and the cross-path golden
-        tests would surface one.)  Hooks must not schedule or cancel
-        events.
+        Hooks come in two flavours:
+
+        * **observer hooks** (e.g. batched telemetry samplers) implement
+          only ``advance_to``.  They must not schedule or cancel events.
+        * **control hooks** (:class:`~repro.simulator.control.ControlLoop`
+          in batched mode) additionally implement
+          ``bound_advance(t1) -> float`` and ``fire_control() -> bool``.
+          Before any hook advances, the engine asks every control hook how
+          far the event-free interval may safely reach; the minimum bound
+          becomes the *cut*.  All hooks then advance to the cut, the clock
+          moves there, and the due control actions fire — where scheduling
+          events is allowed, because the engine re-reads the heap before
+          touching the next event.
+
+        Hooks run in registration order, *before* the event at the
+        interval's far end fires — an observation at exactly that instant
+        sees pre-event state, and a control action due exactly there runs
+        first too.  (In the per-event reference path such exact-time
+        collisions are ordered by scheduling history instead; the
+        simulation's event times carry per-run jitter — and shipped
+        control loops carry an off-grid phase — precisely so exact grid
+        collisions do not occur, and the cross-path golden tests would
+        surface one.)
         """
         if hook not in self._interval_hooks:
             self._interval_hooks.append(hook)
@@ -148,9 +163,52 @@ class Simulator:
         except ValueError:
             pass
 
-    def _advance_hooks(self, t1: float) -> None:
-        for hook in self._interval_hooks:
-            hook.advance_to(t1)
+    def _advance_hooks(self, t1: float) -> tuple[float, bool]:
+        """Advance hooks across the event-free interval ``(now, t1]``.
+
+        Phase 1 asks control hooks to bound the interval (the earliest
+        tick at which one must act); phase 2 advances every hook to the
+        agreed cut; phase 3 moves the clock to the cut and fires the due
+        control actions (which may schedule events).
+
+        Returns
+        -------
+        tuple[float, bool]
+            ``(reached, acted)``.  ``reached < t1`` means the interval was
+            cut short; ``acted`` means at least one control action fired
+            (possible even at ``reached == t1``, when an acting tick lands
+            exactly on the interval's far end).  In either case the caller
+            must re-read the heap before touching the next event — the
+            action may have scheduled or cancelled events.
+        """
+        hooks = list(self._interval_hooks)
+        cut = float(t1)
+        for hook in hooks:
+            bound = getattr(hook, "bound_advance", None)
+            if not callable(bound):
+                continue
+            b = bound(cut)
+            if b < cut:
+                if b <= self._now:  # pragma: no cover - defensive
+                    raise SimulationError(
+                        f"control hook bounded the interval at t={b!r}, "
+                        f"not ahead of now={self._now!r}"
+                    )
+                cut = b
+        for hook in hooks:
+            hook.advance_to(cut)
+        self._now = cut
+        fired = False
+        for hook in hooks:
+            fire = getattr(hook, "fire_control", None)
+            if callable(fire) and fire():
+                fired = True
+        if cut < t1 and not fired:  # pragma: no cover - defensive
+            raise SimulationError(
+                f"a control hook bounded the interval at t={cut!r} but no "
+                "control action fired (livelock)"
+            )
+        return cut, fired
 
     # ------------------------------------------------------------------
     # Execution
@@ -158,26 +216,35 @@ class Simulator:
     def step(self) -> bool:
         """Fire the next pending event.
 
+        Control hooks may fire actions (and reschedule the head) while the
+        clock crosses the gap to the next event; those actions run inside
+        this call, before the event that ends up firing.
+
         Returns
         -------
         bool
             ``True`` if an event fired, ``False`` if the heap was empty.
         """
-        self._drop_cancelled_head()
-        if not self._heap:
-            return False
-        if self._interval_hooks and self._heap[0].time > self._now:
-            # Let batched samplers observe the event-free interval before
-            # the event at its far end mutates state.
-            self._advance_hooks(self._heap[0].time)
-        event = heapq.heappop(self._heap)
-        if event.time < self._now:  # pragma: no cover - defensive
-            raise SimulationError("heap invariant violated: event in the past")
-        self._now = event.time
-        self._processed += 1
-        self._pending -= 1
-        event.fire()
-        return True
+        while True:
+            self._drop_cancelled_head()
+            if not self._heap:
+                return False
+            if self._interval_hooks and self._heap[0].time > self._now:
+                # Let batched samplers observe the event-free interval
+                # before the event at its far end mutates state; any
+                # control action restarts the scan (it may have scheduled
+                # an earlier event, or cancelled the head itself).
+                reached, acted = self._advance_hooks(self._heap[0].time)
+                if acted or reached < self._heap[0].time:
+                    continue
+            event = heapq.heappop(self._heap)
+            if event.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("heap invariant violated: event in the past")
+            self._now = event.time
+            self._processed += 1
+            self._pending -= 1
+            event.fire()
+            return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events until the heap drains, ``until`` passes, or the budget ends.
@@ -202,20 +269,38 @@ class Simulator:
         try:
             while True:
                 self._drop_cancelled_head()
-                if not self._heap:
-                    break
-                if until is not None and self._heap[0].time > until:
-                    break
-                if max_events is not None and fired >= max_events:
-                    raise SimulationError(
-                        f"event budget exhausted after {fired} events at t={self._now:.3f}"
-                    )
-                self.step()
-                fired += 1
-            if until is not None and until > self._now:
-                if self._interval_hooks:
-                    self._advance_hooks(float(until))
-                self._now = float(until)
+                if self._heap and (until is None or self._heap[0].time <= until):
+                    if max_events is not None and fired >= max_events:
+                        raise SimulationError(
+                            f"event budget exhausted after {fired} events at t={self._now:.3f}"
+                        )
+                    if self._interval_hooks and self._heap[0].time > self._now:
+                        reached, acted = self._advance_hooks(self._heap[0].time)
+                        if acted or reached < self._heap[0].time:
+                            # A control action fired and may have
+                            # (re)scheduled or cancelled the head: re-read
+                            # the heap before touching it.
+                            continue
+                    event = heapq.heappop(self._heap)
+                    if event.time < self._now:  # pragma: no cover - defensive
+                        raise SimulationError("heap invariant violated: event in the past")
+                    self._now = event.time
+                    self._processed += 1
+                    self._pending -= 1
+                    event.fire()
+                    fired += 1
+                    continue
+                if until is not None and until > self._now:
+                    if self._interval_hooks:
+                        reached, _ = self._advance_hooks(float(until))
+                        if reached < until:
+                            # A control action fired before the run bound;
+                            # its new events (if any) belong to this run.
+                            continue
+                    self._now = float(until)
+                    continue  # a control action at `until` may have scheduled
+                    #           events at exactly `until`: drain them too
+                break
         finally:
             self._running = False
 

@@ -2,8 +2,9 @@
 
 The paper's instruments are periodic samplers: the Voltech PM1000+ reads
 wall power at 2 Hz, and ``dstat`` reads CPU/memory/network once per second.
-:class:`PeriodicSampler` implements that pattern on top of the event
-engine in one of two modes:
+:class:`PeriodicSampler` implements that pattern as the pure-*observer*
+specialisation of the shared :class:`~repro.simulator.control.ControlLoop`
+cadence, in one of two modes:
 
 * **event mode** (default) — the sampler re-schedules a heap event every
   ``period`` seconds and invokes a user callback with the current
@@ -17,6 +18,11 @@ engine in one of two modes:
   per-tick events would have — the tick grid (and therefore every
   timestamp, bit for bit) is the same ``anchor + phase + k * period``
   float arithmetic in both modes.
+
+Unlike a full control loop, a sampler never *acts* on what it reads, so
+it never bounds an event-free interval: the engine's two-phase control
+protocol (``bound_advance`` / ``fire_control``) is explicitly disabled on
+this class.
 """
 
 from __future__ import annotations
@@ -25,9 +31,8 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.simulator.control import ControlLoop
 from repro.simulator.engine import Simulator
-from repro.simulator.events import Event
 
 __all__ = ["PeriodicSampler", "SCALAR_BLOCK_MAX"]
 
@@ -40,7 +45,7 @@ __all__ = ["PeriodicSampler", "SCALAR_BLOCK_MAX"]
 SCALAR_BLOCK_MAX = 12
 
 
-class PeriodicSampler:
+class PeriodicSampler(ControlLoop):
     """Invokes ``callback(t)`` every ``period`` simulated seconds.
 
     Parameters
@@ -70,6 +75,12 @@ class PeriodicSampler:
     timestamps are bit-identical across modes.
     """
 
+    #: Observer hooks never bound an event-free interval or take control
+    #: actions; shadowing the ControlLoop protocol methods with ``None``
+    #: tells the engine to skip both phases for this hook.
+    bound_advance = None  # type: ignore[assignment]
+    fire_control = None  # type: ignore[assignment]
+
     def __init__(
         self,
         sim: Simulator,
@@ -79,85 +90,14 @@ class PeriodicSampler:
         batched: bool = False,
         batch_callback: Optional[Callable[[np.ndarray], Any]] = None,
     ) -> None:
-        if period <= 0:
-            raise ConfigurationError(f"sampling period must be positive, got {period!r}")
-        if phase is not None and phase < 0:
-            raise ConfigurationError(f"sampling phase must be non-negative, got {phase!r}")
-        self._sim = sim
-        self._period = float(period)
-        self._phase = self._period if phase is None else float(phase)
+        super().__init__(sim, period, phase=phase, batched=batched, label="sampler")
         self._callback = callback
-        self._batched = bool(batched)
         self._batch_callback = batch_callback
-        self._anchor: Optional[float] = None
-        self._tick_index = 0
-        self._event: Optional[Event] = None
-        self._active = False  # batched-mode registration flag
 
     # ------------------------------------------------------------------
-    @property
-    def running(self) -> bool:
-        """Whether the sampler currently has a tick scheduled."""
-        if self._batched:
-            return self._active
-        return self._event is not None and self._event.pending
-
-    @property
-    def batched(self) -> bool:
-        """Whether this sampler uses the interval-hook fast path."""
-        return self._batched
-
-    @property
-    def period(self) -> float:
-        """Sampling interval in seconds."""
-        return self._period
-
-    @property
-    def samples_taken(self) -> int:
-        """Number of ticks fired since the last :meth:`start`."""
-        return self._tick_index
-
-    # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Begin sampling; the first tick fires after ``phase`` seconds."""
-        if self.running:
-            return
-        self._anchor = self._sim.now
-        self._tick_index = 0
-        if self._batched:
-            self._active = True
-            self._sim.add_interval_hook(self)
-        else:
-            self._schedule_next()
-
-    def stop(self) -> None:
-        """Stop sampling; a pending tick is cancelled."""
-        if self._batched:
-            if self._active:
-                self._active = False
-                self._sim.remove_interval_hook(self)
-            return
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
-
-    # ------------------------------------------------------------------
-    # Event mode
-    # ------------------------------------------------------------------
-    def _schedule_next(self) -> None:
-        assert self._anchor is not None
-        next_time = self._anchor + self._phase + self._tick_index * self._period
-        # Guard against a zero phase scheduling "now" repeatedly.
-        if next_time < self._sim.now:
-            next_time = self._sim.now
-        self._event = self._sim.schedule_at(
-            next_time, self._tick, label=f"sampler@{self._period}s"
-        )
-
-    def _tick(self) -> None:
-        self._tick_index += 1
-        self._callback(self._sim.now)
-        self._schedule_next()
+    def _fire_tick(self, t: float) -> None:
+        """Event-mode tick: deliver the observation timestamp."""
+        self._callback(t)
 
     # ------------------------------------------------------------------
     # Batched mode (simulator interval hook)

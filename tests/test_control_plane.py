@@ -1,0 +1,359 @@
+"""The telemetry control plane, engine half: ControlLoop + consolidation.
+
+Pins the tentpole guarantees of the unified control plane:
+
+* the engine's two-phase control-hook protocol (bound → advance → fire)
+  truncates event-free intervals exactly at acting ticks, moves the clock
+  there, and lets actions schedule events;
+* :class:`~repro.simulator.control.ControlLoop` takes bit-identical
+  actions at bit-identical tick times in ``batched`` and ``events`` mode;
+* the consolidation manager — riding that loop — issues the same
+  migrations at the same instants in both telemetry modes;
+* the consolidation scenario archetypes produce **byte-identical**
+  campaign samples JSON across ``RunnerSettings(telemetry=...)``
+  (seed-sweep golden test, mirroring ``tests/test_telemetry_batched.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.consolidation import (
+    ConsolidationManager,
+    DataCenter,
+    EnergyAwarePolicy,
+    FirstFitPolicy,
+    Wavm3PlanningEstimator,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.design import MigrationScenario, consolidation_scenarios
+from repro.experiments.executor import RunCache
+from repro.experiments.runner import RunnerSettings, ScenarioRunner
+from repro.hypervisor import VirtualMachine
+from repro.io import save_samples_json
+from repro.models.coefficients import paper_wavm3_coefficients
+from repro.simulator import ControlLoop, PeriodicSampler, Simulator
+from repro.telemetry.stabilization import StabilizationRule
+from repro.workloads import MatrixMultWorkload
+
+#: Fast protocol settings shared with the telemetry golden tests.
+FAST = dict(
+    min_warmup_s=2.0, max_warmup_s=6.0, min_post_s=2.0, max_post_s=6.0,
+    check_interval_s=1.0,
+)
+
+#: The consolidation archetypes (manager-driven drains).
+CONSOLIDATION_ARCHETYPES = consolidation_scenarios()
+
+
+def _runner(mode: str, seed: int) -> ScenarioRunner:
+    return ScenarioRunner(seed=seed, settings=RunnerSettings(telemetry=mode, **FAST))
+
+
+class TestControlLoop:
+    """The shared cadence abstraction, mode for mode."""
+
+    def _drive(self, batched: bool, act_every: int = 3):
+        """A loop that acts on every ``act_every``-th tick; returns the log."""
+        sim = Simulator()
+        acted = []
+        evaluated = set()
+
+        def decide(t):
+            evaluated.add(t)
+            k = round(t / 0.7)
+            return "go" if k % act_every == 0 else None
+
+        loop = ControlLoop(
+            sim, 0.7, decide=decide, act=lambda t, d: acted.append((t, d)),
+            batched=batched,
+        )
+        loop.start()
+        sim.schedule(3.3, lambda: None)  # a state-free event mid-way
+        for _ in range(4):
+            sim.run_for(2.5)
+        loop.stop()
+        return acted, evaluated, loop
+
+    def test_actions_bit_identical_across_modes(self):
+        events, _, _ = self._drive(batched=False)
+        batched, _, _ = self._drive(batched=True)
+        assert events == batched
+        assert events  # non-empty
+
+    def test_noop_ticks_are_consumed_in_both_modes(self):
+        _, _, loop_events = self._drive(batched=False)
+        _, _, loop_batched = self._drive(batched=True)
+        assert loop_events.samples_taken == loop_batched.samples_taken
+
+    def test_action_sees_clock_at_tick_time(self):
+        for batched in (False, True):
+            sim = Simulator()
+            seen = []
+            loop = ControlLoop(
+                sim, 1.3, decide=lambda t: "x",
+                act=lambda t, d: seen.append((t, sim.now)),
+                batched=batched,
+            )
+            loop.start()
+            sim.run_for(5.0)
+            loop.stop()
+            assert seen, batched
+            assert all(t == now for t, now in seen), batched
+
+    def test_action_may_schedule_events(self):
+        """Control actions schedule events; observers still see every tick."""
+        for batched in (False, True):
+            sim = Simulator()
+            fired = []
+            ticks = []
+            sampler = PeriodicSampler(sim, 0.5, ticks.append, batched=batched)
+            loop = ControlLoop(
+                sim, 2.0, decide=lambda t: True,
+                act=lambda t, d: sim.schedule(0.25, fired.append, t),
+                batched=batched,
+            )
+            sampler.start()
+            loop.start()
+            sim.run_for(10.0)
+            loop.stop()
+            sampler.stop()
+            assert fired == [2.0, 4.0, 6.0, 8.0]
+            assert ticks == [0.5 * k for k in range(1, 21)]
+
+    def test_stop_drops_future_actions(self):
+        sim = Simulator()
+        acted = []
+        loop = ControlLoop(
+            sim, 1.0, decide=lambda t: "x", act=lambda t, d: acted.append(t),
+            batched=True,
+        )
+        loop.start()
+        sim.run_for(2.0)
+        loop.stop()
+        assert not loop.running
+        sim.run_for(5.0)
+        assert acted == [1.0, 2.0]
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            ControlLoop(sim, 0.0, decide=lambda t: None)
+        with pytest.raises(ConfigurationError):
+            ControlLoop(sim, 1.0, decide=lambda t: None, phase=-1.0)
+
+    def test_observer_sampler_never_bounds(self):
+        """PeriodicSampler disables the control protocol it inherits."""
+        sampler = PeriodicSampler(Simulator(), 0.5, lambda t: None, batched=True)
+        assert sampler.bound_advance is None
+        assert sampler.fire_control is None
+
+    def test_action_cancelling_a_same_time_event(self):
+        """An action at exactly the head event's timestamp may cancel it.
+
+        In batched mode the control protocol orders the action *before*
+        the same-instant event, so the victim never fires — and crucially
+        the engine must re-read the heap instead of firing the
+        just-cancelled head (which would also corrupt the pending
+        counter).  Event mode orders the exact tie by scheduling history
+        instead (the victim was scheduled first, so it fires) — the
+        documented divergence that shipped control loops avoid with
+        off-grid phases.
+        """
+        for batched, expect_fired in ((False, ["victim"]), (True, [])):
+            sim = Simulator()
+            fired = []
+            victim = sim.schedule(2.0, fired.append, "victim")
+            loop = ControlLoop(
+                sim, 2.0, decide=lambda t: True,
+                act=lambda t, d: victim.cancel(),
+                batched=batched,
+            )
+            loop.start()
+            sim.run_for(5.0)
+            loop.stop()
+            assert fired == expect_fired, batched
+            assert sim.pending_events == 0, batched
+
+    def test_decision_memo_does_not_leak_across_intervals(self):
+        """decide() verdicts cached during one interval's scan must not
+        survive into the next interval (state may have changed)."""
+        sim = Simulator()
+        gate = {"open": False}
+        acted = []
+
+        def decide(t):
+            return "go" if gate["open"] else None
+
+        loop = ControlLoop(sim, 1.0, decide=decide, act=lambda t, d: acted.append(t),
+                           batched=True)
+        loop.start()
+        sim.run_for(3.25)          # scans ticks 1..3 as no-ops
+        sim.schedule(0.25, lambda: gate.update(open=True))
+        sim.run_for(2.0)           # state flips at 3.5; ticks 4, 5 must act
+        loop.stop()
+        assert acted == [4.0, 5.0]
+
+    def test_action_exactly_at_run_bound(self):
+        """An acting tick landing exactly on run(until=...) still fires,
+        in both modes, including events it schedules at that instant."""
+        for batched in (False, True):
+            sim = Simulator()
+            fired = []
+            loop = ControlLoop(
+                sim, 2.0, decide=lambda t: True,
+                act=lambda t, d: sim.schedule(0.0, fired.append, t),
+                batched=batched,
+            )
+            loop.start()
+            sim.run_for(4.0)  # bound lands exactly on the second tick
+            loop.stop()
+            assert fired == [2.0, 4.0], batched
+
+
+class TestManagerCrossMode:
+    """The consolidation manager under both telemetry modes."""
+
+    def _dc(self, seed: int = 3):
+        sim = Simulator()
+        dc = DataCenter(sim, ["m01", "m02", "m01"], seed=seed)
+        dc.place("m01", VirtualMachine("light", 1, 1024, MatrixMultWorkload(vm_ram_mb=1024)))
+        return dc
+
+    def test_same_decisions_and_issue_times(self):
+        logs = {}
+        for mode in ("events", "batched"):
+            dc = self._dc()
+            manager = ConsolidationManager(
+                dc,
+                EnergyAwarePolicy(Wavm3PlanningEstimator(paper_wavm3_coefficients(live=True))),
+                underload_threshold=0.5, period_s=5.0, telemetry=mode,
+            )
+            manager.start()
+            dc.sim.run_for(400.0)
+            manager.stop()
+            logs[mode] = [
+                (d.at, d.move.vm_name, d.move.source, d.move.target, d.move.score)
+                for d in manager.decisions
+            ]
+            assert manager.migrations_issued >= 1
+        assert logs["events"] == logs["batched"]
+
+    def test_busy_guard_holds_in_batched_mode(self):
+        dc = self._dc()
+        dc.place("m02", VirtualMachine("b", 1, 1024, MatrixMultWorkload(vm_ram_mb=1024)))
+        manager = ConsolidationManager(
+            dc, FirstFitPolicy(), underload_threshold=0.5, period_s=2.0,
+            telemetry="batched",
+        )
+        manager.start()
+        dc.sim.run_for(20.0)  # migration takes ~45 s; ticks keep arriving
+        assert manager.migrations_issued == 1
+
+    def test_active_job_exposed(self):
+        dc = self._dc()
+        manager = ConsolidationManager(
+            dc, FirstFitPolicy(), underload_threshold=0.5, period_s=2.0,
+        )
+        manager.start()
+        dc.sim.run_for(10.0)
+        assert manager.active_job is not None
+        assert manager.busy
+
+    def test_invalid_telemetry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConsolidationManager(self._dc(), FirstFitPolicy(), telemetry="turbo")
+
+
+class TestConsolidationGoldenCrossPath:
+    """events vs batched over the consolidation archetypes: the same bits."""
+
+    @pytest.mark.parametrize("seed", [0, 20150901])
+    def test_campaign_samples_json_byte_identical(self, tmp_path, seed):
+        """Acceptance: byte-identical campaign samples JSON."""
+        blobs = {}
+        for mode in ("events", "batched"):
+            result = _runner(mode, seed).run_campaign(
+                CONSOLIDATION_ARCHETYPES, min_runs=2, max_runs=2
+            )
+            path = tmp_path / f"{mode}-{seed}.json"
+            save_samples_json(result.samples(), path)
+            blobs[mode] = path.read_bytes()
+        assert blobs["events"] == blobs["batched"]
+
+    @pytest.mark.parametrize(
+        "scenario", CONSOLIDATION_ARCHETYPES, ids=lambda s: s.label
+    )
+    def test_every_trace_bit_identical(self, scenario):
+        a = _runner("events", 7).run_once(scenario, 0)
+        b = _runner("batched", 7).run_once(scenario, 0)
+        assert np.array_equal(a.source_trace.times, b.source_trace.times)
+        assert np.array_equal(a.source_trace.watts, b.source_trace.watts)
+        assert np.array_equal(a.target_trace.times, b.target_trace.times)
+        assert np.array_equal(a.target_trace.watts, b.target_trace.watts)
+        assert np.array_equal(a.features.times, b.features.times)
+        for column in a.features.columns:
+            assert np.array_equal(a.features.column(column), b.features.column(column))
+        assert a.timeline.ms == b.timeline.ms
+        assert a.timeline.me == b.timeline.me
+        assert a.timeline.bytes_total == b.timeline.bytes_total
+
+    def test_manager_actually_migrated_the_guest(self):
+        run = _runner("batched", 11).run_once(CONSOLIDATION_ARCHETYPES[0], 0)
+        assert run.timeline.ms is not None and run.timeline.me is not None
+        on_target = run.features.column("vm_on_target")
+        assert on_target[0] == 0.0 and on_target[-1] == 1.0
+
+    def test_bandwidth_recorded_from_the_issue_tick(self):
+        """The recorder's job provider sees the migration the instant the
+        manager issues it — no bandwidth-0 gap until the runner's next
+        check-grid poll."""
+        run = _runner("batched", 11).run_once(CONSOLIDATION_ARCHETYPES[2], 0)
+        times = run.features.times
+        bw = run.features.column("bw_bps")
+        transfer = (times >= run.timeline.ts) & (times <= run.timeline.te)
+        assert transfer.sum() > 0
+        assert np.all(bw[transfer] > 0)
+
+    def test_driver_field_splits_the_cache_key(self):
+        scripted = MigrationScenario(
+            "CONSOLIDATION-CPU", "x", live=True, load_vm_count=0, load_on="target"
+        )
+        managed = MigrationScenario(
+            "CONSOLIDATION-CPU", "x", live=True, load_vm_count=0, load_on="target",
+            driver="manager",
+        )
+        keys = {
+            s.driver: RunCache.scenario_key(
+                1, s, RunnerSettings(), None, StabilizationRule()
+            )
+            for s in (scripted, managed)
+        }
+        assert keys["scripted"] != keys["manager"]
+
+    def test_telemetry_mode_does_not_split_the_cache_key(self):
+        scenario = CONSOLIDATION_ARCHETYPES[0]
+        keys = {
+            mode: RunCache.scenario_key(
+                1, scenario, RunnerSettings(telemetry=mode), None, StabilizationRule()
+            )
+            for mode in ("events", "batched")
+        }
+        assert keys["events"] == keys["batched"]
+
+
+class TestScenarioValidation:
+    def test_manager_load_must_sit_on_target(self):
+        with pytest.raises(ConfigurationError):
+            MigrationScenario(
+                "CONSOLIDATION-CPU", "bad", live=True, load_vm_count=3,
+                load_on="source", driver="manager",
+            )
+
+    def test_unknown_driver_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MigrationScenario("X", "bad", live=True, driver="automagic")
+
+    def test_archetype_labels_unique(self):
+        labels = [s.label for s in CONSOLIDATION_ARCHETYPES]
+        assert len(labels) == len(set(labels))
+        assert all(s.driver == "manager" for s in CONSOLIDATION_ARCHETYPES)
