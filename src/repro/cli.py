@@ -44,6 +44,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _batch_size(text: str) -> Optional[int]:
+    """Argparse type for --batch-size: 'auto' (None) or an integer >= 1."""
+    if text.strip().lower() == "auto":
+        return None
+    return _positive_int(text)
+
+
 def _positive_float(text: str) -> float:
     """Argparse type: a finite number > 0."""
     try:
@@ -110,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="cap of the adaptive variance loop (default: same as --runs)",
+    )
+    camp.add_argument(
+        "--batch-size",
+        type=_batch_size,
+        default=None,
+        metavar="N|auto",
+        help="runs per dispatched task: an integer (1 = classic per-run "
+        "dispatch) or 'auto' to divide each wave across the backend's "
+        "capacity (default: auto; results are bit-identical either way)",
     )
     camp_mode = camp.add_mutually_exclusive_group()
     camp_mode.add_argument(
@@ -410,6 +426,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             backend="queue",
             cache_dir=args.cache_dir,
             spool_dir=args.spool_dir,
+            batch_size=args.batch_size,
             queue_options={
                 "stale_timeout": args.stale_timeout,
                 "stop_workers_on_shutdown": args.stop_workers,
@@ -421,6 +438,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             backend="http",
             cache_dir=args.cache_dir,
             serve=args.serve,
+            batch_size=args.batch_size,
             http_options={
                 "stale_timeout": args.stale_timeout,
                 "stop_workers_on_shutdown": args.stop_workers,
@@ -431,7 +449,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"serving campaign tasks on {executor.serve_url}", flush=True)
     else:
         executor = CampaignExecutor(
-            ScenarioRunner(seed=args.seed), jobs=args.jobs, cache_dir=args.cache_dir
+            ScenarioRunner(seed=args.seed),
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            batch_size=args.batch_size,
         )
     started = time.perf_counter()
     result = executor.run_campaign(
@@ -567,18 +588,24 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     import time
 
     updates = 0
-    while True:
-        status, origin = _fetch_campaign_status(args)
-        if args.follow and updates:
-            print()  # blank line between refreshes (log-friendly "live" view)
-        _render_campaign_status(status, origin)
-        updates += 1
-        if not args.follow or (args.updates is not None and updates >= args.updates):
-            return 0 if status["tasks_failed"] == 0 else 1
-        try:
+    status: Optional[dict] = None
+    # ^C must exit the follow loop cleanly wherever it lands — during the
+    # sleep *or* mid-fetch (HTTP poll / spool scan), which is where a slow
+    # poll spends most of its time.  The exit code reflects the last
+    # rendered status (0 when interrupted before the first fetch).
+    try:
+        while True:
+            status, origin = _fetch_campaign_status(args)
+            if args.follow and updates:
+                print()  # blank line between refreshes (log-friendly "live" view)
+            _render_campaign_status(status, origin)
+            updates += 1
+            if not args.follow or (args.updates is not None and updates >= args.updates):
+                break
             time.sleep(args.interval)
-        except KeyboardInterrupt:
-            return 0 if status["tasks_failed"] == 0 else 1
+    except KeyboardInterrupt:
+        pass
+    return 0 if status is None or status["tasks_failed"] == 0 else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -615,6 +642,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"batched {consolidation['batched']['wall_s']:.2f}s | "
         f"events {consolidation['events']['wall_s']:.2f}s | "
         f"speedup {consolidation['speedup']:.2f}x"
+    )
+    batch = results["batch"]
+    print(
+        f"  batch [{batch['scenario']} x{batch['runs']}, http]: "
+        f"batched {batch['batched']['wall_s']:.2f}s "
+        f"({batch['batched']['runs_per_s']:.2f} runs/s) | "
+        f"per-run {batch['per_run']['wall_s']:.2f}s | "
+        f"serial {batch['serial']['wall_s']:.2f}s | "
+        f"dispatch-overhead amortisation {batch['overhead_x']:.2f}x"
     )
     print(
         f"  simulator: {results['simulator']['events_per_s']:,.0f} events/s"

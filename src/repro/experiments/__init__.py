@@ -43,9 +43,11 @@ from repro.experiments.executor import (
     ExecutorBackend,
     ExecutorStats,
     ProcessBackend,
+    RunBatchTask,
     RunCache,
     RunTask,
     SerialBackend,
+    execute_batch,
 )
 from repro.experiments.http_backend import (
     CampaignHTTPServer,
@@ -81,10 +83,12 @@ __all__ = [
     "ProcessBackend",
     "QueueBackend",
     "QueueStats",
+    "RunBatchTask",
     "RunCache",
     "RunTask",
     "SerialBackend",
     "WorkerStats",
+    "execute_batch",
     "fetch_status",
     "run_http_worker",
     "run_worker",

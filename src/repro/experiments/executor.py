@@ -50,6 +50,7 @@ import abc
 import dataclasses
 import hashlib
 import json
+import math
 import os
 import pathlib
 import threading
@@ -78,9 +79,11 @@ __all__ = [
     "ExecutorBackend",
     "ExecutorStats",
     "ProcessBackend",
+    "RunBatchTask",
     "RunCache",
     "RunTask",
     "SerialBackend",
+    "execute_batch",
     "CACHE_KEY_SCHEMA",
 ]
 
@@ -166,12 +169,137 @@ class RunTask:
         )
 
 
-def _execute_task(task: RunTask) -> RunResult:
-    """Module-level trampoline so :class:`RunTask` dispatch can pickle."""
+def execute_batch(
+    seed: int,
+    settings: RunnerSettings,
+    migration_config: Optional[MigrationConfig],
+    stabilization: StabilizationRule,
+    scenario: MigrationScenario,
+    run_indices: Sequence[int],
+    on_run=None,
+) -> list[RunResult]:
+    """Worker entry point for a whole seed wave through one runner.
+
+    One :class:`ScenarioRunner` instance executes every index of the
+    batch (scenario validation hoisted, per-run RNG streams still derived
+    independently via ``derive_seed``), so the per-run interpreter and
+    setup cost is paid once per batch rather than once per run.  Each
+    run's bytes are identical to :func:`_execute_run` for the same index.
+
+    Parameters
+    ----------
+    seed / settings / migration_config / stabilization / scenario:
+        The shared run-stream parameters (see :class:`RunTask`).
+    run_indices:
+        The indices to execute, in order (not necessarily contiguous: a
+        worker resuming a partially-cached batch passes only the holes).
+    on_run:
+        Optional per-run callback (progress announcement, incremental
+        cache deposit); forwarded to
+        :meth:`~repro.experiments.runner.ScenarioRunner.run_batch`.
+
+    Returns
+    -------
+    list[RunResult]
+        One result per index, in ``run_indices`` order.
+    """
+    runner = ScenarioRunner(
+        seed=seed,
+        settings=settings,
+        migration_config=migration_config,
+        stabilization=stabilization,
+    )
+    return runner.run_batch(scenario, run_indices, on_run=on_run)
+
+
+@dataclass(frozen=True)
+class RunBatchTask:
+    """A contiguous seed range of one scenario, dispatched as one unit.
+
+    The batch variant of :class:`RunTask` (``wavm3-taskspec/2`` on the
+    wire): same scenario, same settings, runs ``run_start`` through
+    ``run_start + run_count - 1``.  Executing it routes the whole wave
+    through a single :class:`ScenarioRunner` (:func:`execute_batch`), so
+    dispatch and setup overhead is amortised across the batch while every
+    run's seed — and therefore its bytes — stays exactly what the per-run
+    path produces.  Cache entries remain **per-run** (``run-NNNN.pkl``
+    under the same scenario key), so warm reruns and per-run progress are
+    unchanged.
+    """
+
+    seed: int
+    settings: RunnerSettings
+    migration_config: Optional[MigrationConfig]
+    stabilization: StabilizationRule
+    scenario: MigrationScenario
+    run_start: int
+    run_count: int
+    key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.run_start < 0 or self.run_count < 1:
+            raise ExperimentError(
+                f"invalid batch range: start={self.run_start} count={self.run_count}"
+            )
+
+    @property
+    def run_indices(self) -> range:
+        """The run indices this batch covers, in execution order."""
+        return range(self.run_start, self.run_start + self.run_count)
+
+    def execute(self, on_run=None) -> list[RunResult]:
+        """Run the whole batch in the current process.
+
+        Parameters
+        ----------
+        on_run:
+            Optional per-run callback (see :func:`execute_batch`).
+
+        Returns
+        -------
+        list[RunResult]
+            One result per index, in ascending index order.
+        """
+        return execute_batch(
+            self.seed,
+            self.settings,
+            self.migration_config,
+            self.stabilization,
+            self.scenario,
+            self.run_indices,
+            on_run=on_run,
+        )
+
+    def key_payload(self) -> dict:
+        """The cache-key ingredients (identical to the per-run task's)."""
+        return RunCache._key_payload(
+            self.seed, self.scenario, self.settings,
+            self.migration_config, self.stabilization,
+        )
+
+
+def _contiguous_spans(indices: Sequence[int]) -> list[list[int]]:
+    """Split ascending ``indices`` into maximal contiguous runs.
+
+    Batch tasks carry a (start, count) range, so a gap — e.g. a cache
+    hit in the middle of a wave — forces a span break.
+    """
+    spans: list[list[int]] = []
+    for index in indices:
+        if spans and index == spans[-1][-1] + 1:
+            spans[-1].append(index)
+        else:
+            spans.append([index])
+    return spans
+
+
+def _execute_task(task) -> Union[RunResult, list]:
+    """Module-level trampoline so task dispatch can pickle (both
+    :class:`RunTask` and :class:`RunBatchTask`)."""
     return task.execute()
 
 
-def _execute_task_timed(task: RunTask) -> tuple[RunResult, float]:
+def _execute_task_timed(task):
     """Like :func:`_execute_task`, plus the worker-side wall time.
 
     The process backend uses this so progress events report the run's
@@ -582,6 +710,17 @@ class CampaignExecutor:
         criterion; defaults to the backend's :attr:`~ExecutorBackend.capacity`
         (falling back to ``jobs``).  Affects only how much speculative
         work may run, never the returned result.
+    batch_size:
+        Runs per dispatched task.  ``1`` (default) keeps the classic
+        one-:class:`RunTask`-per-run dispatch; larger values chunk each
+        scenario's contiguous missing-index spans into
+        :class:`RunBatchTask` units of at most this many runs; ``None``
+        sizes chunks automatically at dispatch time — the missing runs
+        divided evenly across the backend's current capacity (falling
+        back to ``jobs`` while capacity is unknown), so a late-growing
+        worker fleet still gets per-dispatch-sized batches.  Cache
+        entries, progress events and results stay per-run and
+        bit-identical for every value.
     spool_dir:
         Shared spool directory of the ``queue`` backend (ignored otherwise).
     queue_options:
@@ -614,9 +753,12 @@ class CampaignExecutor:
         queue_options: Optional[dict] = None,
         serve: Optional[str] = None,
         http_options: Optional[dict] = None,
+        batch_size: Optional[int] = 1,
     ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        if batch_size is not None and int(batch_size) < 1:
+            raise ExperimentError(f"batch_size must be >= 1 or None, got {batch_size}")
         self.runner = runner
         self.jobs = int(jobs)
         self.cache = RunCache(cache_dir) if cache_dir is not None else None
@@ -627,6 +769,7 @@ class CampaignExecutor:
         self._explicit_wave_size = None if wave_size is None else int(wave_size)
         if self._explicit_wave_size is not None and self._explicit_wave_size < 1:
             raise ExperimentError(f"wave_size must be >= 1, got {wave_size}")
+        self.batch_size = None if batch_size is None else int(batch_size)
         self.stats = ExecutorStats()
         #: Per-run progress announcements of the most recent campaign:
         #: worker-reported events where the backend has a channel for them
@@ -641,11 +784,29 @@ class CampaignExecutor:
         Re-evaluated per top-up rather than frozen at construction: a
         queue backend's capacity is the number of live workers, which is
         typically zero when the executor is built and grows as workers
-        register.
+        register.  While capacity is still ``None`` (cold start: no
+        worker has heartbeat yet), the size deliberately falls back to
+        ``jobs`` — dispatching optimistically is harmless, because spool
+        and HTTP tasks wait for whichever workers eventually join, and
+        the next top-up re-reads the then-known capacity.
         """
         if self._explicit_wave_size is not None:
             return self._explicit_wave_size
         return max(self._backend.capacity or self.jobs, 1)
+
+    def _chunk_size(self, missing: int) -> int:
+        """Runs per dispatched task for a wave of ``missing`` runs.
+
+        Explicit ``batch_size`` wins; in auto mode the wave is divided
+        evenly across the backend's *current* capacity (``jobs`` while
+        capacity is unknown — the same cold-start fallback as
+        :attr:`wave_size`).  Evaluated at dispatch time, so capacity
+        appearing mid-campaign reshapes only subsequent waves.
+        """
+        if self.batch_size is not None:
+            return self.batch_size
+        lanes = max(self._backend.capacity or self.jobs, 1)
+        return max(1, math.ceil(missing / lanes))
 
     @property
     def serve_url(self) -> Optional[str]:
@@ -745,10 +906,20 @@ class CampaignExecutor:
         finally:
             # Worker-reported progress (richer: true worker ids and
             # worker-side wall times) supersedes the coordinator-side
-            # synthesis when the backend carries such a channel.
+            # synthesis per task id — not wholesale, so tasks whose
+            # worker died before flushing its sidecar keep at least the
+            # synthesized record.
             worker_reported = self._backend.drain_progress()
             if worker_reported:
-                self.progress_events = list(worker_reported)
+                reported_ids = {event.task_id for event in worker_reported}
+                merged = [
+                    event
+                    for event in self.progress_events
+                    if event.task_id not in reported_ids
+                ]
+                merged.extend(worker_reported)
+                merged.sort(key=lambda event: event.at)
+                self.progress_events = merged
             self._backend.shutdown()
 
         results = []
@@ -783,6 +954,20 @@ class CampaignExecutor:
             key=state.key,
         )
 
+    def _batch_task_for(
+        self, state: _ScenarioState, start: int, count: int
+    ) -> RunBatchTask:
+        return RunBatchTask(
+            seed=self.runner.seed,
+            settings=self.runner.settings,
+            migration_config=self.runner.migration_config,
+            stabilization=self.runner.stabilization,
+            scenario=state.scenario,
+            run_start=start,
+            run_count=count,
+            key=state.key,
+        )
+
     def _task_progress_id(self, state: _ScenarioState, index: int) -> str:
         if state.key is not None:
             return f"{state.key[:16]}-{index:04d}"
@@ -790,12 +975,13 @@ class CampaignExecutor:
 
     def _drive(self, states: Sequence[_ScenarioState], lo: int, hi: int) -> None:
         """The wave scheduler: dispatch, collect, evaluate, top up."""
-        pending: dict[Future, tuple[_ScenarioState, int]] = {}
+        pending: dict[Future, tuple[_ScenarioState, tuple[int, ...]]] = {}
         submitted_at: dict[Future, float] = {}
 
         def advance(state: _ScenarioState) -> None:
             """Dispatch missing runs below target; evaluate once complete."""
             while state.resolved is None:
+                missing = []
                 for index in range(state.target):
                     if index in state.runs or index in state.inflight:
                         continue
@@ -808,13 +994,24 @@ class CampaignExecutor:
                         state.runs[index] = cached
                         self.stats.runs_cached += 1
                     else:
-                        state.inflight.add(index)
+                        missing.append(index)
+                chunk_size = self._chunk_size(len(missing)) if missing else 1
+                for span in _contiguous_spans(missing):
+                    for pos in range(0, len(span), chunk_size):
+                        chunk = span[pos : pos + chunk_size]
+                        state.inflight.update(chunk)
+                        if len(chunk) == 1:
+                            task = self._task_for(state, chunk[0])
+                        else:
+                            task = self._batch_task_for(
+                                state, chunk[0], len(chunk)
+                            )
                         # Clock starts before submit: the serial backend
                         # executes inside submit(), and its wall time must
                         # not read as zero.
                         t_submit = time.perf_counter()
-                        future = self._backend.submit(self._task_for(state, index))
-                        pending[future] = (state, index)
+                        future = self._backend.submit(task)
+                        pending[future] = (state, tuple(chunk))
                         submitted_at[future] = t_submit
                 if state.inflight:
                     return  # evaluate when the wave completes
@@ -835,47 +1032,61 @@ class CampaignExecutor:
         while pending:
             done = self._backend.wait(list(pending))
             for future in done:
-                state, index = pending.pop(future)
-                run = future.result()  # propagate worker exceptions
-                state.runs[index] = run
-                state.inflight.discard(index)
-                self.stats.runs_executed += 1
+                state, indices = pending.pop(future)
+                result = future.result()  # propagate worker exceptions
+                runs = result if isinstance(result, list) else [result]
+                if len(runs) != len(indices):
+                    raise ExperimentError(
+                        f"batch for {state.scenario.label!r} returned "
+                        f"{len(runs)} runs, expected {len(indices)}"
+                    )
                 submitted = submitted_at.pop(future, None)
-                wall = getattr(future, "wall_s", None)
-                if wall is None:
-                    wall = time.perf_counter() - (submitted or time.perf_counter())
-                wall = max(wall, 1e-9)
-                samples = run_sample_count(run)
-                self.progress_events.append(
-                    ProgressEvent(
-                        task_id=self._task_progress_id(state, index),
-                        scenario=state.scenario.label,
-                        run_index=index,
-                        worker=getattr(future, "worker", None) or self._backend.name,
-                        runs_completed=self.stats.runs_executed,
-                        samples=samples,
-                        wall_s=wall,
-                        samples_per_s=samples / wall,
-                        at=time.time(),
+                total_wall = getattr(future, "wall_s", None)
+                if total_wall is None:
+                    total_wall = time.perf_counter() - (
+                        submitted or time.perf_counter()
                     )
-                )
-                # Queue futures resolve *from* the shared cache (a worker
-                # already deposited the result), so skip the re-write.
-                if (
-                    self.cache is not None
-                    and state.key is not None
-                    and not getattr(future, "result_in_cache", False)
-                ):
-                    self.cache.put(
-                        state.key,
-                        run,
-                        key_payload=RunCache._key_payload(
-                            self.runner.seed,
-                            state.scenario,
-                            self.runner.settings,
-                            self.runner.migration_config,
-                            self.runner.stabilization,
-                        ),
+                # Per-run accounting for a batch splits the batch wall
+                # evenly: individual run walls are not observable from
+                # the coordinator side of a batched dispatch.
+                wall = max(total_wall / len(runs), 1e-9)
+                worker = getattr(future, "worker", None) or self._backend.name
+                for index, run in zip(indices, runs):
+                    state.runs[index] = run
+                    state.inflight.discard(index)
+                    self.stats.runs_executed += 1
+                    samples = run_sample_count(run)
+                    self.progress_events.append(
+                        ProgressEvent(
+                            task_id=self._task_progress_id(state, index),
+                            scenario=state.scenario.label,
+                            run_index=index,
+                            worker=worker,
+                            runs_completed=self.stats.runs_executed,
+                            samples=samples,
+                            wall_s=wall,
+                            samples_per_s=samples / wall,
+                            at=time.time(),
+                        )
                     )
+                    # Queue futures resolve *from* the shared cache (a
+                    # worker already deposited the result), so skip the
+                    # re-write.
+                    if (
+                        self.cache is not None
+                        and state.key is not None
+                        and not getattr(future, "result_in_cache", False)
+                    ):
+                        self.cache.put(
+                            state.key,
+                            run,
+                            key_payload=RunCache._key_payload(
+                                self.runner.seed,
+                                state.scenario,
+                                self.runner.settings,
+                                self.runner.migration_config,
+                                self.runner.stabilization,
+                            ),
+                        )
                 if not state.inflight:
                     advance(state)

@@ -71,7 +71,9 @@ from repro.experiments.queue_backend import (
 from repro.experiments.results import ProgressEvent, run_sample_count
 from repro.io import (
     PersistenceError,
+    dump_run_batch_bytes,
     dump_run_result_bytes,
+    load_run_batch_bytes,
     load_run_result_bytes,
     progress_event_from_dict,
     progress_event_to_dict,
@@ -141,7 +143,7 @@ class _Lease:
 class _HttpFuture(Future):
     """A pending HTTP task; resolved by the coordinator's request handlers."""
 
-    def __init__(self, task: RunTask, task_id: str) -> None:
+    def __init__(self, task, task_id: str) -> None:
         super().__init__()
         self.task = task
         self.task_id = task_id
@@ -368,7 +370,9 @@ class HttpBackend(ExecutorBackend):
         except OSError as exc:
             raise ExperimentError(f"cannot bind campaign service to {host}:{port}: {exc}") from exc
         self._thread = threading.Thread(
-            target=self._server.serve_forever,
+            # serve_forever's default 0.5 s poll makes every coordinator
+            # shutdown stall half a second; 50 ms is still negligible load.
+            target=lambda: self._server.serve_forever(poll_interval=0.05),
             name="wavm3-campaign-http",
             daemon=True,
         )
@@ -401,14 +405,16 @@ class HttpBackend(ExecutorBackend):
         return self.active_workers() or None
 
     # -- ExecutorBackend protocol ----------------------------------------
-    def submit(self, task: RunTask) -> Future:
-        """Queue one task for remote execution.
+    def submit(self, task) -> Future:
+        """Queue one task (single run or batch) for remote execution.
 
         Parameters
         ----------
         task:
-            The run to execute; must carry its cache ``key`` (the HTTP
-            backend always runs with a coordinator-side cache).
+            The :class:`~repro.experiments.executor.RunTask` or
+            :class:`~repro.experiments.executor.RunBatchTask` to execute;
+            must carry its cache ``key`` (the HTTP backend always runs
+            with a coordinator-side cache).
 
         Returns
         -------
@@ -537,13 +543,29 @@ class HttpBackend(ExecutorBackend):
         if future is None:
             return 404, {"error": f"unknown task {task_id!r}"}
         task = future.task
+        is_batch = getattr(task, "run_count", None) is not None
         try:
-            run = load_run_result_bytes(body, origin=f"result upload from {worker}")
-            if run.scenario != task.scenario or run.run_index != task.run_index:
-                raise PersistenceError(
-                    f"uploaded run is for {run.scenario.label!r}#{run.run_index}, "
-                    f"task is {task.scenario.label!r}#{task.run_index}"
+            if is_batch:
+                runs = load_run_batch_bytes(
+                    body, origin=f"batch upload from {worker}"
                 )
+                expected = list(task.run_indices)
+                if [r.run_index for r in runs] != expected or any(
+                    r.scenario != task.scenario for r in runs
+                ):
+                    raise PersistenceError(
+                        f"uploaded batch does not cover "
+                        f"{task.scenario.label!r}#{task.run_start}"
+                        f"..{task.run_start + task.run_count - 1}"
+                    )
+            else:
+                run = load_run_result_bytes(body, origin=f"result upload from {worker}")
+                if run.scenario != task.scenario or run.run_index != task.run_index:
+                    raise PersistenceError(
+                        f"uploaded run is for {run.scenario.label!r}#{run.run_index}, "
+                        f"task is {task.scenario.label!r}#{task.run_index}"
+                    )
+                runs = [run]
         except PersistenceError as exc:
             with self._state.lock:
                 self.stats.corrupt_results += 1
@@ -557,7 +579,8 @@ class HttpBackend(ExecutorBackend):
         # bytes — runs are deterministic, so a worker that lost its lease
         # merely delivers the identical result early.
         # File I/O outside the lock; RunCache writes are atomic.
-        self.cache.put(task.key, run, key_payload=task.key_payload())
+        for run in runs:
+            self.cache.put(task.key, run, key_payload=task.key_payload())
         with self._state.lock:
             if self._holds_lease(task_id, worker):
                 self._state.leases.pop(task_id, None)
@@ -568,7 +591,7 @@ class HttpBackend(ExecutorBackend):
                 return 200, {"ok": True, "duplicate": True}
             self._state.completed += 1
             future.worker = worker  # executor-side progress attribution
-            future.set_result(run)
+            future.set_result(runs if is_batch else runs[0])
         return 200, {"ok": True}
 
     def _record_failure(
@@ -747,12 +770,13 @@ class _HttpHeartbeat(threading.Thread):
         self.join(timeout=self._interval_s + 1.0)
 
 
-def _upload_result(url: str, worker: str, task_id: str, run) -> None:
-    """POST a finished run; an HTTP 400 (rejected upload) raises."""
+def _upload_result(url: str, worker: str, task_id: str, payload: bytes) -> None:
+    """POST a finished result envelope (run or batch pickle bytes); an
+    HTTP 400 (rejected upload) raises."""
     _request(
         url,
         "/result",
-        data=dump_run_result_bytes(run),
+        data=payload,
         headers={
             "Content-Type": "application/octet-stream",
             "X-Wavm3-Task-Id": task_id,
@@ -892,11 +916,52 @@ def _process_http_claim(
         stats.failed += 1
         return
 
+    is_batch = getattr(task, "run_count", None) is not None
+    done_in_claim = 0
+
+    def _announce(run) -> None:
+        """Announce one finished run *before* the result upload: the
+        coordinator drains its /progress history the moment the final
+        /result resolves the campaign, and the announcement for every
+        run must already be there.  Each run announces under its own
+        per-run id (equal to the claim's task id for single-run tasks),
+        so batching is invisible to the stream.  (A subsequently
+        rejected upload leaves surplus announcements in the
+        observational stream — harmless by design.)"""
+        nonlocal done_in_claim, mark
+        wall = max(time.perf_counter() - mark, 1e-9)
+        mark = time.perf_counter()
+        done_in_claim += 1
+        samples = run_sample_count(run)
+        event = ProgressEvent(
+            task_id=f"{task.key[:16]}-{run.run_index:04d}" if task.key else task_id,
+            scenario=task.scenario.label,
+            run_index=run.run_index,
+            worker=worker_id,
+            runs_completed=stats.executed + stats.cached + done_in_claim,
+            samples=samples,
+            wall_s=wall,
+            samples_per_s=samples / wall,
+            at=time.time(),
+        )
+        try:
+            _post_json(url, "/progress", progress_event_to_dict(event))
+        except (urllib.error.URLError, OSError):
+            pass  # progress is observational: never fail the task over it
+
     heartbeat = _HttpHeartbeat(url, worker_id, task_id, heartbeat_s)
     heartbeat.start()
-    started = time.perf_counter()
+    mark = time.perf_counter()
     try:
-        run = task.execute()
+        if is_batch:
+            # One runner instance serves the whole seed wave; runs are
+            # announced as they finish and uploaded as one envelope.
+            runs = task.execute(on_run=_announce)
+            payload = dump_run_batch_bytes(runs)
+        else:
+            run = task.execute()
+            _announce(run)
+            payload = dump_run_result_bytes(run)
     except Exception as exc:  # noqa: BLE001 - any failure must reach the coordinator
         _upload_failure(
             url, worker_id, task_id,
@@ -906,34 +971,12 @@ def _process_http_claim(
         return
     finally:
         heartbeat.stop()
-    # Announce progress *before* the result upload: the coordinator drains
-    # its /progress history the moment the final /result resolves the
-    # campaign, and the announcement for that run must already be there.
-    # (A subsequently rejected upload leaves a surplus announcement in the
-    # observational stream — harmless by design.)
-    wall = max(time.perf_counter() - started, 1e-9)
-    samples = run_sample_count(run)
-    event = ProgressEvent(
-        task_id=task_id,
-        scenario=task.scenario.label,
-        run_index=task.run_index,
-        worker=worker_id,
-        runs_completed=stats.executed + stats.cached + 1,
-        samples=samples,
-        wall_s=wall,
-        samples_per_s=samples / wall,
-        at=time.time(),
-    )
     try:
-        _post_json(url, "/progress", progress_event_to_dict(event))
-    except (urllib.error.URLError, OSError):
-        pass  # progress is observational: never fail the task over it
-    try:
-        _upload_result(url, worker_id, task_id, run)
-        stats.executed += 1
+        _upload_result(url, worker_id, task_id, payload)
+        stats.executed += done_in_claim
     except urllib.error.HTTPError as exc:
         # The coordinator rejected the upload (it validates schema,
-        # scenario and run index): record the failure locally; the task
+        # scenario and run indices): record the failure locally; the task
         # was already requeued server-side.
         stats.failed += 1
         exc.close()

@@ -63,7 +63,12 @@ from dataclasses import dataclass
 from typing import Collection, Optional, Set, Union
 
 from repro.errors import ExperimentError
-from repro.experiments.executor import ExecutorBackend, RunCache, RunTask
+from repro.experiments.executor import (
+    ExecutorBackend,
+    RunCache,
+    RunTask,
+    execute_batch,
+)
 from repro.experiments.results import ProgressEvent, run_sample_count
 from repro.io import (
     PersistenceError,
@@ -92,11 +97,37 @@ TASK_FAILURE_SCHEMA = "wavm3-taskfailure/1"
 STATUS_SCHEMA = "wavm3-campaign-status/1"
 
 
-def task_id_for(task: RunTask) -> str:
-    """Stable spool identifier of a task: cache key prefix + run index."""
+def task_id_for(task) -> str:
+    """Stable spool identifier of a task: cache key prefix + run range.
+
+    Single-run tasks keep the historical ``<key16>-NNNN`` shape; batch
+    tasks append the run count (``<key16>-NNNNxC``) so a batch and its
+    first run never collide in the spool.
+    """
     if task.key is None:
         raise ExperimentError("queue tasks need a cache key")
+    if getattr(task, "run_count", None) is not None:
+        return f"{task.key[:16]}-{task.run_start:04d}x{task.run_count}"
     return f"{task.key[:16]}-{task.run_index:04d}"
+
+
+def _task_run_indices(task) -> list[int]:
+    """The run indices a task covers (one for :class:`RunTask`)."""
+    if getattr(task, "run_count", None) is not None:
+        return list(task.run_indices)
+    return [task.run_index]
+
+
+def _progress_ids_for(task) -> list[str]:
+    """Per-run progress task ids for a task.
+
+    Progress stays per-run even for batch tasks: each run announces
+    under the id its single-run dispatch would have used, so the
+    campaign summary and ``campaign-status`` are batching-agnostic.
+    """
+    if task.key is None:
+        raise ExperimentError("queue tasks need a cache key")
+    return [f"{task.key[:16]}-{index:04d}" for index in _task_run_indices(task)]
 
 
 class _Spool:
@@ -133,6 +164,31 @@ def _write_json_atomic(path: pathlib.Path, payload: dict) -> None:
     tmp.replace(path)
 
 
+def _measure_spool_skew(root: pathlib.Path) -> float:
+    """File-server clock minus local clock, in seconds.
+
+    Spool freshness math compares local ``time.time()`` against mtimes
+    the *file server* stamped (worker heartbeats, claim leases).  On NFS
+    those clocks can disagree, making live claims look abandoned (skewed
+    requeue → duplicate execution) or live artifacts look GC-able.  A
+    freshly-touched probe file's mtime *is* the file-server clock, so
+    the difference calibrates every age computation.
+
+    Local filesystems stamp with the local clock, so the skew is ~0
+    there and the correction is a no-op.  Any OSError (read-only spool,
+    probe raced away) degrades to 0 — the uncorrected behaviour.
+    """
+    probe = root / f".clock-probe-{os.getpid()}-{threading.get_ident()}"
+    try:
+        probe.touch()
+        try:
+            return probe.stat().st_mtime - time.time()
+        finally:
+            probe.unlink(missing_ok=True)
+    except OSError:
+        return 0.0
+
+
 # ---------------------------------------------------------------------------
 # Coordinator side
 # ---------------------------------------------------------------------------
@@ -149,7 +205,7 @@ class QueueStats:
 class _QueueFuture(Future):
     """A pending queue task; resolved by the coordinator's poll loop."""
 
-    def __init__(self, task: RunTask, task_id: str) -> None:
+    def __init__(self, task, task_id: str) -> None:
         super().__init__()
         self.task = task
         self.task_id = task_id
@@ -208,15 +264,37 @@ class QueueBackend(ExecutorBackend):
         #: to keep sidecar events of *other* campaigns sharing the spool
         #: out of this campaign's summary.
         self._session_task_ids: Set[str] = set()
+        # Spool clock-skew calibration, re-measured at most once per
+        # poll interval (see _measure_spool_skew).
+        self._skew = 0.0
+        self._skew_measured_at: Optional[float] = None
+
+    # -- clock-skew calibration ------------------------------------------
+    def _spool_now(self) -> float:
+        """The current time *on the file server's clock*.
+
+        All freshness decisions subtract spool mtimes from this value
+        (never from raw ``time.time()``), so coordinator/file-server
+        clock skew cancels out.  The probe is memoized for one poll
+        interval — one extra stat per poll, not per file.
+        """
+        mono = time.monotonic()
+        if (
+            self._skew_measured_at is None
+            or mono - self._skew_measured_at >= self.poll_interval
+        ):
+            self._skew = _measure_spool_skew(self.spool.root)
+            self._skew_measured_at = mono
+        return time.time() + self._skew
 
     # -- capacity introspection -----------------------------------------
     def active_workers(self) -> int:
         """Workers whose heartbeat file is fresh enough to be alive."""
-        now = time.time()
+        now = self._spool_now()
         alive = 0
         for beat in self.spool.workers.glob("*.json"):
             try:
-                if now - beat.stat().st_mtime <= self.worker_fresh_s:
+                if max(now - beat.stat().st_mtime, 0.0) <= self.worker_fresh_s:
                     alive += 1
             except OSError:
                 continue  # vanished between glob and stat
@@ -224,17 +302,26 @@ class QueueBackend(ExecutorBackend):
 
     @property
     def capacity(self) -> Optional[int]:
+        """Live worker count, or ``None`` while nobody has heartbeat yet.
+
+        ``None`` is deliberate at cold start: workers typically attach
+        *after* the coordinator spools its first wave, so the executor
+        falls back to its ``jobs`` setting for initial wave/batch sizing
+        and re-reads capacity on every subsequent top-up.
+        """
         return self.active_workers() or None
 
     # -- protocol --------------------------------------------------------
-    def submit(self, task: RunTask) -> Future:
+    def submit(self, task) -> Future:
         task_id = task_id_for(task)
         # A failure record from an earlier campaign must not resolve the
         # fresh attempt, so clear it before the spec becomes claimable.
         self.spool.failure_path(task_id).unlink(missing_ok=True)
         save_task_spec(task, self.spool.task_path(task_id))
         self.stats.tasks_submitted += 1
-        self._session_task_ids.add(task_id)
+        # Workers announce progress per *run*, so a batch task owns one
+        # progress id per covered index.
+        self._session_task_ids.update(_progress_ids_for(task))
         return _QueueFuture(task, task_id)
 
     def drain_progress(self) -> list:
@@ -273,8 +360,16 @@ class QueueBackend(ExecutorBackend):
     def _poll(self, future: _QueueFuture) -> bool:
         """Resolve a future from the shared cache / failure records."""
         task = future.task
-        run_path = self.cache._run_path(task.key, task.run_index)
-        if run_path.exists():
+        indices = _task_run_indices(task)
+        # A batch resolves only once *every* covered run is deposited and
+        # valid; a corrupt run invalidates just that one cache file.
+        runs = []
+        complete = True
+        for index in indices:
+            run_path = self.cache._run_path(task.key, index)
+            if not run_path.exists():
+                complete = False
+                continue
             run = None
             try:
                 run = load_run_result(run_path)
@@ -283,14 +378,21 @@ class QueueBackend(ExecutorBackend):
             if (
                 run is not None
                 and run.scenario == task.scenario
-                and run.run_index == task.run_index
+                and run.run_index == index
             ):
-                future.set_result(run)
-                return True
+                runs.append(run)
+                continue
             # Corrupt or mismatched result: discard it and recompute —
             # a bad cache file must never reach the campaign.
             run_path.unlink(missing_ok=True)
             self.stats.corrupt_results += 1
+            complete = False
+        if complete and len(runs) == len(indices):
+            if getattr(task, "run_count", None) is not None:
+                future.set_result(runs)
+            else:
+                future.set_result(runs[0])
+            return True
         failure = self.spool.failure_path(future.task_id)
         if failure.exists():
             try:
@@ -315,10 +417,10 @@ class QueueBackend(ExecutorBackend):
 
     def _requeue_stale_claims(self) -> None:
         """Return claims with an expired heartbeat to the open queue."""
-        now = time.time()
+        now = self._spool_now()
         for claim in self.spool.claims.glob("*.json"):
             try:
-                if now - claim.stat().st_mtime <= self.stale_timeout:
+                if max(now - claim.stat().st_mtime, 0.0) <= self.stale_timeout:
                     continue
             except OSError:
                 continue  # completed between glob and stat
@@ -483,7 +585,10 @@ def spool_gc(
     if max_age_s < 0:
         raise ExperimentError(f"max_age_s must be non-negative, got {max_age_s}")
     spool = _Spool(root, create=False)
-    now = time.time()
+    # Ages are judged on the file server's clock (mtimes), so calibrate
+    # once for the whole sweep — a skewed coordinator clock must not GC
+    # a live campaign's artifacts.
+    now = time.time() + _measure_spool_skew(spool.root)
     counts = {"tasks": 0, "claims": 0, "failures": 0, "workers": 0, "progress": 0, "stop": 0}
     removed: list[str] = []
 
@@ -492,7 +597,7 @@ def spool_gc(
             return
         for path in sorted(directory.glob(pattern)):
             try:
-                if now - path.stat().st_mtime < max_age_s:
+                if max(now - path.stat().st_mtime, 0.0) < max_age_s:
                     continue
                 if not dry_run:
                     path.unlink()
@@ -513,7 +618,7 @@ def spool_gc(
     ):
         _sweep(directory, "*.tmp", category)
     try:
-        if spool.stop.exists() and now - spool.stop.stat().st_mtime >= max_age_s:
+        if spool.stop.exists() and max(now - spool.stop.stat().st_mtime, 0.0) >= max_age_s:
             if not dry_run:
                 spool.stop.unlink()
             counts["stop"] = 1
@@ -705,13 +810,17 @@ def _process_claim(
     def _announce(run, counted: int) -> None:
         """Append the progress line *before* the result becomes visible in
         the cache: a coordinator that resolves the final run and drains the
-        sidecars immediately must still see every announcement."""
-        wall = max(time.perf_counter() - started, 1e-9)
+        sidecars immediately must still see every announcement.  Each run
+        announces under its own per-run id (which equals the claim stem
+        for single-run tasks), so batching is invisible to the stream."""
+        nonlocal mark
+        wall = max(time.perf_counter() - mark, 1e-9)
+        mark = time.perf_counter()
         samples = run_sample_count(run)
         event = ProgressEvent(
-            task_id=task_id,
+            task_id=f"{task.key[:16]}-{run.run_index:04d}",
             scenario=task.scenario.label,
-            run_index=task.run_index,
+            run_index=run.run_index,
             worker=worker_id,
             runs_completed=counted,
             samples=samples,
@@ -724,21 +833,34 @@ def _process_claim(
         except OSError:
             pass  # progress is observational: never fail the task over it
 
+    def _deposit(run) -> None:
+        stats.executed += 1
+        _announce(run, stats.executed + stats.cached)
+        cache.put(task.key, run, key_payload=task.key_payload())
+
     heartbeat = _ClaimHeartbeat(claim, heartbeat_s)
     heartbeat.start()
-    started = time.perf_counter()
+    mark = time.perf_counter()
     try:
-        # A requeued-but-actually-completed task (slow worker beaten by the
-        # stale timeout) short-circuits here instead of re-simulating.
-        run = cache.get(task.key, task.scenario, task.run_index)
-        if run is not None:
-            stats.cached += 1
-            _announce(run, stats.executed + stats.cached)
-        else:
-            run = task.execute()
-            stats.executed += 1
-            _announce(run, stats.executed + stats.cached)
-            cache.put(task.key, run, key_payload=task.key_payload())
+        # Runs already in the cache (a requeued-but-actually-completed
+        # task, or part of a batch a previous worker half-finished)
+        # short-circuit here instead of re-simulating.
+        missing = []
+        for index in _task_run_indices(task):
+            run = cache.get(task.key, task.scenario, index)
+            if run is not None:
+                stats.cached += 1
+                _announce(run, stats.executed + stats.cached)
+            else:
+                missing.append(index)
+        if missing:
+            # One runner instance serves the whole seed wave — scenario
+            # validation is hoisted, per-run seeds stay derive_seed-exact.
+            execute_batch(
+                task.seed, task.settings, task.migration_config,
+                task.stabilization, task.scenario, missing,
+                on_run=_deposit,
+            )
     except Exception as exc:  # noqa: BLE001 - any failure must reach the coordinator
         _record_failure(
             spool, task_id, claim, worker_id,

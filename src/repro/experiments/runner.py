@@ -247,6 +247,76 @@ class ScenarioRunner:
             vm_ram_mb=vm.memory.ram_mb,
         )
 
+    def run_batch(
+        self,
+        scenario: MigrationScenario,
+        run_indices: Sequence[int],
+        on_run=None,
+    ) -> list[RunResult]:
+        """Execute several runs of one scenario through this runner.
+
+        The batch-of-runs execution path (``RunBatchTask``): scenario
+        validation — family machine pair, switch spec, instance-catalog
+        membership — is hoisted out of the per-run loop and paid once per
+        batch, while each run still derives its own independent seed via
+        ``derive_seed(master, f"{label}#{index}")`` and builds its own
+        testbed.  Every run is therefore **bit-identical** to what
+        :meth:`run_once` returns for the same index, whatever the batch
+        shape.
+
+        Parameters
+        ----------
+        scenario:
+            The scenario to run.
+        run_indices:
+            The run indices to execute, in order (need not be contiguous:
+            a worker resuming a partially-cached batch passes the holes).
+        on_run:
+            Optional callback invoked with each finished
+            :class:`~repro.experiments.results.RunResult` as soon as it
+            exists — distributed workers use it to announce progress and
+            deposit into the shared cache incrementally instead of only
+            after the whole batch.
+
+        Returns
+        -------
+        list[RunResult]
+            One result per index, in ``run_indices`` order.
+
+        Raises
+        ------
+        ExperimentError
+            On an empty or invalid index list, or any run failure.
+        """
+        from repro.cluster.machines import machine_pair, switch_spec  # local: keep import light
+        from repro.experiments.instances import INSTANCE_CATALOG
+
+        indices = list(run_indices)
+        if not indices:
+            raise ExperimentError("run_batch needs at least one run index")
+        for index in indices:
+            if not isinstance(index, int) or isinstance(index, bool) or index < 0:
+                raise ExperimentError(
+                    f"run indices must be non-negative integers, got {index!r}"
+                )
+        # Hoisted scenario validation: these raise exactly as the per-run
+        # path would, just once per batch instead of once per run.
+        machine_pair(scenario.family)
+        switch_spec(scenario.family)
+        if scenario.migrating_instance not in INSTANCE_CATALOG:
+            raise ExperimentError(
+                f"unknown instance {scenario.migrating_instance!r} "
+                f"(catalog: {sorted(INSTANCE_CATALOG)})"
+            )
+
+        runs: list[RunResult] = []
+        for index in indices:
+            run = self.run_once(scenario, run_index=index)
+            runs.append(run)
+            if on_run is not None:
+                on_run(run)
+        return runs
+
     def _issue_via_manager(self, bed: Testbed, scenario: MigrationScenario, recorder):
         """Let a consolidation manager detect and drain the source host.
 
@@ -388,6 +458,7 @@ class ScenarioRunner:
         queue_options: Optional[dict] = None,
         serve: Optional[str] = None,
         http_options: Optional[dict] = None,
+        batch_size: Optional[int] = 1,
     ) -> ExperimentResult:
         """Run a list of scenarios into one :class:`ExperimentResult`.
 
@@ -427,6 +498,12 @@ class ScenarioRunner:
         http_options:
             Extra ``"http"``-mode knobs forwarded to
             :class:`~repro.experiments.http_backend.HttpBackend`.
+        batch_size:
+            Runs per dispatched task: ``1`` (default) keeps the classic
+            one-task-per-run dispatch, larger values batch contiguous
+            seed ranges into ``RunBatchTask`` units, and ``None`` sizes
+            batches automatically from backend capacity.  Results are
+            bit-identical for every value.
 
         Returns
         -------
@@ -454,6 +531,7 @@ class ScenarioRunner:
                 self, backend=parallel, cache_dir=cache_dir,
                 spool_dir=spool_dir, queue_options=queue_options,
                 serve=serve, http_options=http_options,
+                batch_size=batch_size,
             )
             result = executor.run_campaign(scenarios, min_runs=min_runs, max_runs=max_runs)
             self.last_executor_stats = executor.stats
@@ -464,7 +542,8 @@ class ScenarioRunner:
             from repro.experiments.executor import CampaignExecutor  # local: avoid cycle
 
             executor = CampaignExecutor(
-                self, jobs=parallel or 1, cache_dir=cache_dir
+                self, jobs=parallel or 1, cache_dir=cache_dir,
+                batch_size=batch_size,
             )
             result = executor.run_campaign(scenarios, min_runs=min_runs, max_runs=max_runs)
             self.last_executor_stats = executor.stats

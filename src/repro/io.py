@@ -47,6 +47,8 @@ __all__ = [
     "load_run_result",
     "dump_run_result_bytes",
     "load_run_result_bytes",
+    "dump_run_batch_bytes",
+    "load_run_batch_bytes",
     "save_task_spec",
     "load_task_spec",
     "task_spec_to_dict",
@@ -65,7 +67,11 @@ ERRORS_SCHEMA = "wavm3-errors/1"
 # /2: traces moved from list-backed to numpy-block storage (their pickle
 # state changed shape); old /1 cache entries are rejected and recomputed.
 RUN_RESULT_SCHEMA = "wavm3-runresult/2"
+RUN_BATCH_SCHEMA = "wavm3-runbatch/1"
 TASK_SPEC_SCHEMA = "wavm3-taskspec/1"
+# /2: a batch task spec — identical fields except the single run_index
+# becomes a contiguous (run_start, run_count) range.
+TASK_BATCH_SCHEMA = "wavm3-taskspec/2"
 PROGRESS_SCHEMA = "wavm3-progress/1"
 
 
@@ -239,6 +245,79 @@ def load_run_result_bytes(data: bytes, origin: str = "run result"):
     return run
 
 
+def dump_run_batch_bytes(runs) -> bytes:
+    """Serialise a list of run results as one batch-result envelope.
+
+    The counterpart of :func:`dump_run_result_bytes` for a
+    ``wavm3-taskspec/2`` batch task: an HTTP worker uploads all runs of
+    a batch as a single body instead of one request per run.
+
+    Parameters
+    ----------
+    runs:
+        The :class:`~repro.experiments.results.RunResult` list to
+        serialise, in run-index order.
+
+    Returns
+    -------
+    bytes
+        The schema-enveloped pickle of the batch.
+    """
+    return pickle.dumps(
+        {"schema": RUN_BATCH_SCHEMA, "runs": list(runs)},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def load_run_batch_bytes(data: bytes, origin: str = "run batch") -> list:
+    """Rebuild a run list from :func:`dump_run_batch_bytes` output.
+
+    .. warning::
+        Unpickling executes code embedded in the payload; only bytes
+        from a trusted source may be passed here (see
+        :func:`load_run_result_bytes`).
+
+    Parameters
+    ----------
+    data:
+        The serialised batch.
+    origin:
+        Human-readable provenance used in error messages.
+
+    Returns
+    -------
+    list of RunResult
+        The deserialised runs, in the order they were dumped.
+
+    Raises
+    ------
+    PersistenceError
+        If the bytes are not a valid schema-enveloped batch, or any
+        element is not a :class:`~repro.experiments.results.RunResult`.
+    """
+    from repro.experiments.results import RunResult  # local: avoid import cycle
+
+    try:
+        payload = pickle.loads(data)
+    except Exception as exc:  # noqa: BLE001 - unpickling arbitrary bytes
+        raise PersistenceError(f"{origin}: not a readable run batch: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != RUN_BATCH_SCHEMA:
+        raise PersistenceError(
+            f"{origin}: unexpected schema "
+            f"{payload.get('schema') if isinstance(payload, dict) else type(payload)!r} "
+            f"(want {RUN_BATCH_SCHEMA!r})"
+        )
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise PersistenceError(f"{origin}: payload carries no runs")
+    for run in runs:
+        if not isinstance(run, RunResult):
+            raise PersistenceError(
+                f"{origin}: batch element is not a RunResult ({type(run)!r})"
+            )
+    return runs
+
+
 def save_run_result(run, path: _PathLike) -> None:
     """Persist one :class:`~repro.experiments.results.RunResult` to disk.
 
@@ -292,7 +371,7 @@ def load_run_result(path: _PathLike):
 # Run task specs <-> JSON (the distributed queue's wire format)
 # ---------------------------------------------------------------------------
 def task_spec_to_dict(task) -> dict:
-    """Serialise a :class:`~repro.experiments.executor.RunTask` to plain JSON.
+    """Serialise a run task (single or batch) to plain JSON.
 
     Every constituent is a flat dataclass of scalars, so the canonical
     JSON of a task is also exactly the cache-key payload the executor
@@ -304,18 +383,19 @@ def task_spec_to_dict(task) -> dict:
     Parameters
     ----------
     task:
-        The :class:`~repro.experiments.executor.RunTask` to serialise.
+        A :class:`~repro.experiments.executor.RunTask` or
+        :class:`~repro.experiments.executor.RunBatchTask` to serialise.
 
     Returns
     -------
     dict
-        A JSON-ready ``wavm3-taskspec/1`` document.
+        A JSON-ready ``wavm3-taskspec/1`` document for a single-run
+        task, ``wavm3-taskspec/2`` for a batch (``run_index`` replaced
+        by ``run_start``/``run_count``).
     """
-    return {
-        "schema": TASK_SPEC_SCHEMA,
+    spec = {
         "key": task.key,
         "seed": int(task.seed),
-        "run_index": int(task.run_index),
         "scenario": dataclasses.asdict(task.scenario),
         "settings": dataclasses.asdict(task.settings),
         "migration_config": (
@@ -325,20 +405,29 @@ def task_spec_to_dict(task) -> dict:
         ),
         "stabilization": dataclasses.asdict(task.stabilization),
     }
+    if getattr(task, "run_count", None) is not None:
+        spec["schema"] = TASK_BATCH_SCHEMA
+        spec["run_start"] = int(task.run_start)
+        spec["run_count"] = int(task.run_count)
+    else:
+        spec["schema"] = TASK_SPEC_SCHEMA
+        spec["run_index"] = int(task.run_index)
+    return spec
 
 
 def task_spec_from_dict(payload: dict):
-    """Rebuild a :class:`~repro.experiments.executor.RunTask` from JSON data.
+    """Rebuild a run task (single or batch) from JSON data.
 
     Parameters
     ----------
     payload:
-        A ``wavm3-taskspec/1`` document (:func:`task_spec_to_dict` output).
+        A ``wavm3-taskspec/1`` or ``wavm3-taskspec/2`` document
+        (:func:`task_spec_to_dict` output).
 
     Returns
     -------
-    RunTask
-        The reconstructed task.
+    RunTask or RunBatchTask
+        The reconstructed task, matching the schema tag.
 
     Raises
     ------
@@ -347,16 +436,17 @@ def task_spec_from_dict(payload: dict):
         should fail such a task explicitly rather than guess.
     """
     from repro.experiments.design import MigrationScenario  # local: avoid cycle
-    from repro.experiments.executor import RunTask
+    from repro.experiments.executor import RunBatchTask, RunTask
     from repro.experiments.runner import RunnerSettings
     from repro.hypervisor.migration import MigrationConfig
     from repro.telemetry.stabilization import StabilizationRule
 
-    if not isinstance(payload, dict) or payload.get("schema") != TASK_SPEC_SCHEMA:
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    if schema not in (TASK_SPEC_SCHEMA, TASK_BATCH_SCHEMA):
         raise PersistenceError(
             f"unexpected task-spec schema "
-            f"{payload.get('schema') if isinstance(payload, dict) else type(payload)!r} "
-            f"(want {TASK_SPEC_SCHEMA!r})"
+            f"{schema if isinstance(payload, dict) else type(payload)!r} "
+            f"(want {TASK_SPEC_SCHEMA!r} or {TASK_BATCH_SCHEMA!r})"
         )
     try:
         migration_config = (
@@ -364,15 +454,21 @@ def task_spec_from_dict(payload: dict):
             if payload["migration_config"] is not None
             else None
         )
-        return RunTask(
+        common = dict(
             seed=int(payload["seed"]),
             settings=RunnerSettings(**payload["settings"]),
             migration_config=migration_config,
             stabilization=StabilizationRule(**payload["stabilization"]),
             scenario=MigrationScenario(**payload["scenario"]),
-            run_index=int(payload["run_index"]),
             key=payload.get("key"),
         )
+        if schema == TASK_BATCH_SCHEMA:
+            return RunBatchTask(
+                run_start=int(payload["run_start"]),
+                run_count=int(payload["run_count"]),
+                **common,
+            )
+        return RunTask(run_index=int(payload["run_index"]), **common)
     except (KeyError, TypeError, ValueError) as exc:
         raise PersistenceError(f"malformed task spec: {exc}") from exc
 

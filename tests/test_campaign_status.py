@@ -177,3 +177,65 @@ class TestCliValidation:
         with pytest.raises(SystemExit) as info:
             main(["campaign", "--spool-dir", "s", "--serve", "127.0.0.1:0"])
         assert info.value.code == 2
+
+
+class TestFollowInterrupt:
+    """``campaign-status --follow`` must exit cleanly on ^C wherever the
+    interrupt lands — during the fetch, the render, or the sleep — with
+    the exit code pinned to the *last fully rendered* status."""
+
+    def test_interrupt_during_sleep_exits_with_last_status(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        _Spool(tmp_path / "spool")  # clean spool: no failures
+        monkeypatch.setattr(time, "sleep", _raise_keyboard_interrupt)
+        code = main([
+            "campaign-status", "--spool-dir", str(tmp_path / "spool"), "--follow",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign status [queue]" in out  # first render completed
+
+    def test_interrupt_during_fetch_keeps_failure_exit_code(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro.cli as cli
+
+        _seeded_spool(tmp_path)  # one failure record -> exit 1
+        real_fetch = cli._fetch_campaign_status
+        calls = []
+
+        def fetch_once_then_interrupt(args):
+            if calls:
+                raise KeyboardInterrupt
+            calls.append(1)
+            return real_fetch(args)
+
+        monkeypatch.setattr(cli, "_fetch_campaign_status", fetch_once_then_interrupt)
+        monkeypatch.setattr(time, "sleep", lambda _s: None)
+        code = main([
+            "campaign-status", "--spool-dir", str(tmp_path / "spool"),
+            "--follow", "--interval", "0.01",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1  # pinned to the rendered (failed) status
+        assert "FAILED cccc-0000 on w9: boom" in out
+
+    def test_interrupt_before_first_fetch_exits_zero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro.cli as cli
+
+        _seeded_spool(tmp_path)
+        monkeypatch.setattr(
+            cli, "_fetch_campaign_status", _raise_keyboard_interrupt
+        )
+        code = main([
+            "campaign-status", "--spool-dir", str(tmp_path / "spool"), "--follow",
+        ])
+        assert code == 0  # nothing rendered, nothing to report as failed
+        assert "FAILED" not in capsys.readouterr().out
+
+
+def _raise_keyboard_interrupt(*_args, **_kwargs):
+    raise KeyboardInterrupt

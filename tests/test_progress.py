@@ -408,3 +408,42 @@ class TestBenchHistory:
         out = capsys.readouterr().out
         assert code == 0
         assert "ccc" in out and "revision" in out
+
+
+class TestPartialProgressMerge:
+    """Worker-reported events supersede synthesized ones *per task id*:
+    tasks only the coordinator saw (e.g. a worker crashed before its
+    progress sidecar was read) keep their synthesized records instead of
+    being dropped wholesale with the rest of the stream."""
+
+    def test_worker_events_replace_only_their_task_ids(self):
+        executor = CampaignExecutor(_runner())
+        reported = _event(
+            task_id=f"{SCENARIO.label}#0", scenario=SCENARIO.label,
+            run_index=0, worker="w-remote", runs_completed=1, at=5.0,
+        )
+        executor._backend.drain_progress = lambda: [reported]
+        executor.run_campaign([SCENARIO], min_runs=2, max_runs=2)
+        events = executor.progress_events
+        assert len(events) == 2
+        by_index = {e.run_index: e for e in events}
+        # Run 0: the worker's own record won.
+        assert by_index[0].worker == "w-remote"
+        assert by_index[0] is reported
+        # Run 1: nobody reported it, the synthesized record survives.
+        assert by_index[1].worker == "serial"
+        # The merged stream is re-sorted by timestamp.
+        assert [e.at for e in events] == sorted(e.at for e in events)
+
+    def test_full_worker_report_replaces_everything(self):
+        executor = CampaignExecutor(_runner())
+        reported = [
+            _event(task_id=f"{SCENARIO.label}#{i}", scenario=SCENARIO.label,
+                   run_index=i, worker="w-remote", runs_completed=i + 1,
+                   at=float(i))
+            for i in range(2)
+        ]
+        executor._backend.drain_progress = lambda: list(reported)
+        executor.run_campaign([SCENARIO], min_runs=2, max_runs=2)
+        assert executor.progress_events == reported
+        assert all(e.worker == "w-remote" for e in executor.progress_events)

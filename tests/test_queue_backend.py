@@ -420,3 +420,103 @@ class TestCliEndToEnd:
                 sa.total_energies_j(HostRole.SOURCE),
                 sb.total_energies_j(HostRole.SOURCE),
             )
+
+
+class TestClockSkew:
+    """Spool freshness must be judged on the *file server's* clock.
+
+    When the coordinator's clock disagrees with the filesystem serving the
+    spool (NFS server, container host), naive ``time.time() - mtime`` ages
+    are wrong by the skew: a coordinator running ahead sees every fresh
+    claim as stale (requeue storms, duplicated work) and every live worker
+    as dead.  The backend measures the skew with a probe file once per
+    poll interval and offsets all ages, clamping negatives to zero.
+    """
+
+    def _fake_clock(self, monkeypatch, offset: float) -> None:
+        real = time.time
+        monkeypatch.setattr(time, "time", lambda: real() + offset)
+
+    def test_coordinator_ahead_keeps_fresh_claims(self, tmp_path, monkeypatch):
+        backend = _backend(tmp_path, stale_timeout=60.0)
+        backend.submit(_task())
+        claim = _claim_next_task(backend.spool)
+        assert claim is not None
+        # Coordinator clock jumps an hour ahead of the file server.
+        self._fake_clock(monkeypatch, 3600.0)
+        backend._skew_measured_at = None  # force a re-probe under the skew
+        backend._requeue_stale_claims()
+        assert claim.exists()
+        assert backend.stats.tasks_requeued == 0
+
+    def test_coordinator_ahead_still_sees_live_workers(self, tmp_path, monkeypatch):
+        backend = _backend(tmp_path, worker_fresh_s=5.0)
+        beat = backend.spool.workers / "w0.json"
+        beat.write_text("{}", encoding="utf-8")
+        self._fake_clock(monkeypatch, 3600.0)
+        backend._skew_measured_at = None
+        assert backend.active_workers() == 1
+        assert backend.capacity == 1
+
+    def test_genuine_staleness_detected_despite_skew(self, tmp_path, monkeypatch):
+        """The skew offset must not mask claims that really are dead."""
+        backend = _backend(tmp_path, stale_timeout=0.5)
+        backend.submit(_task())
+        claim = _claim_next_task(backend.spool)
+        long_ago = time.time() - 60
+        os.utime(claim, (long_ago, long_ago))
+        self._fake_clock(monkeypatch, 3600.0)
+        backend._skew_measured_at = None
+        backend._requeue_stale_claims()
+        assert not claim.exists()
+        assert backend.stats.tasks_requeued == 1
+
+    def test_coordinator_behind_clamps_negative_ages(self, tmp_path, monkeypatch):
+        """File-server mtimes in the coordinator's future age as zero."""
+        backend = _backend(tmp_path, stale_timeout=60.0, worker_fresh_s=5.0)
+        backend.submit(_task())
+        claim = _claim_next_task(backend.spool)
+        beat = backend.spool.workers / "w0.json"
+        beat.write_text("{}", encoding="utf-8")
+        self._fake_clock(monkeypatch, -3600.0)
+        backend._skew_measured_at = None
+        backend._requeue_stale_claims()
+        assert claim.exists()
+        assert backend.stats.tasks_requeued == 0
+        assert backend.active_workers() == 1
+
+    def test_probe_memoized_per_poll_interval(self, tmp_path, monkeypatch):
+        import repro.experiments.queue_backend as qb
+
+        backend = _backend(tmp_path, poll_interval=60.0)
+        probes = []
+        real_measure = qb._measure_spool_skew
+        monkeypatch.setattr(
+            qb, "_measure_spool_skew",
+            lambda root: (probes.append(root), real_measure(root))[1],
+        )
+        backend._spool_now()
+        backend._spool_now()
+        backend._spool_now()
+        assert len(probes) == 1  # one probe per poll interval, not per call
+
+    def test_probe_failure_degrades_to_zero_skew(self, tmp_path):
+        from repro.experiments.queue_backend import _measure_spool_skew
+
+        assert _measure_spool_skew(tmp_path / "does-not-exist") == 0.0
+
+    def test_spool_gc_honours_file_server_clock(self, tmp_path, monkeypatch):
+        from repro.experiments.queue_backend import spool_gc
+
+        backend = _backend(tmp_path)
+        backend.submit(_task())  # fresh spec, mtime = file-server now
+        stale = backend.spool.failed / "old.json"
+        stale.write_text("{}", encoding="utf-8")
+        long_ago = time.time() - 7200
+        os.utime(stale, (long_ago, long_ago))
+        # An hour of coordinator skew must not make the fresh spec eligible.
+        self._fake_clock(monkeypatch, 3600.0)
+        report = spool_gc(tmp_path / "spool", max_age_s=3600.0)
+        assert report["files"] == ["failed/old.json"]
+        assert report["failures"] == 1
+        assert list(backend.spool.tasks.glob("*.json"))  # fresh spec survived
