@@ -18,7 +18,11 @@ microbenchmarks over the three hot layers —
 * **simulator** — a pure event-heap storm (schedule + fire), reporting
   events/sec;
 * **telemetry** — one instrumented testbed sampled over a long event-free
-  window per mode, reporting samples/sec.
+  window per mode, reporting samples/sec;
+* **compute** — the same sampling window per ``compute=`` kernel mode
+  (all-scalar ``python`` reference vs the vectorized ``numpy`` default,
+  plus ``numba`` where installed), reporting samples/sec and the guarded
+  ``compute.speedup``.
 
 Results are written as machine-readable ``BENCH_<rev>.json`` so the repo
 accumulates a perf trajectory, and :func:`check_regression` compares the
@@ -49,6 +53,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "bench_batch",
     "bench_campaign",
+    "bench_compute",
     "bench_consolidation",
     "bench_simulator",
     "bench_telemetry",
@@ -367,6 +372,55 @@ def bench_telemetry(sim_seconds: float = 300.0, repeats: int = 3) -> dict:
     return out
 
 
+def bench_compute(sim_seconds: float = 1000.0, repeats: int = 3) -> dict:
+    """Instrumented-testbed sampling throughput per ``compute=`` mode.
+
+    One long event-free sampling window (all instruments on the batched
+    path, a single ``run_for`` stride so the interval kernels see full
+    batches instead of 10 s slivers), once per compute kernel: the
+    all-scalar ``"python"`` reference, the vectorized ``"numpy"`` default,
+    and ``"numba"`` where importable.  Testbed construction happens
+    outside the timed span — this measures sampling arithmetic, not
+    cluster setup.  All modes are bit-identical (the cross-mode golden
+    tests assert it), so the honest number is the dimensionless
+    ``speedup`` — python wall time over numpy wall time.  A
+    ``numba_speedup`` rides along when that mode ran.
+    """
+    from repro.experiments.testbed import Testbed
+    from repro.simulator.kernels import HAVE_NUMBA
+
+    modes = ["python", "numpy"] + (["numba"] if HAVE_NUMBA else [])
+    out: dict[str, object] = {"modes": modes}
+    walls = {mode: float("inf") for mode in modes}
+    samples = {mode: 0 for mode in modes}
+    # Interleave the modes inside each repeat (like the cross-telemetry
+    # bench): a noisy scheduler slice then lands on every mode's same
+    # repeat instead of sinking one mode's whole best-of series.
+    for _ in range(max(1, repeats)):
+        for mode in modes:
+            bed = Testbed(seed=1, compute=mode)
+            bed.start_instrumentation()
+            t0 = time.perf_counter()
+            bed.sim.run_for(sim_seconds)
+            walls[mode] = min(walls[mode], time.perf_counter() - t0)
+            bed.stop_instrumentation()
+            samples[mode] = (
+                len(bed.source_meter.trace) + len(bed.target_meter.trace)
+                + len(bed.source_dstat.trace) + len(bed.target_dstat.trace)
+            )
+    for mode in modes:
+        out[mode] = {
+            "wall_s": walls[mode],
+            "samples_per_s": samples[mode] / walls[mode],
+        }
+    out["speedup"] = out["python"]["wall_s"] / out["numpy"]["wall_s"]  # type: ignore[index]
+    if HAVE_NUMBA:
+        out["numba_speedup"] = (
+            out["python"]["wall_s"] / out["numba"]["wall_s"]  # type: ignore[index]
+        )
+    return out
+
+
 def run_benchmarks(quick: bool = False, repeats: Optional[int] = None) -> dict:
     """Run the full suite and assemble the ``BENCH_<rev>.json`` payload.
 
@@ -398,6 +452,9 @@ def run_benchmarks(quick: bool = False, repeats: Optional[int] = None) -> dict:
             ),
             "telemetry": bench_telemetry(
                 sim_seconds=100.0 if quick else 300.0, repeats=reps
+            ),
+            "compute": bench_compute(
+                sim_seconds=1000.0 if quick else 2000.0, repeats=reps
             ),
         },
     }
@@ -482,7 +539,7 @@ def render_bench_history(payloads: list[dict]) -> str:
     header = (
         f"{'revision':12s} {'quick':5s} {'runs/s':>8s} {'events/s':>12s} "
         f"{'campaign x':>10s} {'consol x':>9s} {'telemetry x':>11s} "
-        f"{'batch x':>8s}"
+        f"{'batch x':>8s} {'compute x':>9s}"
     )
     lines = [header, "-" * len(header)]
     for payload in payloads:
@@ -494,7 +551,8 @@ def render_bench_history(payloads: list[dict]) -> str:
             f"{_metric(payload, 'campaign.speedup'):>10s} "
             f"{_metric(payload, 'consolidation.speedup'):>9s} "
             f"{_metric(payload, 'telemetry.speedup'):>11s} "
-            f"{_metric(payload, 'batch.overhead_x'):>8s}"
+            f"{_metric(payload, 'batch.overhead_x'):>8s} "
+            f"{_metric(payload, 'compute.speedup'):>9s}"
         )
     return "\n".join(lines)
 

@@ -132,12 +132,40 @@ class PowerModelParams:
             + self.fan_power(1.0)
         )
 
-    # NOTE: the batched telemetry kernel
-    # (PhysicalHost.instantaneous_power_values) replays this model's term
-    # sequence operation-by-operation with hoisted constants for speed.
-    # Any change to cpu_power/fan_power/instantaneous_power below must be
-    # mirrored there; the cross-path golden tests
-    # (tests/test_telemetry_batched.py) fail on any divergence.
+    # NOTE: the batched telemetry kernels
+    # (PhysicalHost.instantaneous_power_values and the vectorized
+    # compute-mode kernels in repro.simulator.kernels) replay this
+    # model's term sequence operation-by-operation with hoisted
+    # constants for speed.  Any change to
+    # cpu_power/fan_power/instantaneous_power below must be mirrored
+    # there; the cross-path golden tests (tests/test_telemetry_batched.py,
+    # tests/test_compute_modes.py) fail on any divergence.
+    def kernel_constants(self) -> tuple:
+        """Per-type constants of the fused power kernels.
+
+        Returns the hoisted scalar terms plus the fan-step thresholds and
+        watts as parallel tuples, in exactly the composition order of
+        :meth:`HostPowerModel.instantaneous_power` — the single source the
+        array kernels in :mod:`repro.simulator.kernels` initialise from.
+        """
+        thresholds = tuple(threshold for threshold, _ in self.fan_steps)
+        watts = tuple(watts for _, watts in self.fan_steps)
+        return (
+            self.idle_w,
+            self.cpu_linear_w,
+            self.cpu_curved_w,
+            self.cpu_curve_exponent,
+            self.memory_w,
+            self.nic_w,
+            self.interaction_w,
+            0.35 * self.idle_w,  # the PSU base-load model floor
+            thresholds,
+            watts,
+            self.drift_sigma_w,
+            self.drift_quantum_s,
+        )
+
+
     def cpu_power(self, utilisation_fraction: float) -> float:
         """Dynamic CPU power (W) at a given utilisation in [0, 1]."""
         u = min(max(utilisation_fraction, 0.0), 1.0)

@@ -360,10 +360,13 @@ class RunCache:
         stabilization: StabilizationRule,
     ) -> dict:
         settings_payload = dataclasses.asdict(settings)
-        # The telemetry implementation ("batched" vs "events") is proven
-        # bit-identical (cross-path golden tests), so it must not split
-        # the cache: a campaign warmed in one mode serves the other.
+        # The telemetry implementation ("batched" vs "events") and the
+        # compute kernel ("python"/"numpy"/"numba") are proven
+        # bit-identical (cross-path and cross-mode golden tests), so they
+        # must not split the cache: a campaign warmed in one mode serves
+        # every other.
         settings_payload.pop("telemetry", None)
+        settings_payload.pop("compute", None)
         return {
             "schema": CACHE_KEY_SCHEMA,
             "seed": int(seed),
@@ -904,23 +907,28 @@ class CampaignExecutor:
         try:
             self._drive(states, lo, hi)
         finally:
-            # Worker-reported progress (richer: true worker ids and
-            # worker-side wall times) supersedes the coordinator-side
-            # synthesis per task id — not wholesale, so tasks whose
-            # worker died before flushing its sidecar keep at least the
-            # synthesized record.
-            worker_reported = self._backend.drain_progress()
-            if worker_reported:
-                reported_ids = {event.task_id for event in worker_reported}
-                merged = [
-                    event
-                    for event in self.progress_events
-                    if event.task_id not in reported_ids
-                ]
-                merged.extend(worker_reported)
-                merged.sort(key=lambda event: event.at)
-                self.progress_events = merged
-            self._backend.shutdown()
+            try:
+                # Worker-reported progress (richer: true worker ids and
+                # worker-side wall times) supersedes the coordinator-side
+                # synthesis per task id — not wholesale, so tasks whose
+                # worker died before flushing its sidecar keep at least
+                # the synthesized record.
+                worker_reported = self._backend.drain_progress()
+                if worker_reported:
+                    reported_ids = {event.task_id for event in worker_reported}
+                    merged = [
+                        event
+                        for event in self.progress_events
+                        if event.task_id not in reported_ids
+                    ]
+                    merged.extend(worker_reported)
+                    merged.sort(key=lambda event: event.at)
+                    self.progress_events = merged
+            finally:
+                # drain_progress can raise (corrupt sidecar, dead spool
+                # dir); the backend's worker pool must still come down,
+                # or every failed drain leaks processes/threads.
+                self._backend.shutdown()
 
         results = []
         for state in states:

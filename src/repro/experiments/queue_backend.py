@@ -611,17 +611,21 @@ def spool_gc(
     _sweep(spool.failed, "*.json", "failures")
     _sweep(spool.workers, "*.json", "workers")
     _sweep(spool.progress, "*.ndjson", "progress")
-    # Orphaned atomic-write temp files (writer died mid-rename).
+    # Orphaned atomic-write temp files (writer died mid-rename).  The
+    # progress dir gets them too (worker sidecar flushes), and the stop
+    # sentinel's temp lands at the spool root.
     for directory, category in (
         (spool.tasks, "tasks"), (spool.claims, "claims"),
         (spool.failed, "failures"), (spool.workers, "workers"),
+        (spool.progress, "progress"),
     ):
         _sweep(directory, "*.tmp", category)
+    _sweep(spool.root, "stop.*.tmp", "stop")
     try:
         if spool.stop.exists() and max(now - spool.stop.stat().st_mtime, 0.0) >= max_age_s:
             if not dry_run:
                 spool.stop.unlink()
-            counts["stop"] = 1
+            counts["stop"] += 1
             removed.append("stop")
     except OSError:
         pass
@@ -682,11 +686,19 @@ def _claim_next_task(spool: _Spool) -> Optional[pathlib.Path]:
         try:
             # rename preserves mtime, so a spec that sat in the queue longer
             # than the stale timeout would look abandoned the instant it is
-            # claimed: start the lease fresh.  If the coordinator requeued it
-            # in that window the lease is already lost — keep scanning.
+            # claimed: start the lease fresh.
             os.utime(target)
         except OSError:
-            continue
+            # The rename already succeeded, so this claim is ours.  A
+            # failed utime usually means the coordinator requeued the
+            # "abandoned" spec in the race window (the claim file moved
+            # back) — skip it then.  But if the claim file is still in
+            # place (e.g. a transient filesystem error refreshing the
+            # timestamp), abandoning a successfully claimed spec would
+            # leak it until the stale scan: execute it anyway, and let
+            # the heartbeat bring the lease fresh.
+            if not target.exists():
+                continue
         return target
     return None
 

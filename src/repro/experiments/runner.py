@@ -116,9 +116,14 @@ class RunnerSettings:
     ``telemetry`` selects the sampling implementation, not the protocol:
     ``"batched"`` (default) drives all instruments through the vectorized
     interval-hook fast path, ``"events"`` keeps the one-heap-event-per-
-    sample reference path.  Results are bit-identical either way (the
-    cross-path golden tests assert byte-identical campaign samples JSON),
-    which is why the run cache deliberately ignores this field.
+    sample reference path.  ``compute`` selects the kernel implementation
+    inside the batched blocks the same way: ``"python"`` is the all-
+    scalar reference, ``"numpy"`` (default) the adaptive array-kernel
+    hybrid, ``"numba"`` the hybrid with njit-compiled loops (resolved to
+    ``"numpy"`` when numba is missing).  Results are bit-identical along
+    both axes (the cross-path golden tests assert byte-identical campaign
+    samples JSON), which is why the run cache deliberately ignores both
+    fields.
     """
 
     min_warmup_s: float = 12.0          # before the stabilisation check starts
@@ -131,11 +136,16 @@ class RunnerSettings:
     max_runs: int = 16                  # safety cap on the variance loop
     variance_delta: float = 0.10        # paper: "less than 10 %"
     telemetry: str = "batched"          # "batched" fast path | "events" reference
+    compute: str = "numpy"              # "python" reference | "numpy" | "numba"
 
     def __post_init__(self) -> None:
         if self.telemetry not in ("batched", "events"):
             raise ExperimentError(
                 f"telemetry must be 'batched' or 'events', got {self.telemetry!r}"
+            )
+        if self.compute not in ("python", "numpy", "numba"):
+            raise ExperimentError(
+                f"compute must be 'python', 'numpy' or 'numba', got {self.compute!r}"
             )
 
 
@@ -174,7 +184,12 @@ class ScenarioRunner:
         """Execute one instrumented run of a scenario."""
         run_seed = derive_seed(self.seed, f"{scenario.label}#{run_index}")
         cfg = self.settings
-        bed = Testbed(family=scenario.family, seed=run_seed, telemetry=cfg.telemetry)
+        bed = Testbed(
+            family=scenario.family,
+            seed=run_seed,
+            telemetry=cfg.telemetry,
+            compute=cfg.compute,
+        )
 
         # --- guests -----------------------------------------------------
         vm = make_instance_vm(

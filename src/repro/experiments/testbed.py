@@ -23,6 +23,7 @@ from repro.hypervisor.toolstack import Toolstack
 from repro.hypervisor.vm import VirtualMachine
 from repro.hypervisor.vmm import XenHypervisor
 from repro.simulator.engine import Simulator
+from repro.simulator.kernels import KernelArena, resolve_compute, validate_compute
 from repro.simulator.rng import RandomStreams, derive_seed
 from repro.simulator.sampling import SCALAR_BLOCK_MAX, PeriodicSampler
 from repro.telemetry.dstat import DstatMonitor
@@ -58,6 +59,7 @@ class FeatureRecorder:
         vm: VirtualMachine,
         period_s: float = 0.5,
         batched: bool = False,
+        compute: str = "numpy",
     ) -> None:
         self.source = source
         self.target = target
@@ -65,12 +67,14 @@ class FeatureRecorder:
         self.trace = SeriesTrace(FEATURE_COLUMNS, label="features")
         self._job: Optional[MigrationJob] = None
         self._job_provider: Optional[Callable[[], Optional[MigrationJob]]] = None
+        self._compute = resolve_compute(compute)
         self._sampler = PeriodicSampler(
             sim,
             period_s,
             self._sample,
             batched=batched,
             batch_callback=self._sample_block if batched else None,
+            vectorized=batched and self._compute != "python",
         )
 
     def attach_job(self, job: MigrationJob) -> None:
@@ -133,7 +137,7 @@ class FeatureRecorder:
         job = self._current_job()
         bw = job.current_bandwidth_bps if job is not None else 0.0
         dr = self.vm.dirtying_ratio_percent()
-        if times.size <= SCALAR_BLOCK_MAX:
+        if self._compute == "python" or times.size <= SCALAR_BLOCK_MAX:
             times_list = times.tolist()
             source_cached = self.source.cpu_utilisation_fraction_cached
             target_cached = self.target.cpu_utilisation_fraction_cached
@@ -155,14 +159,19 @@ class FeatureRecorder:
             return
         n = times.size
         times_list = times.tolist()
+        mode = self._compute
         buf_t, (b_src, b_tgt, b_vm, b_on, b_bw, b_dr), start = (
             self.trace._reserve(n, times_list[0])
         )
         end = start + n
         buf_t[start:end] = times
-        b_src[start:end] = self.source.cpu_utilisation_percent_block(times)
-        b_tgt[start:end] = self.target.cpu_utilisation_percent_block(times)
-        b_vm[start:end] = self.vm.cpu_percent_values(times_list)
+        b_src[start:end] = (
+            self.source.attach_kernel(mode=mode).util_block(times, times_list) * 100.0
+        )
+        b_tgt[start:end] = (
+            self.target.attach_kernel(mode=mode).util_block(times, times_list) * 100.0
+        )
+        b_vm[start:end] = self.vm.attach_kernel().cpu_percent_block(times, times_list)
         b_on[start:end] = on_target
         b_bw[start:end] = bw
         b_dr[start:end] = dr
@@ -185,6 +194,13 @@ class Testbed:
         vectorized interval-hook fast path; ``"events"`` keeps one heap
         event per sample.  Traces are bit-identical either way (see
         ``docs/performance.md``).
+    compute:
+        Kernel implementation of the batched blocks: ``"python"`` is the
+        all-scalar reference, ``"numpy"`` (default) the adaptive hybrid
+        with array kernels on long blocks, ``"numba"`` the hybrid with
+        njit-compiled loops (silently resolved to ``"numpy"`` when numba
+        is missing).  Traces are bit-identical across all modes (see
+        :mod:`repro.simulator.kernels`).
     """
 
     def __init__(
@@ -193,14 +209,19 @@ class Testbed:
         seed: int = 0,
         meter_period_s: float = 0.5,
         telemetry: str = "batched",
+        compute: str = "numpy",
     ) -> None:
         if telemetry not in ("batched", "events"):
             raise ConfigurationError(
                 f"telemetry must be 'batched' or 'events', got {telemetry!r}"
             )
+        validate_compute(compute)
         self.family = family
         self.seed = int(seed)
         self.telemetry = telemetry
+        self.compute = compute
+        resolved = resolve_compute(compute)
+        self._compute_resolved = resolved
         batched = telemetry == "batched"
         self.streams = RandomStreams(seed)
         self.sim = Simulator()
@@ -208,6 +229,15 @@ class Testbed:
         source_spec, target_spec = machine_pair(family)
         self.source = PhysicalHost(source_spec, noise_seed=derive_seed(seed, "host:src"))
         self.target = PhysicalHost(target_spec, noise_seed=derive_seed(seed, "host:tgt"))
+        # Shared SoA arena: the host pair's kernel rows sit in one
+        # structured array, and VMs created on these hosts draw their
+        # rows from the same arena (VirtualMachine.attach_kernel).
+        if resolved != "python":
+            self.kernel_arena: Optional[KernelArena] = KernelArena()
+            self.source.attach_kernel(self.kernel_arena, mode=resolved)
+            self.target.attach_kernel(self.kernel_arena, mode=resolved)
+        else:
+            self.kernel_arena = None
         self.path = NetworkPath(
             self.source,
             self.target,
@@ -223,14 +253,18 @@ class Testbed:
         )
         self.source_meter = PowerMeter(
             self.sim, self.source, self.streams.stream("meter:src"),
-            period_s=meter_period_s, batched=batched,
+            period_s=meter_period_s, batched=batched, compute=resolved,
         )
         self.target_meter = PowerMeter(
             self.sim, self.target, self.streams.stream("meter:tgt"),
-            period_s=meter_period_s, batched=batched,
+            period_s=meter_period_s, batched=batched, compute=resolved,
         )
-        self.source_dstat = DstatMonitor(self.sim, self.source, batched=batched)
-        self.target_dstat = DstatMonitor(self.sim, self.target, batched=batched)
+        self.source_dstat = DstatMonitor(
+            self.sim, self.source, batched=batched, compute=resolved
+        )
+        self.target_dstat = DstatMonitor(
+            self.sim, self.target, batched=batched, compute=resolved
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -249,6 +283,7 @@ class Testbed:
             self.sim, self.source, self.target, vm,
             period_s=self.source_meter.period_s,
             batched=self.telemetry == "batched",
+            compute=self._compute_resolved,
         )
 
     def start_instrumentation(self) -> None:

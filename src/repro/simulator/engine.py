@@ -48,7 +48,12 @@ class Simulator:
         self._pending = 0
         # Interval hooks (e.g. batched telemetry samplers): advanced over
         # every event-free time interval before the clock crosses it.
+        # Control hooks (those with a callable bound_advance) are
+        # classified once at registration — _advance_hooks runs per
+        # event-free interval, so per-interval getattr probing is pure
+        # overhead for the common observer-only population.
         self._interval_hooks: list[Any] = []
+        self._control_hooks: list[Any] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -155,11 +160,17 @@ class Simulator:
         """
         if hook not in self._interval_hooks:
             self._interval_hooks.append(hook)
+            if callable(getattr(hook, "bound_advance", None)):
+                self._control_hooks.append(hook)
 
     def remove_interval_hook(self, hook: Any) -> None:
         """Deregister an interval hook; missing hooks are ignored."""
         try:
             self._interval_hooks.remove(hook)
+        except ValueError:
+            pass
+        try:
+            self._control_hooks.remove(hook)
         except ValueError:
             pass
 
@@ -182,12 +193,10 @@ class Simulator:
             action may have scheduled or cancelled events.
         """
         hooks = list(self._interval_hooks)
+        controls = list(self._control_hooks) if self._control_hooks else ()
         cut = float(t1)
-        for hook in hooks:
-            bound = getattr(hook, "bound_advance", None)
-            if not callable(bound):
-                continue
-            b = bound(cut)
+        for hook in controls:
+            b = hook.bound_advance(cut)
             if b < cut:
                 if b <= self._now:  # pragma: no cover - defensive
                     raise SimulationError(
@@ -199,9 +208,8 @@ class Simulator:
             hook.advance_to(cut)
         self._now = cut
         fired = False
-        for hook in hooks:
-            fire = getattr(hook, "fire_control", None)
-            if callable(fire) and fire():
+        for hook in controls:
+            if hook.fire_control():
                 fired = True
         if cut < t1 and not fired:  # pragma: no cover - defensive
             raise SimulationError(

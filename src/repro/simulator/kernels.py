@@ -1,0 +1,677 @@
+"""Compiled/vectorized simulation kernels — the ``compute=`` axis.
+
+The batched telemetry path (``telemetry="batched"``) removed per-sample
+event dispatch; what remains hot is the *arithmetic* inside each
+event-free interval: host power composition, jittered CPU reads and
+per-VM CPU features, all previously evaluated as scalar Python loops
+over object state.  This module restructures that state into numpy
+structured arrays (:data:`HOST_DTYPE` / :data:`VM_DTYPE` rows allocated
+from a per-testbed :class:`KernelArena`) and evaluates the interval
+kernels over them, optionally compiled with numba:
+
+* ``compute="python"`` — the scalar reference: every instrument samples
+  through its per-sample memoised pipeline regardless of block length
+  (the exact event-mode semantics, batched only in delivery).
+* ``compute="numpy"`` (default) — the adaptive hybrid: short blocks run
+  the scalar stage (numpy's fixed per-call overhead dominates there),
+  long blocks run the vectorized array kernels below.
+* ``compute="numba"`` — the numpy hybrid with the fused per-sample loop
+  compiled by :func:`numba.njit`; falls back to ``"numpy"`` silently
+  when numba is not installed (:func:`resolve_compute`).
+
+**Bit-identity discipline.** All three modes must produce byte-identical
+campaign samples JSON (the cross-mode golden tests assert it), so the
+run cache deliberately ignores the ``compute`` field.  The vectorized
+kernels therefore only use elementwise operations that are exact under
+IEEE-754 (add, subtract, multiply, divide, compare, min/max, floor) —
+transcendentals (``x ** e``, ``log``, ``cos``) stay *scalar* because
+numpy's SIMD routines are not bit-identical to libm on every platform.
+Noise draws keep their SHA-256 definition unchanged; they are merely
+cached in contiguous per-key :class:`NoiseTickGrid` arrays instead of
+(or alongside) the per-tick memo dicts, and the two stores agree bit for
+bit because the draw is a pure function of ``(seed, key, tick)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.simulator.noise import hash_normal_unit_fill
+
+__all__ = [
+    "COMPUTE_MODES",
+    "HAVE_NUMBA",
+    "HOST_DTYPE",
+    "VM_DTYPE",
+    "HostKernel",
+    "KernelArena",
+    "NoiseTickGrid",
+    "VmKernel",
+    "maybe_njit",
+    "resolve_compute",
+    "sampler_tick_grid",
+    "validate_compute",
+]
+
+#: The selectable compute modes, mirroring the ``telemetry=`` axis.
+COMPUTE_MODES = ("python", "numpy", "numba")
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # type: ignore
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the pure-python environments
+    numba = None  # type: ignore[assignment]
+    HAVE_NUMBA = False
+
+
+def validate_compute(mode: str) -> str:
+    """Reject anything outside :data:`COMPUTE_MODES`; returns ``mode``."""
+    if mode not in COMPUTE_MODES:
+        raise ConfigurationError(
+            f"compute must be one of {COMPUTE_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def resolve_compute(mode: str) -> str:
+    """Validate ``mode`` and apply the graceful numba fallback.
+
+    ``"numba"`` resolves to ``"numpy"`` when numba is not importable —
+    results are bit-identical across the two, so the fallback is silent
+    by design (campaigns keep running on machines without the compiler).
+    """
+    validate_compute(mode)
+    if mode == "numba" and not HAVE_NUMBA:
+        return "numpy"
+    return mode
+
+
+def maybe_njit(func):
+    """``numba.njit`` when available, identity otherwise.
+
+    The decorated loops are only dispatched in ``compute="numba"`` mode,
+    which :func:`resolve_compute` grants only when numba imports — so the
+    undecorated fallback exists for introspection and tests, never as a
+    silently-slow hot path.
+    """
+    if HAVE_NUMBA:  # pragma: no cover - exercised in the CI numba lane
+        return numba.njit(func)
+    return func
+
+
+# ----------------------------------------------------------------------
+# Vectorized sampler tick grid
+# ----------------------------------------------------------------------
+def sampler_tick_grid(
+    base: float, k0: int, period: float, t1: float
+) -> tuple[Optional[np.ndarray], int]:
+    """Every sampler tick ``base + k * period <= t1`` with ``k >= k0``.
+
+    Bit-identical to the scalar generation loop in
+    :meth:`~repro.simulator.sampling.PeriodicSampler.advance_to`: each
+    timestamp is the same ``base + k * period`` float64 expression (tick
+    indices are far below 2**53, so ``k`` is exact in float64 and the
+    elementwise multiply/add match the scalar ones), and the stop rule is
+    the same ``<= t1`` comparison — seeded from a floor-division estimate
+    and corrected by the comparison itself, so division rounding cannot
+    drop or invent a boundary tick.
+
+    Returns ``(ticks, next_k)``; ``ticks`` is ``None`` when the interval
+    holds no tick.
+    """
+    est = k0 + int((t1 - (base + k0 * period)) / period)
+    if est < k0:
+        est = k0
+    while base + est * period <= t1:
+        est += 1
+    est -= 1  # now the last index at or before t1 (if any)
+    while est >= k0 and base + est * period > t1:
+        est -= 1
+    if est < k0:
+        return None, k0
+    ks = np.arange(k0, est + 1, dtype=np.float64)
+    return base + ks * period, est + 1
+
+
+# ----------------------------------------------------------------------
+# Noise tick grids
+# ----------------------------------------------------------------------
+class NoiseTickGrid:
+    """Contiguous per-``(seed, key)`` cache of hash-normal draws.
+
+    The array analogue of the hosts' per-tick memo dicts: draws for the
+    tick range ``[lo, hi)`` live in one float64 array, filled through
+    :func:`~repro.simulator.noise.hash_normal_unit_fill` (bit-identical
+    per tick to the scalar draw, so grid and dict stores agree wherever
+    they overlap).  Samplers walk time forward over dense tick ranges, so
+    the grid only ever extends at its ends — never reallocating what the
+    vectorized kernels already gathered from.
+    """
+
+    __slots__ = ("_seed", "_key", "_lo", "_values")
+
+    def __init__(self, seed: int, key: str) -> None:
+        self._seed = int(seed)
+        self._key = key
+        self._lo = 0
+        self._values = np.empty(0, dtype=np.float64)
+
+    def _ensure(self, lo: int, hi: int) -> None:
+        values = self._values
+        if values.size == 0:
+            self._values = hash_normal_unit_fill(self._seed, self._key, lo, hi)
+            self._lo = lo
+            return
+        if lo < self._lo:
+            front = hash_normal_unit_fill(self._seed, self._key, lo, self._lo)
+            values = np.concatenate((front, values))
+            self._lo = lo
+        end = self._lo + values.size
+        if hi > end:
+            back = hash_normal_unit_fill(self._seed, self._key, end, hi)
+            values = np.concatenate((values, back))
+        self._values = values
+
+    def gather_pair(
+        self, cur_ticks: np.ndarray, prev_ticks: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draws for elementwise (current, previous) tick pairs.
+
+        Tick arrays come from floored, ascending sample times, so the
+        combined range is dense: one contiguous fill covers both gathers.
+        """
+        lo = int(min(cur_ticks[0], prev_ticks[0]))
+        hi = int(max(cur_ticks[-1], prev_ticks[-1])) + 1
+        self._ensure(lo, hi)
+        base = self._lo
+        values = self._values
+        return values[cur_ticks - base], values[prev_ticks - base]
+
+    def value(self, tick: int) -> float:
+        """Scalar draw at one tick (extends the grid if needed)."""
+        lo = self._lo
+        if self._values.size == 0 or tick < lo or tick >= lo + self._values.size:
+            self._ensure(min(tick, lo) if self._values.size else tick,
+                         max(tick + 1, lo + self._values.size))
+        return float(self._values[tick - self._lo])
+
+    @property
+    def size(self) -> int:
+        """Number of cached draws (introspection/tests)."""
+        return int(self._values.size)
+
+
+# ----------------------------------------------------------------------
+# Structured-array state (SoA rows)
+# ----------------------------------------------------------------------
+#: Per-host row: the static power envelope mirrored from
+#: :class:`~repro.cluster.power.PowerModelParams` plus the live interval
+#: state the vectorized kernels hoist (refreshed via the owners' version
+#: counters — see :meth:`HostKernel.refresh`).
+HOST_DTYPE = np.dtype(
+    [
+        ("idle_w", "f8"),
+        ("cpu_linear_w", "f8"),
+        ("cpu_curved_w", "f8"),
+        ("cpu_curve_exponent", "f8"),
+        ("memory_w", "f8"),
+        ("nic_w", "f8"),
+        ("interaction_w", "f8"),
+        ("model_floor_w", "f8"),
+        ("host_floor_w", "f8"),
+        ("thermal_factor", "f8"),
+        ("drift_sigma_w", "f8"),
+        ("drift_quantum_s", "f8"),
+        ("base_util", "f8"),
+        ("jitter_sigma", "f8"),
+        ("mem_activity", "f8"),
+        ("mem_term_w", "f8"),
+        ("nic_term_w", "f8"),
+        ("cpu_version", "i8"),
+        ("flows_version", "i8"),
+        ("memory_version", "i8"),
+    ]
+)
+
+#: Per-VM row: the CPU-feature state plus the dirty-page counter, which
+#: *lives* in this slot once a kernel is attached (see
+#: :meth:`~repro.hypervisor.memory.VmMemory.bind_dirty_slot`).
+VM_DTYPE = np.dtype(
+    [
+        ("vcpus", "f8"),
+        ("base_pct", "f8"),
+        ("jitter_sigma_pct", "f8"),
+        ("running", "i8"),
+        ("dirty_logged", "i8"),
+    ]
+)
+
+
+class KernelArena:
+    """Chunked structured-array storage backing the kernel SoA rows.
+
+    A testbed owns one arena: its host pair and every VM created on it
+    draw rows from shared structured arrays, so the hot per-entity state
+    sits contiguously instead of scattered across Python objects.  Rows
+    are handed out as length-1 views; growth appends fresh chunks rather
+    than reallocating, so existing views stay bound to their storage.
+    """
+
+    def __init__(self, chunk: int = 8) -> None:
+        if chunk < 1:
+            raise ConfigurationError(f"chunk must be positive, got {chunk!r}")
+        self._chunk = int(chunk)
+        self._store: dict[np.dtype, tuple[list[np.ndarray], int]] = {}
+
+    def alloc(self, dtype: np.dtype) -> np.ndarray:
+        """A zeroed length-1 row view of the given structured dtype."""
+        chunks, used = self._store.get(dtype, ([], 0))
+        if not chunks or used >= chunks[-1].shape[0]:
+            chunks.append(np.zeros(self._chunk, dtype=dtype))
+            used = 0
+        row = chunks[-1][used:used + 1]
+        self._store[dtype] = (chunks, used + 1)
+        return row
+
+    def count(self, dtype: np.dtype) -> int:
+        """Rows allocated for a dtype (introspection/tests)."""
+        chunks, used = self._store.get(dtype, ([], 0))
+        if not chunks:
+            return 0
+        return self._chunk * (len(chunks) - 1) + used
+
+
+# ----------------------------------------------------------------------
+# Fused per-sample loops (njit-compiled in compute="numba" mode)
+# ----------------------------------------------------------------------
+@maybe_njit
+def _host_power_loop(  # pragma: no cover - numba lane only
+    cur,
+    prv,
+    base,
+    jitter_sigma,
+    blend,
+    one_minus,
+    norm,
+    idle,
+    linear,
+    curved,
+    exponent,
+    mem_term,
+    nic_term,
+    interaction,
+    mem,
+    fan_thr,
+    fan_w,
+    trans,
+    has_trans,
+    model_floor,
+    thermal,
+):
+    """Fused jitter→clamp→power composition, one sample per iteration.
+
+    Replays :meth:`PhysicalHost.instantaneous_power_values` operation by
+    operation (including the branch-form clamps).  ``x ** exponent``
+    lowers to the same libm ``pow`` the scalar path calls on mainstream
+    toolchains; the CI numba lane's cross-mode goldens assert that and
+    fail loudly if a platform's compiler diverges.
+    """
+    n = cur.shape[0]
+    n_fan = fan_thr.shape[0]
+    u_out = np.empty(n, dtype=np.float64)
+    p_out = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        jitter = jitter_sigma * (blend * prv[i] + one_minus * cur[i]) / norm
+        u = base + jitter
+        if u < 0.0:
+            u = 0.0
+        elif u > 1.0:
+            u = 1.0
+        u_out[i] = u
+        power = idle + (linear * u + curved * u ** exponent)
+        power = power + mem_term
+        power = power + nic_term
+        power = power + interaction * u * mem
+        if n_fan > 0:
+            fan = 0.0
+            for j in range(n_fan):
+                if u >= fan_thr[j]:
+                    fan = fan + fan_w[j]
+            power = power + fan
+        if has_trans:
+            power = power + trans[i]
+        if power < model_floor:
+            power = model_floor
+        p_out[i] = idle + (power - idle) * thermal
+    return u_out, p_out
+
+
+# ----------------------------------------------------------------------
+# Host kernel
+# ----------------------------------------------------------------------
+class HostKernel:
+    """Vectorized power/CPU kernels over one host's SoA row.
+
+    Owns the host's noise tick grids and its :data:`HOST_DTYPE` row; the
+    static power envelope is mirrored into the row once (from
+    :meth:`~repro.cluster.power.PowerModelParams.kernel_constants`, the
+    single source the scalar kernel hoists from too) and the live fields
+    are refreshed lazily through the owners' version counters.
+    """
+
+    def __init__(
+        self,
+        host,
+        arena: Optional[KernelArena] = None,
+        *,
+        jitter_quantum: float,
+        cpu_jitter_sigma: float,
+        drift_norm: float,
+        mode: str = "numpy",
+    ) -> None:
+        self.host = host
+        self.arena = arena if arena is not None else KernelArena(chunk=1)
+        self.mode = "numba" if (mode == "numba" and HAVE_NUMBA) else "numpy"
+        row = self.arena.alloc(HOST_DTYPE)
+        self.row = row
+        (
+            idle,
+            linear,
+            curved,
+            exponent,
+            memory_w,
+            nic_w,
+            interaction,
+            model_floor,
+            fan_thresholds,
+            fan_watts,
+            drift_sigma,
+            drift_quantum,
+        ) = host.power_model.params.kernel_constants()
+        row["idle_w"] = idle
+        row["cpu_linear_w"] = linear
+        row["cpu_curved_w"] = curved
+        row["cpu_curve_exponent"] = exponent
+        row["memory_w"] = memory_w
+        row["nic_w"] = nic_w
+        row["interaction_w"] = interaction
+        row["model_floor_w"] = model_floor
+        row["host_floor_w"] = 0.3 * idle
+        row["thermal_factor"] = host._thermal_factor
+        row["drift_sigma_w"] = drift_sigma
+        row["drift_quantum_s"] = drift_quantum
+        row["cpu_version"] = -1
+        row["flows_version"] = -1
+        row["memory_version"] = -1
+        # Hoisted python-float mirrors of the row's static fields (same
+        # float64 values; spares per-block structured-field reads).
+        self._idle = idle
+        self._linear = linear
+        self._curved = curved
+        self._exponent = exponent
+        self._interaction = interaction
+        self._model_floor = model_floor
+        self._host_floor = 0.3 * idle
+        self._thermal = host._thermal_factor
+        self._drift_sigma = drift_sigma
+        self._drift_quantum = drift_quantum
+        self._fan_steps = tuple(zip(fan_thresholds, fan_watts))
+        self._fan_thr = np.asarray(fan_thresholds, dtype=np.float64)
+        self._fan_w = np.asarray(fan_watts, dtype=np.float64)
+        self._quantum = jitter_quantum
+        self._cpu_jitter_sigma = cpu_jitter_sigma
+        self._drift_norm = drift_norm
+        # The same blend constants instantaneous_power_values hoists.
+        self._blend = 0.6
+        self._one_minus = 1.0 - self._blend
+        self._norm = math.sqrt(
+            self._blend * self._blend + self._one_minus * self._one_minus
+        )
+        # Live-field mirrors (refreshed alongside the row).
+        self._base = 0.0
+        self._jitter_sigma = 0.0
+        self._mem = 0.0
+        self._mem_term = 0.0
+        self._nic_term = 0.0
+        self._cpu_grid = NoiseTickGrid(host._noise_seed, host._cpu_noise_key)
+        self._drift_grid = NoiseTickGrid(host._noise_seed, host._drift_noise_key)
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Refresh the row's live fields through the version counters.
+
+        CPU base utilisation, the derived jitter sigma and the memory/NIC
+        power terms change only on events; each is re-derived (by the
+        exact expressions the scalar kernel hoists) only when its owning
+        counter moved.
+        """
+        host = self.host
+        row = self.row
+        cpu = host.cpu
+        if row["cpu_version"][0] != cpu._version:
+            base = cpu.utilisation_fraction()
+            scale = min(base / 0.1, 1.0) if base < 0.1 else 1.0
+            self._base = base
+            self._jitter_sigma = self._cpu_jitter_sigma * scale
+            row["base_util"] = base
+            row["jitter_sigma"] = self._jitter_sigma
+            row["cpu_version"] = cpu._version
+        if row["memory_version"][0] != host._memory_version:
+            mem = min(max(host.memory_activity_fraction(), 0.0), 1.0)
+            self._mem = mem
+            self._mem_term = host.power_model.params.memory_w * mem
+            row["mem_activity"] = mem
+            row["mem_term_w"] = self._mem_term
+            row["memory_version"] = host._memory_version
+        if row["flows_version"][0] != host._flows_version:
+            nic = min(max(host.nic_utilisation_fraction(), 0.0), 1.0)
+            self._nic_term = host.power_model.params.nic_w * nic
+            row["nic_term_w"] = self._nic_term
+            row["flows_version"] = host._flows_version
+
+    # ------------------------------------------------------------------
+    def _jittered_util(self, times: np.ndarray) -> np.ndarray:
+        """Clamped jittered utilisation (exact elementwise ops only)."""
+        q = self._quantum
+        cur_ticks = np.floor(times / q).astype(np.int64)
+        prev_ticks = np.floor((times - q) / q).astype(np.int64)
+        cur, prv = self._cpu_grid.gather_pair(cur_ticks, prev_ticks)
+        jitter = self._jitter_sigma * (self._blend * prv + self._one_minus * cur) / self._norm
+        return np.minimum(np.maximum(self._base + jitter, 0.0), 1.0)
+
+    def util_block(self, times: np.ndarray, times_list: list) -> np.ndarray:
+        """Batched jittered CPU utilisation in [0, 1].
+
+        Serves fully from the host's per-timestamp read memo when a
+        co-located instrument (typically the power meter, which samples
+        first) already computed the block; otherwise recomputes from the
+        noise grid — the noise is pure, so a fresh compute equals a
+        cached read bit for bit — and publishes into the memo for the
+        scalar short-block readers that follow.
+        """
+        cache = self.host._util_read_cache
+        get = cache.get
+        values = [get(t) for t in times_list]
+        if None not in values:
+            return np.asarray(values, dtype=np.float64)
+        self.refresh()
+        u = self._jittered_util(times)
+        cache.update(zip(times_list, u.tolist()))
+        return u
+
+    def power_block(self, times: np.ndarray, times_list: list) -> np.ndarray:
+        """Batched ground-truth wall power over an event-free interval.
+
+        Replays :meth:`PhysicalHost.instantaneous_power_values` with the
+        per-sample loop replaced by exact elementwise array operations
+        (``compute="numpy"``) or the fused njit loop (``"numba"``); the
+        only scalar remnants are ``u ** exponent`` (libm ``pow`` is not
+        SIMD-exact), the rare transient evaluations, and the per-drift-
+        segment blend, which all run per unique value rather than per
+        sample.  Bit-identical to the scalar kernel — the cross-mode
+        golden tests enforce it.
+        """
+        self.refresh()
+        host = self.host
+        n = times.shape[0]
+        transients = host.power_model.transients
+        if transients.active_count > 0:
+            trans = np.asarray(
+                [transients.value(t) for t in times_list], dtype=np.float64
+            )
+            has_trans = True
+        else:
+            trans = _EMPTY_F8
+            has_trans = False
+        if self.mode == "numba":
+            q = self._quantum
+            cur_ticks = np.floor(times / q).astype(np.int64)
+            prev_ticks = np.floor((times - q) / q).astype(np.int64)
+            cur, prv = self._cpu_grid.gather_pair(cur_ticks, prev_ticks)
+            u, power = _host_power_loop(
+                cur,
+                prv,
+                self._base,
+                self._jitter_sigma,
+                self._blend,
+                self._one_minus,
+                self._norm,
+                self._idle,
+                self._linear,
+                self._curved,
+                self._exponent,
+                self._mem_term,
+                self._nic_term,
+                self._interaction,
+                self._mem,
+                self._fan_thr,
+                self._fan_w,
+                trans,
+                has_trans,
+                self._model_floor,
+                self._thermal,
+            )
+        else:
+            u = self._jittered_util(times)
+            # u ** exponent stays a scalar loop: libm pow only.
+            exponent = self._exponent
+            upow = np.asarray(
+                [x ** exponent for x in u.tolist()], dtype=np.float64
+            )
+            power = self._idle + (self._linear * u + self._curved * upow)
+            power = power + self._mem_term
+            power = power + self._nic_term
+            power = power + self._interaction * u * self._mem
+            if self._fan_steps:
+                # fan accumulates in scalar step order; adding 0.0 where a
+                # step is untriggered cannot change a (positive) sum.
+                fan = np.zeros(n, dtype=np.float64)
+                for threshold, watts in self._fan_steps:
+                    fan = fan + np.where(u >= threshold, watts, 0.0)
+                power = power + fan
+            if has_trans:
+                power = power + trans
+            power = np.maximum(power, self._model_floor)
+            power = self._idle + (power - self._idle) * self._thermal
+        # Publish the jittered reads for co-located scalar readers.
+        host._util_read_cache.update(zip(times_list, u.tolist()))
+        if self._drift_sigma > 0.0:
+            power = power + self._drift_values(times, n)
+        return np.maximum(power, self._host_floor)
+
+    def _drift_values(self, times: np.ndarray, n: int) -> np.ndarray:
+        """Per-sample thermal drift via the shared (cur, prev)-pair memo.
+
+        The drift quantum spans many samples, so the block decomposes
+        into a handful of constant segments; each segment's blend is
+        computed (or recalled) exactly as the scalar kernel does, through
+        the same ``_drift_value_cache`` dict both paths share.
+        """
+        dq = self._drift_quantum
+        cur = np.floor(times / dq).astype(np.int64)
+        prv = np.floor((times - dq) / dq).astype(np.int64)
+        pairs = self.host._drift_value_cache
+        grid = self._drift_grid
+        sigma = self._drift_sigma
+        norm = self._drift_norm
+        out = np.empty(n, dtype=np.float64)
+        boundaries = np.flatnonzero((np.diff(cur) != 0) | (np.diff(prv) != 0)) + 1
+        starts = [0, *boundaries.tolist()]
+        ends = [*boundaries.tolist(), n]
+        for start, end in zip(starts, ends):
+            key = (int(cur[start]), int(prv[start]))
+            drift = pairs.get(key)
+            if drift is None:
+                dcur_v = grid.value(key[0])
+                dprv_v = grid.value(key[1])
+                # ou_like_noise with blend=0.75 (exact binary floats).
+                drift = sigma * (0.75 * dprv_v + 0.25 * dcur_v) / norm
+                pairs[key] = drift
+            out[start:end] = drift
+        return out
+
+
+_EMPTY_F8 = np.empty(0, dtype=np.float64)
+
+
+# ----------------------------------------------------------------------
+# VM kernel
+# ----------------------------------------------------------------------
+class VmKernel:
+    """Vectorized per-VM CPU feature over one :data:`VM_DTYPE` row.
+
+    Attaching the kernel also rebinds the VM's dirty-page counter into
+    the row's ``dirty_logged`` slot (the caller does this through
+    :meth:`~repro.hypervisor.memory.VmMemory.bind_dirty_slot`), so the
+    migration-visible log state rides the same array as the CPU feature.
+    """
+
+    def __init__(
+        self,
+        vm,
+        arena: Optional[KernelArena] = None,
+        *,
+        jitter_quantum: float,
+        jitter_sigma_pct: float,
+    ) -> None:
+        self.vm = vm
+        self.arena = arena if arena is not None else KernelArena(chunk=1)
+        row = self.arena.alloc(VM_DTYPE)
+        self.row = row
+        row["vcpus"] = vm.vcpus
+        row["jitter_sigma_pct"] = jitter_sigma_pct
+        self._quantum = jitter_quantum
+        self._sigma = jitter_sigma_pct
+        self._alloc_key = f"vm:{vm.name}"
+        # The blend constants ou_like_noise_values derives from blend=0.6.
+        self._blend = 0.6
+        self._one_minus = 1.0 - self._blend
+        self._norm = math.sqrt(
+            self._blend * self._blend + self._one_minus * self._one_minus
+        )
+        self._grid = NoiseTickGrid(vm._noise_seed, vm._vmcpu_noise_key)
+
+    def cpu_percent_block(self, times: np.ndarray, times_list: list) -> np.ndarray:
+        """Batched ``CPU(v,t)`` feature, bit-identical to the scalar loop."""
+        vm = self.vm
+        row = self.row
+        if not vm.running:
+            row["running"] = 0
+            row["base_pct"] = 0.0
+            return np.zeros(len(times_list), dtype=np.float64)
+        base = vm._workload.cpu_fraction() * 100.0
+        if vm.host is not None:
+            base *= vm.host.cpu.allocation_fraction(self._alloc_key)
+        row["running"] = 1
+        row["base_pct"] = base
+        q = self._quantum
+        cur_ticks = np.floor(times / q).astype(np.int64)
+        prev_ticks = np.floor((times - q) / q).astype(np.int64)
+        cur, prv = self._grid.gather_pair(cur_ticks, prev_ticks)
+        jitter = self._sigma * (self._blend * prv + self._one_minus * cur) / self._norm
+        return np.minimum(np.maximum(base + jitter, 0.0), 100.0)

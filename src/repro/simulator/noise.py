@@ -33,6 +33,7 @@ __all__ = [
     "hash_uniform",
     "hash_normal",
     "hash_normal_unit",
+    "hash_normal_unit_fill",
     "ou_like_noise",
     "ou_like_noise_block",
     "ou_like_noise_cached",
@@ -102,6 +103,61 @@ def hash_normal_unit(seed: int, key: str, tick: int) -> float:
     u1 = (raw1 + 0.5) / _U64
     u2 = (raw2 + 0.5) / _U64
     return math.sqrt(-2.0 * math.log(u1)) * math.cos(_TWO_PI * u2)
+
+
+def hash_normal_unit_fill(seed: int, key: str, lo: int, hi: int) -> np.ndarray:
+    """Contiguous block of :func:`hash_normal_unit` draws for ticks ``[lo, hi)``.
+
+    Bit-identical per element to the scalar function: the hashed bytes are
+    the same ``f"{seed}:{key}#{tick}#"`` prefix (the ``(seed, key)`` head is
+    hoisted out of the loop and the tick rendered with bytes ``%``-
+    formatting, which produces the identical ASCII decimal — including the
+    sign of negative ticks), and the Box–Muller transform runs through the
+    same scalar ``math`` calls.  ``log``/``cos`` stay *scalar* deliberately:
+    numpy's SIMD transcendentals are not bit-identical to libm on every
+    platform, and these draws feed the cross-mode golden tests.
+
+    This is the fill primitive of the compute-mode noise tick grids
+    (:class:`repro.simulator.kernels.NoiseTickGrid`): the SHA-256 work is
+    the same per unique tick as the memo-dict path, but the draws land in a
+    contiguous array the vectorized kernels can gather from.
+
+    The digest-to-uniform step is batched: each SHA-256 digest is 32 bytes
+    = four little-endian u64 words, so joining the digests and striding a
+    ``frombuffer`` view by 4 reads the same leading-8-byte word the scalar
+    path unpacks.  ``uint64 -> float64`` conversion, ``+ 0.5`` and the
+    division by ``2**64`` (a power of two) are all exactly-rounded IEEE
+    ops, identical elementwise to the scalar arithmetic.
+    """
+    head = f"{seed}:{key}#".encode("utf-8")
+    sha = _sha256
+    sqrt = math.sqrt
+    log = math.log
+    cos = math.cos
+    n = hi - lo
+    if n < 32:
+        # Grid-edge extensions arrive one or two ticks at a time; the
+        # batched path's fixed cost (comprehensions + frombuffer views)
+        # only pays for itself on real blocks.
+        out = np.empty(n, dtype=np.float64)
+        unpack = _u64_prefix
+        for i in range(n):
+            prefix = head + b"%d#" % (lo + i)
+            raw1 = unpack(sha(prefix + b"1").digest())[0]
+            raw2 = unpack(sha(prefix + b"2").digest())[0]
+            u1 = (raw1 + 0.5) / _U64
+            u2 = (raw2 + 0.5) / _U64
+            out[i] = sqrt(-2.0 * log(u1)) * cos(_TWO_PI * u2)
+        return out
+    prefixes = [head + b"%d#" % tick for tick in range(lo, hi)]
+    d1 = b"".join([sha(p + b"1").digest() for p in prefixes])
+    d2 = b"".join([sha(p + b"2").digest() for p in prefixes])
+    u1s = ((np.frombuffer(d1, dtype="<u8")[::4] + 0.5) / _U64).tolist()
+    u2s = ((np.frombuffer(d2, dtype="<u8")[::4] + 0.5) / _U64).tolist()
+    return np.asarray(
+        [sqrt(-2.0 * log(u1)) * cos(_TWO_PI * u2) for u1, u2 in zip(u1s, u2s)],
+        dtype=np.float64,
+    )
 
 
 def ou_like_noise_values(

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.simulator.control import ControlLoop
 from repro.simulator.engine import Simulator
+from repro.simulator.kernels import sampler_tick_grid
 
 __all__ = ["PeriodicSampler", "SCALAR_BLOCK_MAX"]
 
@@ -65,6 +66,12 @@ class PeriodicSampler(ControlLoop):
         Called with a float64 array of tick timestamps per interval in
         batched mode.  When omitted, batched mode falls back to invoking
         ``callback`` per tick (still avoiding the event heap).
+    vectorized:
+        Generate long batched tick grids through the analytic array
+        expression (:func:`repro.simulator.kernels.sampler_tick_grid`)
+        instead of the scalar accumulation loop.  Purely a performance
+        knob of the ``compute="numpy"|"numba"`` modes: the grid holds the
+        same float64 timestamps bit for bit.
 
     Notes
     -----
@@ -89,10 +96,12 @@ class PeriodicSampler(ControlLoop):
         phase: Optional[float] = None,
         batched: bool = False,
         batch_callback: Optional[Callable[[np.ndarray], Any]] = None,
+        vectorized: bool = False,
     ) -> None:
         super().__init__(sim, period, phase=phase, batched=batched, label="sampler")
         self._callback = callback
         self._batch_callback = batch_callback
+        self._vectorized = vectorized
 
     # ------------------------------------------------------------------
     def _fire_tick(self, t: float) -> None:
@@ -118,6 +127,19 @@ class PeriodicSampler(ControlLoop):
         next_time = base + k * period
         if next_time > t1:
             return  # no tick in this interval (the common case)
+        if self._vectorized and t1 - next_time >= SCALAR_BLOCK_MAX * period:
+            # Long interval: build the identical grid analytically (the
+            # threshold only picks which bit-identical generator runs).
+            grid, k_next = sampler_tick_grid(base, k, period, t1)
+            if grid is not None:
+                self._tick_index = k_next
+                if self._batch_callback is not None:
+                    self._batch_callback(grid)
+                else:
+                    callback = self._callback
+                    for t in grid.tolist():
+                        callback(t)
+                return
         ticks = []
         while next_time <= t1:
             ticks.append(next_time)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.cluster.host import PhysicalHost
 from repro.simulator.engine import Simulator
+from repro.simulator.kernels import resolve_compute
 from repro.simulator.sampling import SCALAR_BLOCK_MAX, PeriodicSampler
 from repro.telemetry.traces import SeriesTrace
 
@@ -41,6 +42,10 @@ class DstatMonitor:
         Sampling interval (dstat's default of 1 s).
     batched:
         Select the vectorized interval-hook fast path (bit-identical).
+    compute:
+        Kernel selection for batched blocks (see
+        :mod:`repro.simulator.kernels`); ``"python"`` keeps every block
+        on the scalar memoised pipeline.  Same bits in every mode.
     """
 
     def __init__(
@@ -49,15 +54,18 @@ class DstatMonitor:
         host: PhysicalHost,
         period_s: float = 1.0,
         batched: bool = False,
+        compute: str = "numpy",
     ) -> None:
         self.host = host
         self.trace = SeriesTrace(COLUMNS, label=f"dstat:{host.name}")
+        self._compute = resolve_compute(compute)
         self._sampler = PeriodicSampler(
             sim,
             period_s,
             self._sample,
             batched=batched,
             batch_callback=self._sample_block if batched else None,
+            vectorized=batched and self._compute != "python",
         )
 
     @property
@@ -84,7 +92,7 @@ class DstatMonitor:
 
     def _sample_block(self, times: np.ndarray) -> None:
         # Everything but the jittered CPU read is constant between events.
-        if times.size <= SCALAR_BLOCK_MAX:
+        if self._compute == "python" or times.size <= SCALAR_BLOCK_MAX:
             host = self.host
             memory_activity = host.memory_activity_fraction()
             nic_tx = host.nic_tx_bps()
@@ -105,12 +113,18 @@ class DstatMonitor:
             self.trace._commit(n)
             return
         n = times.size
+        times_list = times.tolist()
+        kernel = self.host.attach_kernel(mode=self._compute)
         buf_t, (b_cpu, b_mem, b_tx, b_rx), start = (
-            self.trace._reserve(n, float(times[0]))
+            self.trace._reserve(n, times_list[0])
         )
         end = start + n
         buf_t[start:end] = times
-        b_cpu[start:end] = self.host.cpu_utilisation_percent_block(times)
+        # The kernel serves the jittered reads straight from the shared
+        # per-timestamp memo when the meter already published them this
+        # interval; otherwise it recomputes from the noise grid (pure, so
+        # bit-identical either way).
+        b_cpu[start:end] = kernel.util_block(times, times_list) * 100.0
         b_mem[start:end] = self.host.memory_activity_fraction()
         b_tx[start:end] = self.host.nic_tx_bps()
         b_rx[start:end] = self.host.nic_rx_bps()

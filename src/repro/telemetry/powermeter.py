@@ -33,6 +33,7 @@ import numpy as np
 from repro.cluster.host import PhysicalHost
 from repro.errors import ConfigurationError
 from repro.simulator.engine import Simulator
+from repro.simulator.kernels import resolve_compute
 from repro.simulator.sampling import SCALAR_BLOCK_MAX, PeriodicSampler
 from repro.telemetry.stabilization import StabilizationRule, StabilizationTracker
 from repro.telemetry.traces import PowerTrace
@@ -62,6 +63,12 @@ class PowerMeter:
     batched:
         Select the vectorized interval-hook fast path (bit-identical to
         event mode; see the module docstring).
+    compute:
+        Kernel selection for batched blocks (``"python"`` | ``"numpy"``
+        | ``"numba"``; see :mod:`repro.simulator.kernels`).  ``"python"``
+        replays the event-mode scalar pipeline per sample regardless of
+        block length; the other modes run the array kernels on long
+        blocks.  Same bits in every mode.
     """
 
     def __init__(
@@ -73,6 +80,7 @@ class PowerMeter:
         accuracy: float = 0.003,
         quantisation_w: float = 0.1,
         batched: bool = False,
+        compute: str = "numpy",
     ) -> None:
         if accuracy < 0:
             raise ConfigurationError(f"accuracy must be non-negative, got {accuracy!r}")
@@ -86,12 +94,14 @@ class PowerMeter:
         self._quantisation = float(quantisation_w)
         self.trace = PowerTrace(label=f"power:{host.name}")
         self._trackers: dict[StabilizationRule, StabilizationTracker] = {}
+        self._compute = resolve_compute(compute)
         self._sampler = PeriodicSampler(
             sim,
             period_s,
             self._sample,
             batched=batched,
             batch_callback=self._sample_block if batched else None,
+            vectorized=batched and self._compute != "python",
         )
 
     # ------------------------------------------------------------------
@@ -144,10 +154,13 @@ class PowerMeter:
         block values.  Same bits either way.
         """
         times_list = times.tolist()
-        true_power = self.host.instantaneous_power_values(times_list)
         n = len(times_list)
-        if n > SCALAR_BLOCK_MAX:
-            tp_arr = np.asarray(true_power, dtype=np.float64)
+        if self._compute != "python" and n > SCALAR_BLOCK_MAX:
+            # Ground truth through the compute-mode array kernel (the
+            # host's SoA row + noise tick grids); bit-identical to the
+            # scalar kernel below, which short blocks keep using.
+            kernel = self.host.attach_kernel(mode=self._compute)
+            tp_arr = kernel.power_block(times, times_list)
             if self._accuracy:
                 noise_sigma = self._accuracy / 3.0 * tp_arr
                 # A zero sigma would skip its scalar draw; ground-truth
@@ -155,7 +168,7 @@ class PowerMeter:
                 # but fall back to the exact per-sample stage if it ever
                 # does rather than silently shifting the RNG stream.
                 if not np.all(noise_sigma > 0):  # pragma: no cover - defensive
-                    self._scalar_stage(times_list, true_power)
+                    self._scalar_stage(times_list, tp_arr.tolist())
                     return
                 # normal(0, s) is 0.0 + s*z per draw: one standard-normal
                 # block consumes the identical stream, bit for bit.
@@ -172,18 +185,29 @@ class PowerMeter:
             for tracker in self._trackers.values():
                 tracker.observe_block(readings)
             return
-        self._scalar_stage(times_list, true_power)
+        true_power = self.host.instantaneous_power_values(times_list)
+        # compute="python" is the scalar reference: per-sample RNG draws
+        # (the exact event-mode pipeline); the hybrid modes scale one
+        # block draw instead — same stream, same bits.
+        self._scalar_stage(
+            times_list, true_power, block_draws=self._compute != "python"
+        )
 
-    def _scalar_stage(self, times_list: list, true_power: list) -> None:
+    def _scalar_stage(
+        self, times_list: list, true_power: list, block_draws: bool = True
+    ) -> None:
         """Per-sample measurement stage over precomputed block values.
 
-        Draws come from one ``standard_normal`` block scaled per sample:
-        ``Generator.normal(0, s)`` is exactly ``0.0 + s * z`` with ``z``
-        the next standard draw, so the scaled block consumes the same
-        stream and yields the same readings bit for bit (``0.0 + x``
-        cannot change a reading added to a positive power).  Readings are
-        written straight into reserved trace capacity; the sampler's tick
-        grid is strictly increasing by construction.
+        With ``block_draws`` the draws come from one ``standard_normal``
+        block scaled per sample: ``Generator.normal(0, s)`` is exactly
+        ``0.0 + s * z`` with ``z`` the next standard draw, so the scaled
+        block consumes the same stream and yields the same readings bit
+        for bit (``0.0 + x`` cannot change a reading added to a positive
+        power).  ``compute="python"`` disables the block draw and takes
+        the per-sample ``normal(0, s)`` branch instead — the event-mode
+        reference pipeline, stream-identical by the same argument.
+        Readings are written straight into reserved trace capacity; the
+        sampler's tick grid is strictly increasing by construction.
         """
         acc3 = self._accuracy / 3.0
         quantisation = self._quantisation
@@ -194,7 +218,7 @@ class PowerMeter:
         # sigma is positive (min() guards the impossible case exactly).
         draws = (
             self._rng.standard_normal(n).tolist()
-            if acc3 and n > 1 and min(true_power) > 0
+            if block_draws and acc3 and n > 1 and min(true_power) > 0
             else None
         )
         buf_t, buf_w, start = self.trace._reserve(n, times_list[0])

@@ -434,6 +434,33 @@ class TestStoppingRule:
         assert resolve_run_count(energies, 3, 8, runner.settings.variance_delta) == result.n_runs
 
 
+class TestBackendLifecycle:
+    def test_shutdown_runs_even_when_drain_progress_raises(self):
+        """A raising progress drain must not leak the backend's workers.
+
+        Regression: ``run_campaign``'s cleanup drained worker progress
+        before shutting the backend down, so an exception from the drain
+        (corrupt sidecar, dead spool dir) skipped ``shutdown`` entirely
+        and leaked the worker pool.  The drain error still propagates.
+        """
+
+        class ExplodingDrainBackend(SerialBackend):
+            def __init__(self):
+                self.shutdown_called = False
+
+            def drain_progress(self):
+                raise RuntimeError("corrupt progress sidecar")
+
+            def shutdown(self):
+                self.shutdown_called = True
+
+        backend = ExplodingDrainBackend()
+        executor = CampaignExecutor(ScenarioRunner(seed=SEED), backend=backend)
+        with pytest.raises(RuntimeError, match="corrupt progress sidecar"):
+            executor.run_campaign(_scenarios()[:1], min_runs=2, max_runs=2)
+        assert backend.shutdown_called
+
+
 class TestExecutorValidation:
     def test_rejects_bad_jobs(self):
         with pytest.raises(ExperimentError):

@@ -271,6 +271,25 @@ class TestSpoolGc:
         # idempotent: nothing left above the age threshold
         assert spool_gc(spool, max_age_s=3600.0)["removed_total"] == 0
 
+    def test_collects_orphaned_progress_and_stop_tmps(self, tmp_path):
+        """Regression: the orphaned-tmp sweep skipped the progress dir
+        and the stop sentinel's temp file at the spool root, so a worker
+        dying mid-flush leaked ``*.tmp`` debris forever."""
+        spool, _ = self._seed_spool(tmp_path)
+        tmps = [
+            spool / "progress" / "w1.ndjson.123.456.tmp",
+            spool / "stop.123.456.tmp",
+            spool / "tasks" / "t9.json.123.456.tmp",
+        ]
+        old = time.time() - 7200
+        for path in tmps:
+            path.write_text("", encoding="utf-8")
+            os.utime(path, (old, old))
+        report = spool_gc(spool, max_age_s=3600.0)
+        assert all(not path.exists() for path in tmps)
+        assert report["progress"] == 2  # sidecar + its orphaned tmp
+        assert report["stop"] == 2      # sentinel + its orphaned tmp
+
     def test_missing_spool_rejected(self, tmp_path):
         with pytest.raises(ExperimentError):
             spool_gc(tmp_path / "nope")

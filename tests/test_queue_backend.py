@@ -95,6 +95,35 @@ class TestSpoolProtocol:
         assert first is not None and first.parent == backend.spool.claims
         assert _claim_next_task(backend.spool) is None  # nothing left to claim
 
+    def test_claim_survives_utime_failure(self, tmp_path, monkeypatch):
+        """Regression: a transient ``utime`` failure after a successful
+        rename abandoned the claimed spec — stranded in ``claims/`` with
+        no worker executing it — until the stale scan requeued it."""
+        backend = _backend(tmp_path)
+        backend.submit(_task())
+
+        def _fail(path, *args, **kwargs):
+            raise OSError("transient filesystem error")
+
+        monkeypatch.setattr(os, "utime", _fail)
+        claim = _claim_next_task(backend.spool)
+        assert claim is not None and claim.exists()
+        assert claim.parent == backend.spool.claims
+
+    def test_claim_skipped_when_requeued_in_race_window(self, tmp_path, monkeypatch):
+        """When the coordinator requeued the spec before the lease could
+        be refreshed, the claim file is gone — the worker must move on."""
+        backend = _backend(tmp_path)
+        backend.submit(_task())
+
+        def _fail_and_requeue(path, *args, **kwargs):
+            target = pathlib.Path(path)
+            target.rename(backend.spool.tasks / target.name)
+            raise OSError("claim vanished underneath us")
+
+        monkeypatch.setattr(os, "utime", _fail_and_requeue)
+        assert _claim_next_task(backend.spool) is None
+
     def test_validation(self, tmp_path):
         cache = RunCache(tmp_path / "cache")
         with pytest.raises(ExperimentError):
