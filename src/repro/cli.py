@@ -92,6 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
         "JIT-compiled loops (falls back to numpy when numba is not "
         "installed); results are bit-identical in every mode",
     )
+    parser.add_argument(
+        "--seed-bank",
+        type=int,
+        default=16,
+        help="seeds per banked run_batch dispatch: replicate runs advance "
+        "in lockstep through one SoA kernel pass per event-free window "
+        "(0 or 1 disables banking; results are bit-identical either way)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     quick = sub.add_parser("quickstart", help="run one instrumented migration")
@@ -348,7 +356,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments.runner import RunnerSettings, ScenarioRunner
 
     runner = ScenarioRunner(
-        seed=args.seed, settings=RunnerSettings(compute=args.compute)
+        seed=args.seed,
+        settings=RunnerSettings(compute=args.compute, seed_bank=args.seed_bank),
     )
     if args.table_id in ("3", "4"):
         result = runner.run_campaign(
@@ -431,7 +440,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     for name in chosen:
         scenarios.extend(getattr(design, _EXPERIMENT_FAMILIES[name])(args.family))
 
-    settings = RunnerSettings(compute=args.compute)
+    settings = RunnerSettings(compute=args.compute, seed_bank=args.seed_bank)
     if args.spool_dir is not None:
         executor = CampaignExecutor(
             ScenarioRunner(seed=args.seed, settings=settings),
@@ -663,6 +672,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"per-run {batch['per_run']['wall_s']:.2f}s | "
         f"serial {batch['serial']['wall_s']:.2f}s | "
         f"dispatch-overhead amortisation {batch['overhead_x']:.2f}x"
+    )
+    seedbank = results["seedbank"]
+    print(
+        f"  seedbank [bank {seedbank['bank']} x {seedbank['ticks']} ticks]: "
+        f"banked {seedbank['banked']['windows_per_s']:,.0f} windows/s | "
+        f"per-run {seedbank['per_run']['windows_per_s']:,.0f} | "
+        f"speedup {seedbank['speedup']:.2f}x"
     )
     print(
         f"  simulator: {results['simulator']['events_per_s']:,.0f} events/s"

@@ -120,9 +120,13 @@ class RunnerSettings:
     inside the batched blocks the same way: ``"python"`` is the all-
     scalar reference, ``"numpy"`` (default) the adaptive array-kernel
     hybrid, ``"numba"`` the hybrid with njit-compiled loops (resolved to
-    ``"numpy"`` when numba is missing).  Results are bit-identical along
-    both axes (the cross-path golden tests assert byte-identical campaign
-    samples JSON), which is why the run cache deliberately ignores both
+    ``"numpy"`` when numba is missing).  ``seed_bank`` selects the batch
+    *interior* the same way: values ``>= 2`` let :meth:`run_batch` drive
+    up to that many runs in lockstep through the seed-bank SoA pass
+    (:mod:`repro.experiments.seedbank`), ``0``/``1`` keep the per-run
+    loop.  Results are bit-identical along all three axes (the
+    cross-path golden tests assert byte-identical campaign samples
+    JSON), which is why the run cache deliberately ignores all three
     fields.
     """
 
@@ -137,6 +141,7 @@ class RunnerSettings:
     variance_delta: float = 0.10        # paper: "less than 10 %"
     telemetry: str = "batched"          # "batched" fast path | "events" reference
     compute: str = "numpy"              # "python" reference | "numpy" | "numba"
+    seed_bank: int = 16                 # max runs banked per SoA pass (0/1 = off)
 
     def __post_init__(self) -> None:
         if self.telemetry not in ("batched", "events"):
@@ -146,6 +151,14 @@ class RunnerSettings:
         if self.compute not in ("python", "numpy", "numba"):
             raise ExperimentError(
                 f"compute must be 'python', 'numpy' or 'numba', got {self.compute!r}"
+            )
+        if (
+            not isinstance(self.seed_bank, int)
+            or isinstance(self.seed_bank, bool)
+            or self.seed_bank < 0
+        ):
+            raise ExperimentError(
+                f"seed_bank must be a non-negative integer, got {self.seed_bank!r}"
             )
 
 
@@ -180,16 +193,51 @@ class ScenarioRunner:
         self.last_executor_stats = None
 
     # ------------------------------------------------------------------
-    def run_once(self, scenario: MigrationScenario, run_index: int = 0) -> RunResult:
-        """Execute one instrumented run of a scenario."""
+    def build_testbed(self, scenario: MigrationScenario, run_index: int) -> Testbed:
+        """The run's freshly seeded testbed (exactly :meth:`run_once`'s)."""
         run_seed = derive_seed(self.seed, f"{scenario.label}#{run_index}")
         cfg = self.settings
-        bed = Testbed(
+        return Testbed(
             family=scenario.family,
             seed=run_seed,
             telemetry=cfg.telemetry,
             compute=cfg.compute,
         )
+
+    def run_once(self, scenario: MigrationScenario, run_index: int = 0) -> RunResult:
+        """Execute one instrumented run of a scenario."""
+        bed = self.build_testbed(scenario, run_index)
+        protocol = self._run_protocol(bed, scenario, run_index)
+        try:
+            while True:
+                step = next(protocol)
+                if isinstance(step, tuple):  # ("stabilise", budget_s)
+                    self._run_until_stable(bed, step[1])
+                else:
+                    bed.sim.run_for(step)
+        except StopIteration as stop:
+            return stop.value
+
+    def _run_protocol(
+        self, bed: Testbed, scenario: MigrationScenario, run_index: int
+    ):
+        """The Section V-B measurement protocol as a coroutine.
+
+        Performs every protocol action on ``bed`` but *yields* instead of
+        advancing simulated time: plain floats ask the driver to advance
+        that many seconds, and ``("stabilise", budget_s)`` marks a
+        stabilisation wait so the driver can choose how to walk the check
+        grid — :meth:`run_once` delegates to :meth:`_run_until_stable`
+        (the look-ahead loop), the seed-bank driver expands it into
+        single-check lockstep steps (:meth:`_lockstep_stable_steps`).
+        The two walks take identical samples and detect stabilisation at
+        the identical check (the look-ahead elides only provably-false
+        checks; ``tests/test_telemetry_batched.py`` pins the
+        equivalence), so *who* drives the generator never changes a byte
+        of the returned :class:`~repro.experiments.results.RunResult`.
+        """
+        cfg = self.settings
+        run_seed = bed.seed
 
         # --- guests -----------------------------------------------------
         vm = make_instance_vm(
@@ -218,12 +266,12 @@ class ScenarioRunner:
         recorder.start()
 
         # --- phase 0: stabilise ------------------------------------------
-        bed.sim.run_for(cfg.min_warmup_s)
-        self._run_until_stable(bed, cfg.max_warmup_s)
+        yield cfg.min_warmup_s
+        yield ("stabilise", cfg.max_warmup_s)
 
         # --- migrate -------------------------------------------------------
         if scenario.driver == "manager":
-            job = self._issue_via_manager(bed, scenario, recorder)
+            job = yield from self._manager_steps(bed, scenario, recorder)
         else:
             job = bed.toolstack.migrate(
                 "migrating",
@@ -241,11 +289,11 @@ class ScenarioRunner:
                     f"migration did not finish within {cfg.migration_timeout_s}s "
                     f"({scenario.label}#{run_index})"
                 )
-            bed.sim.run_for(cfg.check_interval_s)
+            yield cfg.check_interval_s
 
         # --- post-migration stabilisation ----------------------------------
-        bed.sim.run_for(cfg.min_post_s)
-        self._run_until_stable(bed, cfg.max_post_s)
+        yield cfg.min_post_s
+        yield ("stabilise", cfg.max_post_s)
 
         recorder.stop()
         bed.stop_instrumentation()
@@ -275,9 +323,14 @@ class ScenarioRunner:
         membership — is hoisted out of the per-run loop and paid once per
         batch, while each run still derives its own independent seed via
         ``derive_seed(master, f"{label}#{index}")`` and builds its own
-        testbed.  Every run is therefore **bit-identical** to what
+        testbed.  With ``settings.seed_bank >= 2`` the batch *interior*
+        runs through the seed-bank SoA pass
+        (:class:`~repro.experiments.seedbank.SeedBank`): lockstep runs
+        share one vectorized kernel evaluation per event-free interval
+        and drop to the per-run engine path wherever their timelines
+        diverge.  Every run is therefore **bit-identical** to what
         :meth:`run_once` returns for the same index, whatever the batch
-        shape.
+        shape or bank width.
 
         Parameters
         ----------
@@ -309,11 +362,17 @@ class ScenarioRunner:
         indices = list(run_indices)
         if not indices:
             raise ExperimentError("run_batch needs at least one run index")
-        for index in indices:
-            if not isinstance(index, int) or isinstance(index, bool) or index < 0:
-                raise ExperimentError(
-                    f"run indices must be non-negative integers, got {index!r}"
-                )
+        invalid = [
+            index
+            for index in indices
+            if not isinstance(index, int) or isinstance(index, bool) or index < 0
+        ]
+        if invalid:
+            # Report *every* offending index: a malformed task spec is
+            # fixed in one round trip instead of one index at a time.
+            raise ExperimentError(
+                f"run indices must be non-negative integers, got {invalid!r}"
+            )
         # Hoisted scenario validation: these raise exactly as the per-run
         # path would, just once per batch instead of once per run.
         machine_pair(scenario.family)
@@ -324,6 +383,21 @@ class ScenarioRunner:
                 f"(catalog: {sorted(INSTANCE_CATALOG)})"
             )
 
+        if (
+            self.settings.seed_bank >= 2
+            and len(indices) >= 2
+            and len(set(indices)) == len(indices)
+        ):
+            from repro.experiments.seedbank import SeedBank  # local: avoid cycle
+
+            return SeedBank(
+                self,
+                scenario,
+                indices,
+                width=self.settings.seed_bank,
+                on_run=on_run,
+            ).execute()
+
         runs: list[RunResult] = []
         for index in indices:
             run = self.run_once(scenario, run_index=index)
@@ -332,7 +406,7 @@ class ScenarioRunner:
                 on_run(run)
         return runs
 
-    def _issue_via_manager(self, bed: Testbed, scenario: MigrationScenario, recorder):
+    def _manager_steps(self, bed: Testbed, scenario: MigrationScenario, recorder):
         """Let a consolidation manager detect and drain the source host.
 
         Builds a :class:`~repro.consolidation.datacenter.DataCenter` view
@@ -389,7 +463,7 @@ class ScenarioRunner:
                         f"consolidation manager issued no migration within "
                         f"{cfg.migration_timeout_s}s ({scenario.label})"
                     )
-                bed.sim.run_for(cfg.check_interval_s)
+                yield cfg.check_interval_s
         finally:
             # One measured migration per run: stop monitoring so the
             # post-migration phases stay manager-free.

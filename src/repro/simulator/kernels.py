@@ -40,7 +40,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.simulator.noise import hash_normal_unit_fill
+from repro.simulator.noise import hash_normal_unit_fill, hash_normal_unit_fill_bank
 
 __all__ = [
     "COMPUTE_MODES",
@@ -51,9 +51,14 @@ __all__ = [
     "KernelArena",
     "NoiseTickGrid",
     "VmKernel",
+    "cpu_percent_block_bank",
+    "fill_noise_grids",
+    "host_bank_key",
     "maybe_njit",
+    "power_block_bank",
     "resolve_compute",
     "sampler_tick_grid",
+    "util_block_bank",
     "validate_compute",
 ]
 
@@ -675,3 +680,301 @@ class VmKernel:
         cur, prv = self._grid.gather_pair(cur_ticks, prev_ticks)
         jitter = self._sigma * (self._blend * prv + self._one_minus * cur) / self._norm
         return np.minimum(np.maximum(base + jitter, 0.0), 100.0)
+
+
+# ----------------------------------------------------------------------
+# Seed-bank kernels: a leading [seed, tick] axis over many runs
+# ----------------------------------------------------------------------
+# The batch interior of ``run_batch`` banks independent replicate runs
+# whose event timelines are in lockstep and evaluates each event-free
+# interval once across the whole bank.  The bank kernels below take a
+# *list* of per-run kernels (one per banked testbed, all mirroring the
+# same machine spec) plus a 2-D ``times_bank`` matrix — row ``b`` holds
+# run ``b``'s sampler tick grid for the interval — and apply the exact
+# elementwise arithmetic of the per-run kernels over the stacked rows.
+# Elementwise IEEE-754 operations on a [B, n] matrix are per-row
+# identical to the same operations on each [n] row, so banked results
+# are bit-identical to per-run results by construction; the cross-bank
+# golden tests enforce it end to end.
+
+
+def fill_noise_grids(requests: list[tuple[NoiseTickGrid, int, int]]) -> None:
+    """Extend many noise tick grids in one batched hash sweep.
+
+    ``requests`` pairs each grid with the tick range ``[lo, hi)`` an
+    upcoming banked interval will gather from.  Missing front/back
+    extensions across *all* grids are computed through a single
+    :func:`~repro.simulator.noise.hash_normal_unit_fill_bank` call —
+    bit-identical per tick to the incremental per-grid fills, because
+    every draw is a pure function of its ``(seed, key, tick)``.
+    """
+    tasks: list[tuple[int, str, int, int]] = []
+    plans: list[tuple] = []
+    for grid, lo, hi in requests:
+        if hi <= lo:
+            continue
+        values = grid._values
+        if values.size == 0:
+            plans.append(("init", grid, len(tasks), lo))
+            tasks.append((grid._seed, grid._key, lo, hi))
+            continue
+        grid_lo = grid._lo
+        end = grid_lo + values.size
+        front = back = None
+        if lo < grid_lo:
+            front = len(tasks)
+            tasks.append((grid._seed, grid._key, lo, grid_lo))
+        if hi > end:
+            back = len(tasks)
+            tasks.append((grid._seed, grid._key, end, hi))
+        if front is not None or back is not None:
+            plans.append(("extend", grid, front, back, lo))
+    if not tasks:
+        return
+    fills = hash_normal_unit_fill_bank(tasks)
+    for plan in plans:
+        if plan[0] == "init":
+            _, grid, idx, lo = plan
+            grid._values = fills[idx]
+            grid._lo = lo
+            continue
+        _, grid, front, back, lo = plan
+        values = grid._values
+        if front is not None:
+            values = np.concatenate((fills[front], values))
+            grid._lo = lo
+        if back is not None:
+            values = np.concatenate((values, fills[back]))
+        grid._values = values
+
+
+def host_bank_key(kernel: HostKernel) -> tuple:
+    """The static fields a host bank hoists to scalars.
+
+    Banked arithmetic keeps the machine-spec constants scalar (exactly
+    as the per-run kernels do) and vectorizes only the per-run fields
+    (base utilisation, jitter sigma, thermal factor, memory/NIC terms).
+    Runs may share a bank row-for-row only when these statics agree —
+    guaranteed for replicate seeds of one scenario, but checked by the
+    bank driver so a mismatch degrades to the per-run path instead of
+    silently mixing envelopes.
+    """
+    return (
+        kernel._idle,
+        kernel._linear,
+        kernel._curved,
+        kernel._exponent,
+        kernel._interaction,
+        kernel._model_floor,
+        kernel._host_floor,
+        kernel._drift_sigma,
+        kernel._drift_quantum,
+        kernel._quantum,
+        kernel._fan_steps,
+    )
+
+
+def util_block_bank(
+    kernels: list[HostKernel], times_bank: np.ndarray
+) -> np.ndarray:
+    """Banked jittered CPU utilisation in [0, 1], one row per run.
+
+    Row ``b`` is bit-identical to
+    ``kernels[b]._jittered_util(times_bank[b])`` after a refresh: tick
+    flooring, the gather, and the blend/clamp arithmetic are the same
+    exact elementwise operations, evaluated over the stacked matrix.
+    The noise-grid extensions of all rows run as one batched sweep.
+    """
+    B, n = times_bank.shape
+    k0 = kernels[0]
+    q = k0._quantum
+    cur_ticks = np.floor(times_bank / q).astype(np.int64)
+    prev_ticks = np.floor((times_bank - q) / q).astype(np.int64)
+    requests = []
+    for b, kernel in enumerate(kernels):
+        kernel.refresh()
+        lo = int(min(cur_ticks[b, 0], prev_ticks[b, 0]))
+        hi = int(max(cur_ticks[b, -1], prev_ticks[b, -1])) + 1
+        requests.append((kernel._cpu_grid, lo, hi))
+    fill_noise_grids(requests)
+    cur = np.empty((B, n), dtype=np.float64)
+    prv = np.empty((B, n), dtype=np.float64)
+    for b, kernel in enumerate(kernels):
+        row_cur, row_prv = kernel._cpu_grid.gather_pair(
+            cur_ticks[b], prev_ticks[b]
+        )
+        cur[b] = row_cur
+        prv[b] = row_prv
+    sigma = np.asarray(
+        [kernel._jitter_sigma for kernel in kernels], dtype=np.float64
+    )[:, None]
+    base = np.asarray(
+        [kernel._base for kernel in kernels], dtype=np.float64
+    )[:, None]
+    jitter = sigma * (k0._blend * prv + k0._one_minus * cur) / k0._norm
+    return np.minimum(np.maximum(base + jitter, 0.0), 1.0)
+
+
+def power_block_bank(
+    kernels: list[HostKernel], times_bank: np.ndarray
+) -> np.ndarray:
+    """Banked ground-truth wall power, one row per run.
+
+    Replays :meth:`HostKernel.power_block`'s numpy composition over the
+    stacked ``[seed, tick]`` matrix: spec constants stay scalar, per-run
+    fields broadcast as ``[B, 1]`` columns, and ``u ** exponent`` stays
+    a scalar libm loop over the flattened bank (the same per-element
+    ``pow`` calls as the per-run loops, in row order).  Requires the
+    rows to share :func:`host_bank_key` statics.  Rare active transients
+    are folded per row at the scalar path's exact insertion point.
+    """
+    u = util_block_bank(kernels, times_bank)
+    B, n = times_bank.shape
+    k0 = kernels[0]
+    exponent = k0._exponent
+    upow = np.asarray(
+        [x ** exponent for x in u.ravel().tolist()], dtype=np.float64
+    ).reshape(B, n)
+    mem = np.asarray([k._mem for k in kernels], dtype=np.float64)[:, None]
+    mem_term = np.asarray(
+        [k._mem_term for k in kernels], dtype=np.float64
+    )[:, None]
+    nic_term = np.asarray(
+        [k._nic_term for k in kernels], dtype=np.float64
+    )[:, None]
+    thermal = np.asarray(
+        [k._thermal for k in kernels], dtype=np.float64
+    )[:, None]
+    power = k0._idle + (k0._linear * u + k0._curved * upow)
+    power = power + mem_term
+    power = power + nic_term
+    power = power + k0._interaction * u * mem
+    if k0._fan_steps:
+        fan = np.zeros((B, n), dtype=np.float64)
+        for threshold, watts in k0._fan_steps:
+            fan = fan + np.where(u >= threshold, watts, 0.0)
+        power = power + fan
+    for b, kernel in enumerate(kernels):
+        transients = kernel.host.power_model.transients
+        if transients.active_count > 0:
+            trans = np.asarray(
+                [transients.value(t) for t in times_bank[b].tolist()],
+                dtype=np.float64,
+            )
+            power[b] = power[b] + trans
+    power = np.maximum(power, k0._model_floor)
+    power = k0._idle + (power - k0._idle) * thermal
+    if k0._drift_sigma > 0.0:
+        power = power + _drift_values_bank(kernels, times_bank, B, n)
+    return np.maximum(power, k0._host_floor)
+
+
+def _drift_values_bank(
+    kernels: list[HostKernel], times_bank: np.ndarray, B: int, n: int
+) -> np.ndarray:
+    """Banked thermal drift, one segment decomposition over the matrix.
+
+    The drift quantum spans many samples, so a banked window's rows are
+    almost always one constant ``(cur, prev)`` segment each; flooring the
+    whole ``[seed, tick]`` matrix at once detects them in one reduction
+    instead of per-row ``np.diff`` scans.  Constant rows resolve through
+    the same per-host ``_drift_value_cache`` memo — reading and writing
+    the exact scalar blend :meth:`HostKernel._drift_values` would — and
+    multi-segment rows fall back to that method verbatim, so the bank is
+    bit-identical to the per-run loop either way.  Drift-grid extensions
+    for all rows run as one batched hash sweep.
+    """
+    k0 = kernels[0]
+    dq = k0._drift_quantum
+    cur = np.floor(times_bank / dq).astype(np.int64)
+    prv = np.floor((times_bank - dq) / dq).astype(np.int64)
+    single = np.all(
+        (cur[:, 1:] == cur[:, :1]) & (prv[:, 1:] == prv[:, :1]), axis=1
+    )
+    requests = []
+    for b, kernel in enumerate(kernels):
+        lo = int(min(cur[b, 0], prv[b, 0]))
+        hi = int(max(cur[b, -1], prv[b, -1])) + 1
+        requests.append((kernel._drift_grid, lo, hi))
+    fill_noise_grids(requests)
+    out = np.empty((B, n), dtype=np.float64)
+    for b, kernel in enumerate(kernels):
+        if single[b]:
+            key = (int(cur[b, 0]), int(prv[b, 0]))
+            pairs = kernel.host._drift_value_cache
+            drift = pairs.get(key)
+            if drift is None:
+                grid = kernel._drift_grid
+                dcur_v = grid.value(key[0])
+                dprv_v = grid.value(key[1])
+                # ou_like_noise with blend=0.75 (exact binary floats).
+                drift = (
+                    kernel._drift_sigma
+                    * (0.75 * dprv_v + 0.25 * dcur_v)
+                    / kernel._drift_norm
+                )
+                pairs[key] = drift
+            out[b] = drift
+        else:
+            out[b] = kernel._drift_values(times_bank[b], n)
+    return out
+
+
+def cpu_percent_block_bank(
+    kernels: list[VmKernel], times_bank: np.ndarray
+) -> np.ndarray:
+    """Banked ``CPU(v,t)`` feature, one row per run's VM.
+
+    Non-running VMs contribute zero rows (updating their SoA flags
+    exactly as the per-run kernel does); running rows stack into one
+    gather + blend/clamp pass.  Requires a uniform jitter quantum
+    (checked by the bank driver).
+    """
+    B, n = times_bank.shape
+    out = np.zeros((B, n), dtype=np.float64)
+    live: list[tuple[int, VmKernel, float]] = []
+    for b, kernel in enumerate(kernels):
+        vm = kernel.vm
+        row = kernel.row
+        if not vm.running:
+            row["running"] = 0
+            row["base_pct"] = 0.0
+            continue
+        base = vm._workload.cpu_fraction() * 100.0
+        if vm.host is not None:
+            base *= vm.host.cpu.allocation_fraction(kernel._alloc_key)
+        row["running"] = 1
+        row["base_pct"] = base
+        live.append((b, kernel, base))
+    if not live:
+        return out
+    k0 = live[0][1]
+    q = k0._quantum
+    rows = [b for b, _, _ in live]
+    sub_times = times_bank[rows]
+    cur_ticks = np.floor(sub_times / q).astype(np.int64)
+    prev_ticks = np.floor((sub_times - q) / q).astype(np.int64)
+    requests = []
+    for i, (_, kernel, _) in enumerate(live):
+        lo = int(min(cur_ticks[i, 0], prev_ticks[i, 0]))
+        hi = int(max(cur_ticks[i, -1], prev_ticks[i, -1])) + 1
+        requests.append((kernel._grid, lo, hi))
+    fill_noise_grids(requests)
+    m = len(live)
+    cur = np.empty((m, n), dtype=np.float64)
+    prv = np.empty((m, n), dtype=np.float64)
+    for i, (_, kernel, _) in enumerate(live):
+        row_cur, row_prv = kernel._grid.gather_pair(cur_ticks[i], prev_ticks[i])
+        cur[i] = row_cur
+        prv[i] = row_prv
+    sigma = np.asarray(
+        [kernel._sigma for _, kernel, _ in live], dtype=np.float64
+    )[:, None]
+    base_col = np.asarray(
+        [base for _, _, base in live], dtype=np.float64
+    )[:, None]
+    jitter = sigma * (k0._blend * prv + k0._one_minus * cur) / k0._norm
+    values = np.minimum(np.maximum(base_col + jitter, 0.0), 100.0)
+    for i, b in enumerate(rows):
+        out[b] = values[i]
+    return out

@@ -123,6 +123,7 @@ class TestRegressionGate:
         assert baseline["guarded"]["campaign.speedup"] >= 5.0
         assert baseline["guarded"]["consolidation.speedup"] >= 4.0
         assert baseline["guarded"]["compute.speedup"] >= 2.0
+        assert baseline["guarded"]["seedbank.speedup"] >= 3.0
 
 
 class TestBenchCli:

@@ -343,6 +343,127 @@ class TestRunCacheKeyProperties:
         assert json.loads(proc.stdout) == [t.key for t in tasks]
 
 
+class TestSeedBankProperties:
+    """Bank partitioning invariants of the seed-bank batch interior.
+
+    ``run_batch`` may receive any hole pattern a partially-warmed cache
+    leaves behind and any ``seed_bank`` width; the bank must cover
+    exactly those indices, in order, whatever the chunking — and a run
+    forced out of the bank at an arbitrary tick must still reproduce the
+    per-run scalar suffix bit for bit.
+    """
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        holes=st.lists(
+            st.integers(min_value=0, max_value=200), min_size=2, max_size=40,
+            unique=True,
+        ),
+        width=st.integers(min_value=2, max_value=12),
+    )
+    def test_bank_chunks_cover_exactly_the_holes_in_order(self, holes, width):
+        """Chunks tile the index list: no index lost, duplicated or
+        reordered, no chunk wider than the bank, results and ``on_run``
+        deposits in ``indices`` order."""
+        from repro.experiments import seedbank
+        from repro.experiments.seedbank import SeedBank
+
+        chunks = []
+        fired = []
+
+        class _FakeRun:
+            def __init__(self, index):
+                self.run_index = index
+
+        def fake_chunk(self, chunk):
+            chunks.append(list(chunk))
+            yield from (_FakeRun(index) for index in chunk)
+
+        bank = SeedBank(
+            ScenarioRunner(seed=0),
+            MigrationScenario("CPULOAD-SOURCE", "prop/bank", live=True),
+            holes, width=width, on_run=lambda run: fired.append(run.run_index),
+        )
+        original = seedbank.SeedBank._run_chunk
+        seedbank.SeedBank._run_chunk = fake_chunk
+        try:
+            results = bank.execute()
+        finally:
+            seedbank.SeedBank._run_chunk = original
+        assert [r for chunk in chunks for r in chunk] == holes
+        assert all(len(chunk) <= max(width, 2) for chunk in chunks)
+        assert [r.run_index for r in results] == holes
+        assert fired == holes
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        victim=st.integers(min_value=0, max_value=2),
+        event_time=st.floats(min_value=0.5, max_value=40.0, allow_nan=False),
+    )
+    def test_drop_out_at_any_tick_reproduces_the_scalar_suffix(
+        self, victim, event_time
+    ):
+        """An extra heap event at an arbitrary tick forces one run out of
+        the bank for that window (and solo through the engine from there
+        to the boundary); its samples must still match ``run_once``."""
+        from repro.experiments.runner import ScenarioRunner as Runner
+
+        scenario = MigrationScenario(
+            "CPULOAD-SOURCE", "prop/dropout", live=False, load_vm_count=0
+        )
+        fast = dict(
+            min_warmup_s=2.0, max_warmup_s=6.0, min_post_s=2.0, max_post_s=6.0,
+            check_interval_s=1.0,
+        )
+        banked_runner = Runner(
+            seed=5, settings=RunnerSettings(seed_bank=8, **fast)
+        )
+        build = Runner.build_testbed
+
+        def build_with_event(self, scn, run_index):
+            bed = build(self, scn, run_index)
+            if run_index == victim:
+                bed.sim.schedule(event_time, lambda: None)
+            return bed
+
+        banked_runner.build_testbed = build_with_event.__get__(banked_runner)
+        banked = banked_runner.run_batch(scenario, range(3))
+        reference = Runner(
+            seed=5, settings=RunnerSettings(seed_bank=0, **fast)
+        ).run_batch(scenario, range(3))
+        for a, b in zip(reference, banked):
+            assert np.array_equal(a.source_trace.times, b.source_trace.times)
+            assert np.array_equal(a.source_trace.watts, b.source_trace.watts)
+            assert np.array_equal(a.target_trace.watts, b.target_trace.watts)
+            assert np.array_equal(a.features.times, b.features.times)
+            for column in a.features.columns:
+                assert np.array_equal(
+                    a.features.column(column), b.features.column(column)
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        master=st.integers(min_value=0, max_value=2**31),
+        label=st.text(alphabet="abcdef0123456789/-", min_size=1, max_size=24),
+        indices=st.lists(
+            st.integers(min_value=0, max_value=500), min_size=2, max_size=30,
+            unique=True,
+        ),
+    )
+    def test_derived_seeds_independent_of_bank_shape(self, master, label, indices):
+        """``derive_seed(master, "label#index")`` is a pure per-index
+        function: the same seed whatever order or grouping the bank
+        evaluates it in, and collision-free across the span."""
+        from repro.simulator.rng import derive_seed
+
+        in_order = [derive_seed(master, f"{label}#{i}") for i in indices]
+        reordered = {
+            i: derive_seed(master, f"{label}#{i}") for i in reversed(indices)
+        }
+        assert [reordered[i] for i in indices] == in_order
+        assert len(set(in_order)) == len(indices)
+
+
 @settings(max_examples=20, deadline=None)
 @given(
     dirty_pct=st.floats(min_value=1.0, max_value=95.0),

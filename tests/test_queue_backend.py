@@ -19,7 +19,12 @@ import pytest
 import repro
 from repro.errors import ExperimentError
 from repro.experiments.design import MigrationScenario
-from repro.experiments.executor import CampaignExecutor, RunCache, RunTask
+from repro.experiments.executor import (
+    CampaignExecutor,
+    RunBatchTask,
+    RunCache,
+    RunTask,
+)
 from repro.experiments.queue_backend import (
     QueueBackend,
     _claim_next_task,
@@ -27,8 +32,15 @@ from repro.experiments.queue_backend import (
     run_worker,
     task_id_for,
 )
+from repro.experiments.results import ProgressEvent
 from repro.experiments.runner import RunnerSettings, ScenarioRunner
-from repro.io import load_task_spec, save_task_spec, task_spec_to_dict
+from repro.io import (
+    append_progress_event,
+    load_progress_events,
+    load_task_spec,
+    save_task_spec,
+    task_spec_to_dict,
+)
 from repro.models.features import HostRole
 from repro.telemetry.stabilization import StabilizationRule
 
@@ -373,6 +385,138 @@ class TestFaultInjection:
                 sa.total_energies_j(HostRole.SOURCE),
                 sb.total_energies_j(HostRole.SOURCE),
             )
+
+
+class TestSeedBankFaultInjection:
+    """A worker dies mid-bank: deposits survive, only the holes recompute."""
+
+    _FAST = dict(
+        min_warmup_s=2.0, max_warmup_s=6.0, min_post_s=2.0, max_post_s=6.0,
+        check_interval_s=1.0,
+    )
+    _BANK_SCENARIO = MigrationScenario(
+        "CPULOAD-SOURCE", "queue/bank/nl", live=False, load_vm_count=0
+    )
+
+    def _bank_task(self, run_count: int = 5) -> RunBatchTask:
+        settings = RunnerSettings(seed_bank=8, **self._FAST)
+        rule = StabilizationRule()
+        key = RunCache.scenario_key(SEED, self._BANK_SCENARIO, settings, None, rule)
+        return RunBatchTask(
+            seed=SEED, settings=settings, migration_config=None,
+            stabilization=rule, scenario=self._BANK_SCENARIO,
+            run_start=0, run_count=run_count, key=key,
+        )
+
+    def _serve_one(self, tmp_path, worker_id: str) -> tuple:
+        """A worker thread whose WorkerStats survive the join."""
+        box = {}
+
+        def serve():
+            box["stats"] = run_worker(
+                tmp_path / "spool", tmp_path / "cache",
+                poll_interval=0.02, heartbeat_s=0.1,
+                idle_exit_s=60.0, worker_id=worker_id,
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        return thread, box
+
+    def test_worker_killed_mid_bank_preserves_deposits_and_refills_holes(
+        self, tmp_path
+    ):
+        """Acceptance: kill a queue worker mid-bank.  The per-run cache
+        entries and progress lines it already flushed survive the requeue,
+        the rescuing worker recomputes only the holes (banked), the final
+        results are bit-identical to the per-run interior, and a warm
+        rerun performs zero runs."""
+        task = self._bank_task(run_count=5)
+        backend = _backend(tmp_path, stale_timeout=0.5)
+        future = backend.submit(task)
+
+        # The doomed worker claims the bank and deposits runs 0 and 1 —
+        # cache entries and progress lines hit the spool per run, not per
+        # bank, so a mid-bank death loses only the unfinished tail.  Then
+        # it dies: the claim's heartbeat freezes in the past.
+        claim = _claim_next_task(backend.spool)
+        assert claim is not None
+        cache = RunCache(tmp_path / "cache")
+        runner = ScenarioRunner(seed=task.seed, settings=task.settings)
+        deposited = runner.run_batch(task.scenario, [0, 1])
+        for run in deposited:
+            cache.put(task.key, run, key_payload=task.key_payload())
+            append_progress_event(
+                ProgressEvent(
+                    task_id=f"{task.key[:16]}-{run.run_index:04d}",
+                    scenario=task.scenario.label, run_index=run.run_index,
+                    worker="doomed", runs_completed=run.run_index + 1,
+                    samples=1, wall_s=1.0, samples_per_s=1.0, at=time.time(),
+                ),
+                backend.spool.progress / "doomed.ndjson",
+            )
+        long_ago = time.time() - 60
+        os.utime(claim, (long_ago, long_ago))
+
+        rescue, box = self._serve_one(tmp_path, "rescue")
+        try:
+            done = backend.wait([future])
+        finally:
+            backend.spool.stop.touch()
+            rescue.join(timeout=60)
+        assert done == {future}
+        assert backend.stats.tasks_requeued == 1
+
+        # The rescuer served the dead worker's deposits from cache and
+        # simulated only the three holes.  (The cached count can exceed 2
+        # by a multiple of 5: a coordinator poll that starts before the
+        # last deposit and finishes after the claim unlinks resubmits the
+        # spec, and the worker serves the extra copy entirely from cache —
+        # nothing re-executes either way.)
+        stats = box["stats"]
+        assert stats.executed == 3
+        assert stats.cached % 5 == 2
+        results = future.result()
+        assert [run.run_index for run in results] == [0, 1, 2, 3, 4]
+
+        # Banked recovery is bit-identical to the per-run interior.
+        reference = ScenarioRunner(
+            seed=SEED, settings=RunnerSettings(seed_bank=0, **self._FAST)
+        ).run_batch(task.scenario, range(5))
+        for expected, actual in zip(reference, results):
+            assert expected.timeline.ms == actual.timeline.ms
+            assert expected.timeline.bytes_total == actual.timeline.bytes_total
+            assert np.array_equal(
+                expected.source_trace.watts, actual.source_trace.watts
+            )
+            assert np.array_equal(
+                expected.features.times, actual.features.times
+            )
+
+        # The dead worker's progress lines survived in its sidecar, and
+        # the drained stream counts each run exactly once (the rescuer's
+        # re-announcements supersede, never duplicate).
+        survived = load_progress_events(backend.spool.progress / "doomed.ndjson")
+        assert [event.run_index for event in survived] == [0, 1]
+        drained = backend.drain_progress()
+        assert sorted(event.run_index for event in drained) == [0, 1, 2, 3, 4]
+
+        # Warm rerun: every index is already deposited, so the whole bank
+        # short-circuits to cache hits and zero runs execute.  The worker
+        # runs synchronously (max_tasks=1) before the coordinator polls,
+        # otherwise the coordinator resolves straight from the cache and
+        # the spec is never claimed at all.
+        backend.spool.stop.unlink()
+        warm_future = backend.submit(task)
+        warm_stats = run_worker(
+            tmp_path / "spool", tmp_path / "cache",
+            poll_interval=0.02, heartbeat_s=0.1, max_tasks=1, worker_id="warm",
+        )
+        assert warm_stats.executed == 0
+        assert warm_stats.cached == 5
+        done = backend.wait([warm_future])
+        assert done == {warm_future}
+        assert [run.run_index for run in warm_future.result()] == [0, 1, 2, 3, 4]
 
 
 class TestCliEndToEnd:

@@ -1,0 +1,213 @@
+"""The seed-bank batch interior: banked vs per-run, bit for bit.
+
+The tentpole guarantee of the seed-bank executor
+(:class:`repro.experiments.seedbank.SeedBank`): driving a ``run_batch``
+span as lockstep SoA passes — hundreds of seeds per kernel dispatch —
+changes **no byte** of any artifact.  These are the banked analogue of
+``tests/test_compute_modes.py``'s cross-mode goldens: campaign samples
+JSON and every recorded array must match the per-run interior
+(``seed_bank=0``) on every scenario archetype (including the
+manager-driven consolidation drain), in every ``compute=`` mode, on the
+serial and distributed-queue backends, for non-contiguous index lists
+(cache holes), singleton banks, and bank widths smaller than the span.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.experiments.design import MigrationScenario
+from repro.experiments.executor import CampaignExecutor, RunCache
+from repro.experiments.queue_backend import run_worker
+from repro.experiments.runner import RunnerSettings, ScenarioRunner
+from repro.io import save_samples_json
+from repro.simulator.kernels import HAVE_NUMBA
+from repro.telemetry.stabilization import StabilizationRule
+
+#: Fast protocol settings for cross-bank sweeps (shape preserved: warmup,
+#: stabilisation checks, migration wait, post-measurement all exercised).
+FAST = dict(
+    min_warmup_s=2.0, max_warmup_s=6.0, min_post_s=2.0, max_post_s=6.0,
+    check_interval_s=1.0,
+)
+
+#: One scenario per archetype of the Table IIa design, plus the
+#: manager-driven consolidation drain (its migration instant comes from a
+#: policy decision, so banked runs diverge mid-protocol and must drop
+#: out of the bank without disturbing each other).
+ARCHETYPES = [
+    MigrationScenario("CPULOAD-SOURCE", "bank/lv/1vm", live=True, load_vm_count=1),
+    MigrationScenario("CPULOAD-SOURCE", "bank/nl/0vm", live=False, load_vm_count=0),
+    MigrationScenario(
+        "CPULOAD-TARGET", "bank/lv/tgt3", live=True, load_vm_count=3, load_on="target"
+    ),
+    MigrationScenario("MEMLOAD-VM", "bank/lv/dr55", live=True, dirty_percent=55.0),
+    MigrationScenario(
+        "MEMLOAD-SOURCE", "bank/lv/mem", live=True, load_vm_count=1,
+        dirty_percent=95.0,
+    ),
+    MigrationScenario(
+        "CONSOLIDATION-CPU", "bank/mgr/0vm", live=False, load_vm_count=0,
+        load_on="target", driver="manager",
+    ),
+]
+
+#: Every mode testable in this environment ("numba" covered in its CI lane).
+MODES = ["python", "numpy"] + (["numba"] if HAVE_NUMBA else [])
+
+
+def _runner(seed_bank: int, seed: int = 3, mode: str = "numpy") -> ScenarioRunner:
+    settings = RunnerSettings(compute=mode, seed_bank=seed_bank, **FAST)
+    return ScenarioRunner(seed=seed, settings=settings)
+
+
+def _assert_runs_identical(a, b):
+    assert a.run_index == b.run_index
+    assert a.timeline.ms == b.timeline.ms
+    assert a.timeline.me == b.timeline.me
+    assert a.timeline.bytes_total == b.timeline.bytes_total
+    assert np.array_equal(a.source_trace.times, b.source_trace.times)
+    assert np.array_equal(a.source_trace.watts, b.source_trace.watts)
+    assert np.array_equal(a.target_trace.times, b.target_trace.times)
+    assert np.array_equal(a.target_trace.watts, b.target_trace.watts)
+    assert np.array_equal(a.features.times, b.features.times)
+    for column in a.features.columns:
+        assert np.array_equal(a.features.column(column), b.features.column(column))
+
+
+class TestGoldenCrossBank:
+    """seed_bank=0 vs banked widths: the same bits, per sample, per artifact."""
+
+    @pytest.mark.parametrize("scenario", ARCHETYPES, ids=lambda s: s.label)
+    def test_every_trace_bit_identical(self, scenario):
+        """Acceptance: every recorded array matches to the last bit."""
+        per_run = _runner(0).run_batch(scenario, range(4))
+        banked = _runner(8).run_batch(scenario, range(4))
+        for a, b in zip(per_run, banked):
+            _assert_runs_identical(a, b)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_compute_modes_bank_identically(self, mode):
+        """The bank holds in every compute mode ("python" exercises the
+        driver's per-run fallback under the shared timeline)."""
+        scenario = ARCHETYPES[0]
+        per_run = _runner(0, mode=mode).run_batch(scenario, range(3))
+        banked = _runner(8, mode=mode).run_batch(scenario, range(3))
+        for a, b in zip(per_run, banked):
+            _assert_runs_identical(a, b)
+
+    def test_campaign_samples_json_byte_identical(self, tmp_path):
+        """Acceptance: banked campaign samples JSON is byte-identical.
+
+        The per-run reference is the serial campaign loop (``run_once``
+        per index); the banked arm dispatches whole waves as batch tasks
+        through the serial backend, so every index runs inside a bank.
+        """
+        scenarios = ARCHETYPES[:2] + ARCHETYPES[-1:]
+        reference = _runner(0).run_campaign(scenarios, min_runs=3, max_runs=3)
+        executor = CampaignExecutor(_runner(16), batch_size=None)
+        banked = executor.run_campaign(scenarios, min_runs=3, max_runs=3)
+        blobs = {}
+        for name, result in (("per-run", reference), ("banked", banked)):
+            path = tmp_path / f"{name}.json"
+            save_samples_json(result.samples(), path)
+            blobs[name] = path.read_bytes()
+        assert blobs["banked"] == blobs["per-run"]
+
+    def test_queue_backend_banked_matches_serial_per_run(self, tmp_path):
+        """Acceptance: byte-identity holds across the queue backend."""
+        scenario = ARCHETYPES[0]
+        serial = _runner(0).run_campaign([scenario], min_runs=3, max_runs=3)
+        spool, cache = tmp_path / "spool", tmp_path / "cache"
+        executor = CampaignExecutor(
+            _runner(16), backend="queue", cache_dir=cache, spool_dir=spool,
+            batch_size=None,
+            queue_options={"poll_interval": 0.02, "stop_workers_on_shutdown": True},
+        )
+        worker = threading.Thread(
+            target=run_worker, args=(spool, cache),
+            kwargs={"poll_interval": 0.02, "worker_id": "sb0", "idle_exit_s": 60.0},
+        )
+        worker.start()
+        try:
+            queued = executor.run_campaign([scenario], min_runs=3, max_runs=3)
+        finally:
+            worker.join()
+        blobs = {}
+        for name, result in (("serial", serial), ("queued", queued)):
+            path = tmp_path / f"{name}.json"
+            save_samples_json(result.samples(), path)
+            blobs[name] = path.read_bytes()
+        assert blobs["serial"] == blobs["queued"]
+
+    def test_non_contiguous_indices_bank_identically(self):
+        """Cache holes: a resumed batch passes just the missing indices."""
+        scenario = ARCHETYPES[1]
+        holes = [0, 2, 5, 6, 9]
+        per_run = _runner(0).run_batch(scenario, holes)
+        banked = _runner(8).run_batch(scenario, holes)
+        assert [r.run_index for r in banked] == holes
+        for a, b in zip(per_run, banked):
+            _assert_runs_identical(a, b)
+
+    def test_singleton_bank_matches_run_once(self):
+        scenario = ARCHETYPES[1]
+        single = _runner(16).run_batch(scenario, [4])
+        reference = _runner(0).run_once(scenario, run_index=4)
+        assert len(single) == 1
+        _assert_runs_identical(reference, single[0])
+
+    def test_width_smaller_than_span_chunks_identically(self):
+        """A span longer than the bank width runs as consecutive banks."""
+        scenario = ARCHETYPES[1]
+        per_run = _runner(0).run_batch(scenario, range(7))
+        banked = _runner(3).run_batch(scenario, range(7))
+        for a, b in zip(per_run, banked):
+            _assert_runs_identical(a, b)
+
+    def test_seed_bank_does_not_split_the_cache_key(self):
+        scenario = ARCHETYPES[0]
+        keys = {
+            width: RunCache.scenario_key(
+                1, scenario,
+                RunnerSettings(seed_bank=width), None, StabilizationRule(),
+            )
+            for width in (0, 1, 16, 256)
+        }
+        assert len(set(keys.values())) == 1
+
+
+class TestRunBatchContracts:
+    """run_batch seam regressions: validation and callback safety."""
+
+    def test_all_invalid_indices_reported(self):
+        """Every offending index appears in the error, not just the first."""
+        runner = _runner(16)
+        with pytest.raises(Exception, match=r"\[-2, 'x', -7\]"):
+            runner.run_batch(ARCHETYPES[1], [0, -2, "x", 3, -7])
+
+    @pytest.mark.parametrize("width", [0, 8], ids=["per-run", "banked"])
+    def test_on_run_exception_preserves_deposited_prefix(self, width):
+        """A crashing ``on_run`` loses nothing already deposited.
+
+        Runs 0 and 1 must have been delivered (deposited) before the
+        callback raises on run 1; the failure propagates, and a clean
+        retry reproduces the exact same results — the partial deposits
+        were real, completed runs, not corrupted ones.
+        """
+        scenario = ARCHETYPES[1]
+        deposited = []
+
+        def explode_on_second(run):
+            deposited.append(run)
+            if len(deposited) == 2:
+                raise RuntimeError("deposit failed")
+
+        runner = _runner(width)
+        with pytest.raises(RuntimeError, match="deposit failed"):
+            runner.run_batch(scenario, range(4), on_run=explode_on_second)
+        assert [r.run_index for r in deposited] == [0, 1]
+        reference = _runner(0).run_batch(scenario, range(2))
+        for a, b in zip(reference, deposited):
+            _assert_runs_identical(a, b)
