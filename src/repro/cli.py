@@ -32,6 +32,10 @@ from typing import Optional, Sequence
 
 __all__ = ["main", "build_parser"]
 
+#: Mirrors :data:`repro.experiments.faults.EXIT_DEGRADED` without importing
+#: the experiments package at CLI startup (handlers import lazily).
+_EXIT_DEGRADED = 3
+
 
 def _positive_int(text: str) -> int:
     """Argparse type: an integer >= 1 (a clear error beats downstream misbehaviour)."""
@@ -168,6 +172,52 @@ def build_parser() -> argparse.ArgumentParser:
         "requeued (queue/http modes only)",
     )
     camp.add_argument(
+        "--max-retries",
+        type=_positive_int,
+        default=1,
+        help="total attempt budget per dispatched task: transient failures "
+        "are retried with capped exponential backoff until the budget is "
+        "exhausted (default 1 = no retries)",
+    )
+    camp.add_argument(
+        "--on-failure",
+        choices=("raise", "skip", "quarantine"),
+        default="raise",
+        help="what to do with a task whose retry budget is exhausted: "
+        "'raise' aborts the campaign (default), 'skip' abandons the "
+        "task's runs, 'quarantine' also parks its spec in the spool's "
+        "quarantine/ directory (or the service's quarantine set) for "
+        "inspection; with skip/quarantine the campaign completes "
+        f"degraded and exits with code {_EXIT_DEGRADED}",
+    )
+    camp.add_argument(
+        "--run-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog deadline per run: a task may take at most "
+        "run-timeout x (runs in the task) of wall clock before it is "
+        "failed instead of hanging (serial/process modes; distributed "
+        "workers take their own --run-timeout)",
+    )
+    camp.add_argument(
+        "--campaign-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="coordinator-side deadline for the whole campaign: abort "
+        "(with ledger records for every outstanding task) instead of "
+        "waiting forever",
+    )
+    camp.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for drills and tests, e.g. "
+        "'seed=7;execute:crash:rate=0.3:max=2' (see docs/robustness.md); "
+        "also exported to worker subprocesses via WAVM3_CHAOS",
+    )
+    camp.add_argument(
         "--stop-workers",
         action="store_true",
         help="tell idle workers to exit when the campaign finishes: write "
@@ -234,6 +284,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--worker-id", default=None,
         help="campaign-unique worker identifier (default: <hostname>-<pid>)",
     )
+    worker.add_argument(
+        "--run-timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="watchdog deadline per run: abandon a claimed task with a "
+        "failure record after run-timeout x (runs in the task) seconds "
+        "instead of holding the lease forever",
+    )
+    worker.add_argument(
+        "--http-timeout", type=_positive_float, default=10.0, metavar="SECONDS",
+        help="socket timeout for every exchange with the campaign service "
+        "(--connect mode; default 10)",
+    )
+    worker.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic fault injection in this worker (same grammar "
+        "as 'campaign --chaos'; overrides WAVM3_CHAOS)",
+    )
 
     status = sub.add_parser(
         "campaign-status",
@@ -268,6 +334,10 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument(
         "--updates", type=_positive_int, default=None,
         help="stop --follow after this many refreshes (default: until ^C)",
+    )
+    status.add_argument(
+        "--http-timeout", type=_positive_float, default=10.0, metavar="SECONDS",
+        help="socket timeout for status fetches (--connect mode; default 10)",
     )
 
     bench = sub.add_parser(
@@ -427,7 +497,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(
             f"spool gc [{args.spool_dir}] {verb} {report['removed_total']} files: "
             f"{report['tasks']} task specs, {report['claims']} claims, "
-            f"{report['failures']} failure records, {report['workers']} worker "
+            f"{report['failures']} failure records, "
+            f"{report['quarantine']} quarantined specs, {report['workers']} worker "
             f"heartbeats, {report['progress']} progress sidecars"
             + (", stop sentinel" if report["stop"] else "")
         )
@@ -440,6 +511,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     for name in chosen:
         scenarios.extend(getattr(design, _EXPERIMENT_FAMILIES[name])(args.family))
 
+    if args.chaos is not None:
+        import os
+
+        from repro.experiments.chaos import CHAOS_ENV_VAR, ChaosSchedule, activate
+
+        schedule = ChaosSchedule.from_spec(args.chaos)
+        activate(schedule)
+        # Worker subprocesses (process backend) inherit the schedule via
+        # the environment; distributed workers take their own --chaos.
+        os.environ[CHAOS_ENV_VAR] = schedule.describe()
+
+    fault_knobs = dict(
+        max_retries=args.max_retries,
+        on_failure=args.on_failure,
+        run_timeout=args.run_timeout,
+        campaign_timeout=args.campaign_timeout,
+    )
     settings = RunnerSettings(compute=args.compute, seed_bank=args.seed_bank)
     if args.spool_dir is not None:
         executor = CampaignExecutor(
@@ -452,6 +540,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 "stale_timeout": args.stale_timeout,
                 "stop_workers_on_shutdown": args.stop_workers,
             },
+            **fault_knobs,
         )
     elif args.serve is not None:
         executor = CampaignExecutor(
@@ -464,6 +553,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 "stale_timeout": args.stale_timeout,
                 "stop_workers_on_shutdown": args.stop_workers,
             },
+            **fault_knobs,
         )
         # Announce the bound address (resolves port 0) so workers — and
         # the test harness — know where to --connect.
@@ -474,6 +564,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             batch_size=args.batch_size,
+            **fault_knobs,
         )
     started = time.perf_counter()
     result = executor.run_campaign(
@@ -501,6 +592,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"{qstats.tasks_resubmitted} resubmitted, "
             f"{qstats.corrupt_results} corrupt results discarded"
         )
+    print(executor.ledger.summary_line())
+    if stats.degraded:
+        print(
+            f"campaign DEGRADED: {stats.tasks_quarantined} tasks quarantined, "
+            f"{stats.runs_abandoned} runs abandoned, "
+            f"{stats.scenarios_dropped} scenarios dropped "
+            f"[exit {_EXIT_DEGRADED}]"
+        )
     events = executor.progress_events
     if events:
         workers = sorted({e.worker for e in events})
@@ -512,12 +611,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"worker{'s' if len(workers) != 1 else ''}, "
             f"{total_samples:,} samples at {rate:,.0f} samples/s"
         )
-    return 0
+    return _EXIT_DEGRADED if stats.degraded else 0
 
 
 def _cmd_campaign_worker(args: argparse.Namespace) -> int:
     from repro.errors import ExperimentError
 
+    if args.chaos is not None:
+        from repro.experiments.chaos import ChaosSchedule, activate
+
+        activate(ChaosSchedule.from_spec(args.chaos))
     if args.connect is not None:
         from repro.experiments.http_backend import run_http_worker
 
@@ -528,6 +631,8 @@ def _cmd_campaign_worker(args: argparse.Namespace) -> int:
             max_tasks=args.max_tasks,
             idle_exit_s=args.idle_exit,
             worker_id=args.worker_id,
+            run_timeout=args.run_timeout,
+            http_timeout=args.http_timeout,
         )
     else:
         from repro.experiments.queue_backend import run_worker
@@ -544,6 +649,7 @@ def _cmd_campaign_worker(args: argparse.Namespace) -> int:
             max_tasks=args.max_tasks,
             idle_exit_s=args.idle_exit,
             worker_id=args.worker_id,
+            run_timeout=args.run_timeout,
         )
     print(
         f"worker done: {stats.claimed} claimed, {stats.executed} executed, "
@@ -556,7 +662,7 @@ def _fetch_campaign_status(args: argparse.Namespace) -> tuple[dict, str]:
     if args.connect is not None:
         from repro.experiments.http_backend import fetch_status
 
-        return fetch_status(args.connect), args.connect
+        return fetch_status(args.connect, timeout=args.http_timeout), args.connect
     from repro.experiments.queue_backend import spool_status
 
     status = spool_status(
@@ -583,6 +689,11 @@ def _render_campaign_status(status: dict, origin: str) -> None:
             else ""
         )
         + f", {status['tasks_failed']} failed"
+        + (
+            f", {status['tasks_quarantined']} quarantined"
+            if status.get("tasks_quarantined")
+            else ""
+        )
     )
     workers = status.get("workers", [])
     print(
@@ -603,6 +714,8 @@ def _render_campaign_status(status: dict, origin: str) -> None:
             )
     for failure in status.get("failures", []):
         print(f"  FAILED {failure['task_id']} on {failure['worker']}: {failure['error']}")
+    for task_id in status.get("quarantined", []):
+        print(f"  QUARANTINED {task_id}")
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:

@@ -22,6 +22,13 @@
   embedded stdlib HTTP task-handoff service (``/claim``, ``/heartbeat``,
   ``/result``, ``/status``) polled by ``campaign-worker --connect``
   processes that need nothing but the coordinator's URL;
+* :mod:`repro.experiments.faults` — the campaign fault-tolerance layer:
+  failure taxonomy and ledger (``wavm3-failure/1``), retry budgets with
+  capped deterministic backoff, quarantine semantics and run watchdogs
+  (see ``docs/robustness.md``);
+* :mod:`repro.experiments.chaos` — the deterministic chaos harness:
+  seeded fault injection at named execution seams, for drills and the
+  chaos soak tests;
 * :mod:`repro.experiments.results` — run/scenario/experiment result
   containers and the conversion to model samples.
 """
@@ -38,6 +45,7 @@ from repro.experiments.design import (
     LOAD_VM_COUNTS,
     DIRTY_PERCENTS,
 )
+from repro.experiments.chaos import ChaosError, ChaosRule, ChaosSchedule
 from repro.experiments.executor import (
     CampaignExecutor,
     ExecutorBackend,
@@ -48,6 +56,15 @@ from repro.experiments.executor import (
     RunTask,
     SerialBackend,
     execute_batch,
+)
+from repro.experiments.faults import (
+    EXIT_DEGRADED,
+    FailureLedger,
+    RetryPolicy,
+    RunFailure,
+    RunTimeoutError,
+    TaskFailure,
+    run_with_deadline,
 )
 from repro.experiments.http_backend import (
     CampaignHTTPServer,
@@ -77,9 +94,19 @@ from repro.experiments.testbed import Testbed
 __all__ = [
     "CampaignExecutor",
     "CampaignHTTPServer",
+    "ChaosError",
+    "ChaosRule",
+    "ChaosSchedule",
+    "EXIT_DEGRADED",
     "ExecutorBackend",
     "ExecutorStats",
+    "FailureLedger",
     "HttpBackend",
+    "RetryPolicy",
+    "RunFailure",
+    "RunTimeoutError",
+    "TaskFailure",
+    "run_with_deadline",
     "ProcessBackend",
     "QueueBackend",
     "QueueStats",

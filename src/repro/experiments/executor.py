@@ -60,7 +60,16 @@ from dataclasses import dataclass
 from typing import Collection, Optional, Sequence, Set, Union
 
 from repro.errors import ExperimentError
+from repro.experiments.chaos import ChaosError, chaos_trip
 from repro.experiments.design import MigrationScenario
+from repro.experiments.faults import (
+    ON_FAILURE_MODES,
+    FailureLedger,
+    RetryPolicy,
+    RunFailure,
+    failure_from_exception,
+    run_with_deadline,
+)
 from repro.experiments.results import (
     ExperimentResult,
     ProgressEvent,
@@ -103,6 +112,7 @@ def _execute_run(
     run_index: int,
 ) -> RunResult:
     """Worker entry point: one instrumented run, self-contained and picklable."""
+    chaos_trip("execute", tag=f"{scenario.label}#{run_index}")
     runner = ScenarioRunner(
         seed=seed,
         settings=settings,
@@ -203,6 +213,10 @@ def execute_batch(
     list[RunResult]
         One result per index, in ``run_indices`` order.
     """
+    # The "execute" chaos seam, tripped once per run of the batch (an
+    # injected crash fails the whole claim, exactly like a real one).
+    for index in run_indices:
+        chaos_trip("execute", tag=f"{scenario.label}#{index}")
     runner = ScenarioRunner(
         seed=seed,
         settings=settings,
@@ -293,13 +307,26 @@ def _contiguous_spans(indices: Sequence[int]) -> list[list[int]]:
     return spans
 
 
-def _execute_task(task) -> Union[RunResult, list]:
+def _execute_task(task, run_timeout: Optional[float] = None) -> Union[RunResult, list]:
     """Module-level trampoline so task dispatch can pickle (both
-    :class:`RunTask` and :class:`RunBatchTask`)."""
-    return task.execute()
+    :class:`RunTask` and :class:`RunBatchTask`).
+
+    ``run_timeout`` arms the per-run watchdog
+    (:func:`~repro.experiments.faults.run_with_deadline`): a batch task's
+    deadline is ``run_timeout`` times its run count, so the budget scales
+    with the dispatched work.
+    """
+    if run_timeout is None:
+        return task.execute()
+    count = int(getattr(task, "run_count", 1) or 1)
+    return run_with_deadline(
+        task.execute,
+        run_timeout * count,
+        label=f"task {task.scenario.label!r} ({count} run{'s' if count > 1 else ''})",
+    )
 
 
-def _execute_task_timed(task):
+def _execute_task_timed(task, run_timeout: Optional[float] = None):
     """Like :func:`_execute_task`, plus the worker-side wall time.
 
     The process backend uses this so progress events report the run's
@@ -307,7 +334,7 @@ def _execute_task_timed(task):
     would fold pool queueing and collection delay into ``wall_s``.
     """
     started = time.perf_counter()
-    run = task.execute()
+    run = _execute_task(task, run_timeout)
     return run, time.perf_counter() - started
 
 
@@ -533,7 +560,9 @@ class ExecutorBackend(abc.ABC):
             a worker-side failure surfaces as the future's exception.
         """
 
-    def wait(self, pending: Collection[Future]) -> Set[Future]:
+    def wait(
+        self, pending: Collection[Future], timeout: Optional[float] = None
+    ) -> Set[Future]:
         """Block until at least one pending future is done.
 
         Parameters
@@ -541,14 +570,46 @@ class ExecutorBackend(abc.ABC):
         pending:
             Futures previously returned by :meth:`submit` that the
             scheduler has not collected yet (never empty).
+        timeout:
+            Optional upper bound in seconds on the block — the scheduler
+            passes one when it has its own timers to service (retry
+            backoff expiries, the campaign deadline).  ``None`` waits
+            indefinitely.
 
         Returns
         -------
         set[concurrent.futures.Future]
-            The non-empty subset of ``pending`` that is now done.
+            The subset of ``pending`` that is now done; may be empty
+            only when ``timeout`` expired first.
         """
-        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+        done, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
         return set(done)
+
+    def quarantine(self, task, task_id: str) -> bool:
+        """Move a task whose retry budget is exhausted into quarantine.
+
+        Distributed backends persist the spec (queue: the
+        ``quarantine/`` spool directory; http: the in-memory quarantine
+        set surfaced by ``GET /status``) so operators can inspect and
+        re-submit it.  The default — for in-process backends, which have
+        no durable task store — records nothing.
+
+        Parameters
+        ----------
+        task:
+            The failed :class:`RunTask`/:class:`RunBatchTask`.
+        task_id:
+            Its stable task id (ledger/spool naming).
+
+        Returns
+        -------
+        bool
+            ``True`` when the task was captured in a quarantine store,
+            ``False`` when the backend has none (the coordinator then
+            records the failure as ``skipped`` rather than
+            ``quarantined``).
+        """
+        return False
 
     def shutdown(self) -> None:
         """Release backend resources once the campaign is over.
@@ -602,14 +663,19 @@ class SerialBackend(ExecutorBackend):
 
     name = "serial"
 
+    def __init__(self, run_timeout: Optional[float] = None) -> None:
+        self.run_timeout = run_timeout
+
     @property
     def capacity(self) -> Optional[int]:
         return 1
 
     def submit(self, task: RunTask) -> Future:
-        return _SerialFuture(_execute_task, task)
+        return _SerialFuture(_execute_task, task, self.run_timeout)
 
-    def wait(self, pending: Collection[Future]) -> Set[Future]:
+    def wait(
+        self, pending: Collection[Future], timeout: Optional[float] = None
+    ) -> Set[Future]:
         return set(pending)  # serial futures resolve at submit time
 
 
@@ -618,10 +684,11 @@ class ProcessBackend(ExecutorBackend):
 
     name = "process"
 
-    def __init__(self, jobs: int) -> None:
+    def __init__(self, jobs: int, run_timeout: Optional[float] = None) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
+        self.run_timeout = run_timeout
         self._pool: Optional[ProcessPoolExecutor] = None
 
     @property
@@ -631,7 +698,7 @@ class ProcessBackend(ExecutorBackend):
     def submit(self, task: RunTask) -> Future:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        inner = self._pool.submit(_execute_task_timed, task)
+        inner = self._pool.submit(_execute_task_timed, task, self.run_timeout)
         # Unwrap (run, wall) into a RunResult future carrying the
         # worker-side wall time as an attribute, mirroring _SerialFuture.
         outer: Future = Future()
@@ -666,23 +733,34 @@ class ExecutorStats:
     runs_executed: int = 0    # runs actually simulated (cache misses + no-cache)
     runs_cached: int = 0      # runs served from the cache
     runs_discarded: int = 0   # speculative runs beyond the stopping point
+    failures: int = 0         # failed task attempts (see the failure ledger)
+    tasks_retried: int = 0    # failed attempts re-dispatched under the budget
+    tasks_quarantined: int = 0  # tasks captured in a backend quarantine store
+    runs_abandoned: int = 0   # run indices given up after budget exhaustion
+    scenarios_dropped: int = 0  # scenarios with zero usable runs
 
     @property
     def runs_total(self) -> int:
         """All runs obtained, kept or not."""
         return self.runs_executed + self.runs_cached
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the campaign completed with less than it was asked for."""
+        return self.runs_abandoned > 0 or self.scenarios_dropped > 0
+
 
 class _ScenarioState:
     """Book-keeping of one scenario's adaptive run stream."""
 
-    __slots__ = ("scenario", "key", "runs", "inflight", "target", "resolved")
+    __slots__ = ("scenario", "key", "runs", "inflight", "abandoned", "target", "resolved")
 
     def __init__(self, scenario: MigrationScenario, key: Optional[str], target: int) -> None:
         self.scenario = scenario
         self.key = key
         self.runs: dict[int, RunResult] = {}
         self.inflight: set[int] = set()
+        self.abandoned: set[int] = set()  # indices lost to exhausted retry budgets
         self.target = target            # runs [0, target) currently wanted
         self.resolved: Optional[int] = None  # final kept count once decided
 
@@ -739,6 +817,36 @@ class CampaignExecutor:
         Extra keyword arguments forwarded to
         :class:`~repro.experiments.http_backend.HttpBackend`
         (``stale_timeout``, ``stop_workers_on_shutdown``, ``stop_grace_s``, …).
+    max_retries:
+        Attempt budget per task: a failed task is re-dispatched (after
+        :class:`~repro.experiments.faults.RetryPolicy` backoff) until it
+        has failed ``max_retries`` times in total, then handed to
+        ``on_failure``.  The default ``1`` keeps the classic single-
+        attempt semantics.  Values above 1 also bound the distributed
+        backends' stale-lease requeues (``max_requeues``), so a
+        deterministically-crashing worker cannot recycle a task forever.
+    on_failure:
+        What exhausting the budget does: ``"raise"`` (default) aborts
+        the campaign with the task's exception; ``"skip"`` abandons the
+        task's run indices and completes the campaign degraded;
+        ``"quarantine"`` additionally captures the task spec in the
+        backend's quarantine store (queue: ``quarantine/`` spool dir,
+        http: the ``GET /status`` quarantine set).  Either way every
+        attempt lands in the failure ledger (:attr:`ledger`).
+    retry_policy:
+        Backoff schedule between attempts (default
+        :class:`~repro.experiments.faults.RetryPolicy`: 0.5 s base,
+        doubling, 30 s cap, ±25 % deterministic jitter).
+    run_timeout:
+        Per-run wall-clock watchdog for the in-process backends
+        (serial/process), in seconds; a batch task gets ``run_timeout ×
+        run_count``.  Distributed workers arm their own watchdog via
+        ``campaign-worker --run-timeout``.
+    campaign_timeout:
+        Coordinator-side deadline in seconds for the whole campaign;
+        on expiry every in-flight task is recorded in the ledger and the
+        campaign aborts with :class:`~repro.errors.ExperimentError`
+        instead of hanging.
 
     Raises
     ------
@@ -759,14 +867,44 @@ class CampaignExecutor:
         serve: Optional[str] = None,
         http_options: Optional[dict] = None,
         batch_size: Optional[int] = 1,
+        max_retries: int = 1,
+        on_failure: str = "raise",
+        retry_policy: Optional[RetryPolicy] = None,
+        run_timeout: Optional[float] = None,
+        campaign_timeout: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         if batch_size is not None and int(batch_size) < 1:
             raise ExperimentError(f"batch_size must be >= 1 or None, got {batch_size}")
+        if int(max_retries) < 1:
+            raise ExperimentError(f"max_retries must be >= 1, got {max_retries}")
+        if on_failure not in ON_FAILURE_MODES:
+            raise ExperimentError(
+                f"unknown on_failure mode {on_failure!r} "
+                f"(expected one of {ON_FAILURE_MODES})"
+            )
+        if run_timeout is not None and run_timeout <= 0:
+            raise ExperimentError(f"run_timeout must be > 0, got {run_timeout}")
+        if campaign_timeout is not None and campaign_timeout <= 0:
+            raise ExperimentError(
+                f"campaign_timeout must be > 0, got {campaign_timeout}"
+            )
         self.runner = runner
         self.jobs = int(jobs)
+        self.max_retries = int(max_retries)
+        self.on_failure = on_failure
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.run_timeout = run_timeout
+        self.campaign_timeout = campaign_timeout
         self.cache = RunCache(cache_dir) if cache_dir is not None else None
+        #: The per-campaign failure ledger; persisted next to the cache
+        #: (``failures.ndjson``) when a cache_dir is configured.
+        self.ledger = FailureLedger(
+            path=pathlib.Path(cache_dir) / "failures.ndjson"
+            if cache_dir is not None
+            else None
+        )
         self._backend = self._make_backend(
             backend, spool_dir, queue_options, serve, http_options
         )
@@ -776,6 +914,8 @@ class CampaignExecutor:
             raise ExperimentError(f"wave_size must be >= 1, got {wave_size}")
         self.batch_size = None if batch_size is None else int(batch_size)
         self.stats = ExecutorStats()
+        #: Attempt counter per task id of the current campaign.
+        self._attempts: dict[str, int] = {}
         #: Per-run progress announcements of the most recent campaign:
         #: worker-reported events where the backend has a channel for them
         #: (queue sidecars, HTTP ``/progress``), coordinator-synthesised
@@ -841,9 +981,9 @@ class CampaignExecutor:
         if backend == "auto":
             backend = "process" if self.jobs > 1 else "serial"
         if backend == "serial":
-            return SerialBackend()
+            return SerialBackend(run_timeout=self.run_timeout)
         if backend == "process":
-            return ProcessBackend(self.jobs)
+            return ProcessBackend(self.jobs, run_timeout=self.run_timeout)
         if backend == "http":
             # http: workers upload into the coordinator's cache over the wire.
             if self.cache is None:
@@ -854,7 +994,13 @@ class CampaignExecutor:
                 )
             from repro.experiments.http_backend import HttpBackend  # local: avoid cycle
 
-            return HttpBackend(serve, self.cache, **(http_options or {}))
+            options = dict(http_options or {})
+            if self.max_retries > 1:
+                # A retry budget also bounds server-side stale-lease
+                # requeues, so a crash-looping worker cannot recycle a
+                # task forever (the default None keeps them unbounded).
+                options.setdefault("max_requeues", self.max_retries)
+            return HttpBackend(serve, self.cache, **options)
         # queue: remote workers share the cache, so both dirs are required.
         if self.cache is None:
             raise ExperimentError("the queue backend requires a cache_dir")
@@ -862,7 +1008,10 @@ class CampaignExecutor:
             raise ExperimentError("the queue backend requires a spool_dir")
         from repro.experiments.queue_backend import QueueBackend  # local: avoid cycle
 
-        return QueueBackend(spool_dir, self.cache, **(queue_options or {}))
+        options = dict(queue_options or {})
+        if self.max_retries > 1:
+            options.setdefault("max_requeues", self.max_retries)
+        return QueueBackend(spool_dir, self.cache, **options)
 
     # ------------------------------------------------------------------
     def run_campaign(
@@ -885,13 +1034,20 @@ class CampaignExecutor:
         -------
         ExperimentResult
             Exactly the runs the serial path would keep, for any backend
-            and worker count; accounting lands in :attr:`stats`.
+            and worker count; accounting lands in :attr:`stats`.  Under
+            ``on_failure="skip"``/``"quarantine"`` a scenario whose runs
+            were partly abandoned keeps its contiguous run prefix, and a
+            scenario with no usable runs is dropped (``stats.degraded``
+            reports either case).
 
         Raises
         ------
         ExperimentError
-            On an empty scenario list, invalid run bounds, or any
-            worker-side task failure (propagated from the backend).
+            On an empty scenario list, invalid run bounds, a task
+            failure that exhausts its retry budget under
+            ``on_failure="raise"``, an expired campaign deadline, or —
+            in the degraded modes — when *every* scenario lost all of
+            its runs.
         """
         if not scenarios:
             raise ExperimentError("campaign needs at least one scenario")
@@ -903,6 +1059,8 @@ class CampaignExecutor:
 
         self.stats = ExecutorStats(scenarios=len(scenarios))
         self.progress_events = []
+        self.ledger.reset()
+        self._attempts = {}
         states = [
             _ScenarioState(s, self._key_for(s), target=lo) for s in scenarios
         ]
@@ -935,10 +1093,21 @@ class CampaignExecutor:
         results = []
         for state in states:
             assert state.resolved is not None
+            if state.resolved == 0:
+                # Every run of this scenario was abandoned: drop it from
+                # the result (ScenarioResult rejects empty run lists).
+                self.stats.scenarios_dropped += 1
+                self.stats.runs_discarded += len(state.runs)
+                continue
             kept = [state.runs[i] for i in range(state.resolved)]
             self.stats.runs_kept += len(kept)
             self.stats.runs_discarded += len(state.runs) - len(kept)
             results.append(ScenarioResult(state.scenario, kept))
+        if not results:
+            raise ExperimentError(
+                "campaign failed: every scenario lost all of its runs "
+                f"({self.stats.failures} failures recorded in the ledger)"
+            )
         return ExperimentResult(results)
 
     # ------------------------------------------------------------------
@@ -983,17 +1152,82 @@ class CampaignExecutor:
             return f"{state.key[:16]}-{index:04d}"
         return f"{state.scenario.label}#{index}"
 
+    def _chunk_task_id(self, state: _ScenarioState, chunk: Sequence[int]) -> str:
+        """The stable task id of a dispatched chunk (matches the
+        distributed backends' ``task_id_for`` naming)."""
+        base = self._task_progress_id(state, chunk[0])
+        return base if len(chunk) == 1 else f"{base}x{len(chunk)}"
+
+    def _resolve_degraded(self, state: _ScenarioState, lo: int, hi: int) -> None:
+        """Resolve a scenario whose wave completed with abandoned holes.
+
+        The variance criterion needs the index-ordered energy prefix, so
+        only the contiguous run prefix below the first hole is usable.
+        If that prefix still satisfies the Section V-B stopping rule the
+        scenario resolves exactly as the serial path would have; if not,
+        the whole prefix is kept (degraded — possibly zero runs, in
+        which case the scenario is dropped from the result).
+        """
+        prefix = 0
+        while prefix in state.runs:
+            prefix += 1
+        kept = None
+        if prefix >= lo:
+            energies = [
+                state.runs[i].total_energy_j(HostRole.SOURCE)
+                for i in range(prefix)
+            ]
+            kept = resolve_run_count(
+                energies, lo, hi, self.runner.settings.variance_delta
+            )
+        state.resolved = kept if kept is not None else prefix
+
     def _drive(self, states: Sequence[_ScenarioState], lo: int, hi: int) -> None:
-        """The wave scheduler: dispatch, collect, evaluate, top up."""
-        pending: dict[Future, tuple[_ScenarioState, tuple[int, ...]]] = {}
+        """The wave scheduler: dispatch, collect, evaluate, top up.
+
+        Task failures are routed through the retry budget: a failed
+        chunk re-dispatches after :attr:`retry_policy` backoff until it
+        has failed :attr:`max_retries` times, then :attr:`on_failure`
+        decides between aborting (``raise``) and abandoning the chunk's
+        indices (``skip``/``quarantine``), with every attempt recorded
+        in :attr:`ledger`.
+        """
+        pending: dict[Future, tuple[_ScenarioState, tuple[int, ...], object]] = {}
         submitted_at: dict[Future, float] = {}
+        #: Chunks sitting out their backoff: (ready_at, state, chunk).
+        retry_queue: list[tuple[float, _ScenarioState, tuple[int, ...]]] = []
+        deadline = (
+            time.monotonic() + self.campaign_timeout
+            if self.campaign_timeout is not None
+            else None
+        )
+
+        def dispatch(state: _ScenarioState, chunk: Sequence[int]) -> None:
+            """Submit one chunk (fresh or retry) and count the attempt."""
+            state.inflight.update(chunk)
+            if len(chunk) == 1:
+                task = self._task_for(state, chunk[0])
+            else:
+                task = self._batch_task_for(state, chunk[0], len(chunk))
+            task_id = self._chunk_task_id(state, chunk)
+            self._attempts[task_id] = self._attempts.get(task_id, 0) + 1
+            # Clock starts before submit: the serial backend executes
+            # inside submit(), and its wall time must not read as zero.
+            t_submit = time.perf_counter()
+            future = self._backend.submit(task)
+            pending[future] = (state, tuple(chunk), task)
+            submitted_at[future] = t_submit
 
         def advance(state: _ScenarioState) -> None:
             """Dispatch missing runs below target; evaluate once complete."""
             while state.resolved is None:
                 missing = []
                 for index in range(state.target):
-                    if index in state.runs or index in state.inflight:
+                    if (
+                        index in state.runs
+                        or index in state.inflight
+                        or index in state.abandoned
+                    ):
                         continue
                     cached = (
                         self.cache.get(state.key, state.scenario, index)
@@ -1008,23 +1242,12 @@ class CampaignExecutor:
                 chunk_size = self._chunk_size(len(missing)) if missing else 1
                 for span in _contiguous_spans(missing):
                     for pos in range(0, len(span), chunk_size):
-                        chunk = span[pos : pos + chunk_size]
-                        state.inflight.update(chunk)
-                        if len(chunk) == 1:
-                            task = self._task_for(state, chunk[0])
-                        else:
-                            task = self._batch_task_for(
-                                state, chunk[0], len(chunk)
-                            )
-                        # Clock starts before submit: the serial backend
-                        # executes inside submit(), and its wall time must
-                        # not read as zero.
-                        t_submit = time.perf_counter()
-                        future = self._backend.submit(task)
-                        pending[future] = (state, tuple(chunk))
-                        submitted_at[future] = t_submit
+                        dispatch(state, span[pos : pos + chunk_size])
                 if state.inflight:
                     return  # evaluate when the wave completes
+                if any(i in state.abandoned for i in range(state.target)):
+                    self._resolve_degraded(state, lo, hi)
+                    return
                 energies = [
                     state.runs[i].total_energy_j(HostRole.SOURCE)
                     for i in range(state.target)
@@ -1037,13 +1260,83 @@ class CampaignExecutor:
                     return
                 state.target = min(hi, state.target + self.wave_size)
 
+        def fail(
+            state: _ScenarioState,
+            chunk: tuple[int, ...],
+            task,
+            exc: BaseException,
+        ) -> None:
+            """One failed attempt: retry under budget, else fate it."""
+            task_id = self._chunk_task_id(state, chunk)
+            attempt = self._attempts.get(task_id, 1)
+            failure = failure_from_exception(
+                exc,
+                task_id=task_id,
+                scenario=state.scenario.label,
+                run_indices=chunk,
+                attempt=attempt,
+                worker=self.backend,
+            )
+            self.stats.failures += 1
+            retryable = getattr(exc, "retryable", True)
+            if retryable and attempt < self.max_retries:
+                self.ledger.record(failure.with_fate("retried"))
+                self.stats.tasks_retried += 1
+                delay = self.retry_policy.delay_s(attempt, task_id)
+                retry_queue.append((time.monotonic() + delay, state, chunk))
+                return  # indices stay inflight until the re-dispatch
+            if self.on_failure == "raise":
+                self.ledger.record(failure.with_fate("fatal"))
+                raise exc
+            fate = "skipped"
+            if self.on_failure == "quarantine" and self._backend.quarantine(
+                task, task_id
+            ):
+                fate = "quarantined"
+                self.stats.tasks_quarantined += 1
+            self.ledger.record(failure.with_fate(fate))
+            state.inflight.difference_update(chunk)
+            state.abandoned.update(chunk)
+            self.stats.runs_abandoned += len(chunk)
+            if not state.inflight:
+                advance(state)
+
         for state in states:
             advance(state)
-        while pending:
-            done = self._backend.wait(list(pending))
+        while pending or retry_queue:
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                self._abort_on_deadline(pending, retry_queue)
+            if retry_queue:
+                due = [entry for entry in retry_queue if entry[0] <= now]
+                if due:
+                    retry_queue[:] = [e for e in retry_queue if e[0] > now]
+                    for _, state, chunk in due:
+                        dispatch(state, chunk)
+            if not pending:
+                # Only backoff timers outstanding: nap (bounded, so the
+                # campaign deadline stays responsive) until one is due.
+                next_ready = min(entry[0] for entry in retry_queue)
+                limit = next_ready if deadline is None else min(next_ready, deadline)
+                time.sleep(min(max(limit - time.monotonic(), 0.0), 0.25))
+                continue
+            timeout = None
+            bounds = []
+            if retry_queue:
+                bounds.append(min(entry[0] for entry in retry_queue) - now)
+            if deadline is not None:
+                bounds.append(deadline - now)
+            if bounds:
+                timeout = max(min(bounds), 0.0)
+            done = self._backend.wait(list(pending), timeout=timeout)
             for future in done:
-                state, indices = pending.pop(future)
-                result = future.result()  # propagate worker exceptions
+                state, indices, task = pending.pop(future)
+                try:
+                    result = future.result()
+                except Exception as exc:  # noqa: BLE001 - routed through the budget
+                    submitted_at.pop(future, None)
+                    fail(state, indices, task, exc)
+                    continue
                 runs = result if isinstance(result, list) else [result]
                 if len(runs) != len(indices):
                     raise ExperimentError(
@@ -1087,16 +1380,66 @@ class CampaignExecutor:
                         and state.key is not None
                         and not getattr(future, "result_in_cache", False)
                     ):
-                        self.cache.put(
-                            state.key,
-                            run,
-                            key_payload=RunCache._key_payload(
-                                self.runner.seed,
-                                state.scenario,
-                                self.runner.settings,
-                                self.runner.migration_config,
-                                self.runner.stabilization,
-                            ),
-                        )
+                        try:
+                            self.cache.put(
+                                state.key,
+                                run,
+                                key_payload=RunCache._key_payload(
+                                    self.runner.seed,
+                                    state.scenario,
+                                    self.runner.settings,
+                                    self.runner.migration_config,
+                                    self.runner.stabilization,
+                                ),
+                            )
+                        except (PersistenceError, OSError, ChaosError) as exc:
+                            # A failed cache write must never take the
+                            # campaign down: the run is already in hand.
+                            self.ledger.record(
+                                RunFailure(
+                                    task_id=self._task_progress_id(state, index),
+                                    scenario=state.scenario.label,
+                                    run_indices=(index,),
+                                    attempt=self._attempts.get(
+                                        self._chunk_task_id(state, indices), 1
+                                    ),
+                                    worker=self.backend,
+                                    kind=type(exc).__name__,
+                                    message=f"cache put failed: {exc}",
+                                    at=time.time(),
+                                    fate="tolerated",
+                                )
+                            )
+                            self.stats.failures += 1
                 if not state.inflight:
                     advance(state)
+
+    def _abort_on_deadline(self, pending: dict, retry_queue: list) -> None:
+        """Record every outstanding task and abort: deadlines never hang."""
+        stamp = time.time()
+        outstanding = [
+            (state, indices) for (state, indices, _task) in pending.values()
+        ] + [(state, chunk) for (_ready, state, chunk) in retry_queue]
+        for state, indices in outstanding:
+            task_id = self._chunk_task_id(state, indices)
+            self.ledger.record(
+                RunFailure(
+                    task_id=task_id,
+                    scenario=state.scenario.label,
+                    run_indices=tuple(indices),
+                    attempt=self._attempts.get(task_id, 1),
+                    worker=self.backend,
+                    kind="CampaignTimeout",
+                    message=(
+                        f"campaign deadline of {self.campaign_timeout:g}s "
+                        "expired with the task outstanding"
+                    ),
+                    at=stamp,
+                    fate="fatal",
+                )
+            )
+            self.stats.failures += 1
+        raise ExperimentError(
+            f"campaign deadline of {self.campaign_timeout:g}s exceeded "
+            f"with {len(outstanding)} tasks outstanding"
+        )

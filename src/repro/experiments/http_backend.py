@@ -61,7 +61,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple, Union
 
 from repro.errors import ExperimentError
+from repro.experiments.chaos import ChaosError, chaos_bytes, chaos_trip
 from repro.experiments.executor import ExecutorBackend, RunCache, RunTask
+from repro.experiments.faults import (
+    RunFailure,
+    TaskFailure,
+    run_with_deadline,
+    traceback_digest,
+)
 from repro.experiments.queue_backend import (
     STATUS_SCHEMA,
     QueueStats,
@@ -168,6 +175,9 @@ class _State:
     #: Chronological worker progress announcements (bounded; see
     #: ``HttpBackend.progress_history``).
     progress: list = field(default_factory=list)
+    #: Task ids the coordinator quarantined after exhausting their retry
+    #: budget (the HTTP analogue of the spool's ``quarantine/`` dir).
+    quarantined: set = field(default_factory=set)
     completed: int = 0
     failed: int = 0
     stopping: bool = False
@@ -292,6 +302,8 @@ class _CampaignRequestHandler(BaseHTTPRequestHandler):
             code, reply = backend._record_failure(
                 task_id, worker,
                 str(payload.get("error")), payload.get("traceback"),
+                kind=payload.get("kind"),
+                retryable=bool(payload.get("retryable", True)),
             )
         else:
             code, reply = backend._record_result(task_id, worker, body)
@@ -331,12 +343,18 @@ class HttpBackend(ExecutorBackend):
     stop_grace_s:
         How long :meth:`shutdown` keeps the service up waiting for live
         workers to poll in and receive the stop signal.
+    max_requeues:
+        Stale-lease requeue budget per task: after a task's lease expires
+        this many times its future fails with a non-retryable
+        :class:`~repro.experiments.faults.TaskFailure` instead of being
+        requeued forever.  ``None`` (the default) keeps the legacy
+        unbounded behaviour.
 
     Raises
     ------
     ExperimentError
-        On a malformed address or non-positive ``stale_timeout``, or if
-        the address cannot be bound.
+        On a malformed address, non-positive ``stale_timeout``, negative
+        ``max_requeues``, or if the address cannot be bound.
     """
 
     name = "http"
@@ -354,11 +372,16 @@ class HttpBackend(ExecutorBackend):
         stop_workers_on_shutdown: bool = False,
         worker_fresh_s: float = 15.0,
         stop_grace_s: float = 10.0,
+        max_requeues: Optional[int] = None,
     ) -> None:
         if stale_timeout <= 0:
             raise ExperimentError(f"stale_timeout must be positive, got {stale_timeout}")
+        if max_requeues is not None and max_requeues < 0:
+            raise ExperimentError(f"max_requeues must be >= 0, got {max_requeues}")
         self.cache = cache
         self.stale_timeout = float(stale_timeout)
+        self.max_requeues = max_requeues
+        self._requeue_counts: dict = {}
         self.stop_workers_on_shutdown = bool(stop_workers_on_shutdown)
         self.worker_fresh_s = float(worker_fresh_s)
         self.stop_grace_s = float(stop_grace_s)
@@ -432,6 +455,9 @@ class HttpBackend(ExecutorBackend):
         with self._state.lock:
             self._state.open[task_id] = task
             self._state.futures[task_id] = future
+            # A resubmit (executor-driven retry) starts a fresh stale-lease
+            # budget for the task.
+            self._requeue_counts.pop(task_id, None)
             self.stats.tasks_submitted += 1
         return future
 
@@ -450,21 +476,76 @@ class HttpBackend(ExecutorBackend):
         self._server.server_close()
         self._thread.join(timeout=5.0)
 
+    def quarantine(self, task, task_id: str) -> bool:
+        """Retire a task whose retry budget is exhausted.
+
+        The HTTP analogue of the spool's ``quarantine/`` directory: the
+        task id joins the coordinator's quarantine set (surfaced via
+        ``GET /status``) and leaves the open/lease bookkeeping for good.
+        """
+        with self._state.lock:
+            self._state.open.pop(task_id, None)
+            self._state.leases.pop(task_id, None)
+            self._state.quarantined.add(task_id)
+            self.stats.tasks_quarantined += 1
+        return True
+
     # -- handler entry points (called from service threads) ---------------
     def _requeue_stale_locked(self) -> None:
-        """Requeue leases whose heartbeat expired.  Caller holds the lock."""
+        """Requeue leases whose heartbeat expired.  Caller holds the lock.
+
+        A ``max_requeues`` budget bounds the requeues per task: once
+        exhausted, the future fails with a non-retryable
+        :class:`TaskFailure` (fate decided by the coordinator's
+        ``on_failure`` policy) instead of cycling through dead workers
+        forever.
+        """
         now = time.monotonic()
         expired = [
-            task_id
+            (task_id, lease)
             for task_id, lease in self._state.leases.items()
             if now - lease.last_beat > self.stale_timeout
         ]
-        for task_id in expired:
+        for task_id, lease in expired:
             self._state.leases.pop(task_id)
             future = self._state.futures.get(task_id)
-            if future is not None and not future.done():
-                self._state.open[task_id] = future.task
-                self.stats.tasks_requeued += 1
+            if future is None or future.done():
+                continue
+            spent = self._requeue_counts.get(task_id, 0)
+            if self.max_requeues is not None and spent >= self.max_requeues:
+                self.stats.leases_failed += 1
+                self._state.failed += 1
+                task = future.task
+                indices = tuple(
+                    task.run_indices
+                    if getattr(task, "run_count", None) is not None
+                    else (task.run_index,)
+                )
+                failure = RunFailure(
+                    task_id=task_id,
+                    scenario=task.scenario.label,
+                    run_indices=indices,
+                    attempt=1,  # placeholder; the coordinator tracks attempts
+                    worker=lease.worker,
+                    kind="StaleLease",
+                    message=(
+                        f"lease expired {spent + 1} times "
+                        f"(stale-requeue budget {self.max_requeues} exhausted)"
+                    ),
+                    at=time.time(),
+                )
+                future.set_exception(
+                    TaskFailure(
+                        f"http task {task_id} failed on {lease.worker}: "
+                        f"{failure.message}",
+                        failure=failure,
+                        retryable=False,
+                    )
+                )
+                continue
+            self._requeue_counts[task_id] = spent + 1
+            self._state.open[task_id] = future.task
+            self.stats.tasks_requeued += 1
 
     def _claim(self, worker: str) -> dict:
         with self._state.lock:
@@ -595,7 +676,8 @@ class HttpBackend(ExecutorBackend):
         return 200, {"ok": True}
 
     def _record_failure(
-        self, task_id: str, worker: str, error: str, trace: Optional[str]
+        self, task_id: str, worker: str, error: str, trace: Optional[str],
+        kind: Optional[str] = None, retryable: bool = True,
     ) -> Tuple[int, dict]:
         with self._state.lock:
             self._state.workers[worker] = time.monotonic()
@@ -615,7 +697,26 @@ class HttpBackend(ExecutorBackend):
             message = f"http task {task_id} failed on {worker}: {error}"
             if trace:
                 message = f"{message}\n{trace}"
-            future.set_exception(ExperimentError(message))
+            task = future.task
+            indices = tuple(
+                task.run_indices
+                if getattr(task, "run_count", None) is not None
+                else (task.run_index,)
+            )
+            failure = RunFailure(
+                task_id=task_id,
+                scenario=task.scenario.label,
+                run_indices=indices,
+                attempt=1,  # placeholder; the coordinator tracks attempts
+                worker=worker,
+                kind=kind or "WorkerFailure",
+                message=error,
+                traceback_digest=traceback_digest(trace),
+                at=time.time(),
+            )
+            future.set_exception(
+                TaskFailure(message, failure=failure, retryable=bool(retryable))
+            )
         return 200, {"ok": True}
 
     def _status_document(self) -> dict:
@@ -660,6 +761,8 @@ class HttpBackend(ExecutorBackend):
                 "leases_stale": stale,
                 "tasks_completed": self._state.completed,
                 "tasks_failed": self._state.failed,
+                "tasks_quarantined": len(self._state.quarantined),
+                "quarantined": sorted(self._state.quarantined),
                 "tasks_submitted": self.stats.tasks_submitted,
                 "tasks_requeued": self.stats.tasks_requeued,
                 "corrupt_results": self.stats.corrupt_results,
@@ -744,21 +847,29 @@ def fetch_status(url: str, timeout: float = 10.0) -> dict:
 class _HttpHeartbeat(threading.Thread):
     """Renews one lease over HTTP while the worker executes its task."""
 
-    def __init__(self, url: str, worker: str, task_id: str, interval_s: float) -> None:
+    def __init__(
+        self, url: str, worker: str, task_id: str, interval_s: float,
+        timeout: float = 10.0,
+    ) -> None:
         super().__init__(daemon=True)
         self._url = url
         self._worker = worker
         self._task_id = task_id
         self._interval_s = interval_s
+        self._timeout = timeout
         self._stopped = threading.Event()
 
     def run(self) -> None:
         while not self._stopped.wait(self._interval_s):
             try:
+                chaos_trip("heartbeat", tag=self._task_id)
                 reply = _post_json(
                     self._url, "/heartbeat",
                     {"worker": self._worker, "task_id": self._task_id},
+                    timeout=self._timeout,
                 )
+            except ChaosError:
+                return  # injected beat loss: the lease goes stale server-side
             except (urllib.error.URLError, OSError):
                 continue  # transient outage: keep executing, retry next tick
             if not reply.get("ok"):
@@ -770,32 +881,51 @@ class _HttpHeartbeat(threading.Thread):
         self.join(timeout=self._interval_s + 1.0)
 
 
-def _upload_result(url: str, worker: str, task_id: str, payload: bytes) -> None:
+def _upload_result(
+    url: str, worker: str, task_id: str, payload: bytes,
+    timeout: float = 10.0,
+) -> None:
     """POST a finished result envelope (run or batch pickle bytes); an
     HTTP 400 (rejected upload) raises."""
     _request(
         url,
         "/result",
-        data=payload,
+        # The result-upload byte seam: chaos may corrupt the envelope so
+        # the coordinator's validation path (reject + requeue) is
+        # exercised end-to-end.
+        data=chaos_bytes("result-upload", payload, tag=task_id),
         headers={
             "Content-Type": "application/octet-stream",
             "X-Wavm3-Task-Id": task_id,
             "X-Wavm3-Worker": worker,
         },
+        timeout=timeout,
     )
 
 
-def _upload_failure(url: str, worker: str, task_id: str, error: str, trace: str) -> None:
+def _upload_failure(
+    url: str, worker: str, task_id: str, error: str, trace: str,
+    kind: Optional[str] = None, retryable: bool = True,
+    timeout: float = 10.0,
+) -> None:
     try:
         _request(
             url,
             "/result",
-            data=json.dumps({"error": error, "traceback": trace}).encode("utf-8"),
+            data=json.dumps(
+                {
+                    "error": error,
+                    "traceback": trace,
+                    "kind": kind,
+                    "retryable": bool(retryable),
+                }
+            ).encode("utf-8"),
             headers={
                 "Content-Type": "application/json",
                 "X-Wavm3-Task-Id": task_id,
                 "X-Wavm3-Worker": worker,
             },
+            timeout=timeout,
         )
     except (urllib.error.URLError, OSError):
         pass  # the lease will go stale and the coordinator requeues the task
@@ -810,6 +940,8 @@ def run_http_worker(
     worker_id: Optional[str] = None,
     verify_keys: bool = True,
     offline_grace_s: float = 30.0,
+    run_timeout: Optional[float] = None,
+    http_timeout: float = 10.0,
 ) -> WorkerStats:
     """Serve a campaign service until stopped: claim, execute, upload.
 
@@ -825,7 +957,10 @@ def run_http_worker(
     url:
         The coordinator's base URL (``http://host:port``).
     poll_interval:
-        Sleep between ``/claim`` polls while no work is available.
+        Base sleep between ``/claim`` polls while no work is available;
+        consecutive empty polls — and consecutive connection failures —
+        back off exponentially (capped near ``heartbeat_s``) so an idle
+        fleet or a coordinator outage does not turn into a request storm.
     heartbeat_s:
         Lease-renewal cadence; must stay well under the coordinator's
         ``stale_timeout``.
@@ -842,6 +977,14 @@ def run_http_worker(
     offline_grace_s:
         Exit (successfully) after this long of consecutive connection
         failures — the coordinator finished and went away.
+    run_timeout:
+        Watchdog deadline per run, in seconds: a claimed batch may take
+        at most ``run_timeout * len(batch)`` of wall clock before the
+        worker abandons it with a failure upload instead of hanging the
+        lease forever.  ``None`` disables the watchdog.
+    http_timeout:
+        Socket timeout (seconds) for every exchange with the coordinator
+        (claims, heartbeats, uploads); must be positive.
 
     Returns
     -------
@@ -856,24 +999,39 @@ def run_http_worker(
         contact (unreachable coordinators *later* trigger the
         ``offline_grace_s`` exit instead).
     """
+    if http_timeout <= 0:
+        raise ExperimentError(f"http_timeout must be positive, got {http_timeout}")
     wid = worker_id or f"{socket.gethostname()}-{os.getpid()}"
     stats = WorkerStats()
-    fetch_status(url)  # fail fast on a wrong URL, before the poll loop
+    fetch_status(url, timeout=http_timeout)  # fail fast on a wrong URL
     idle_since = time.monotonic()
     offline_since: Optional[float] = None
+    backoff_steps = 0
+    # Empty polls and outage retries back off exponentially, capped so the
+    # worker still hears a stop signal within a heartbeat-ish window.
+    backoff_cap = max(poll_interval, min(poll_interval * 16.0, heartbeat_s))
+
+    def _nap() -> None:
+        nonlocal backoff_steps
+        time.sleep(min(poll_interval * (2.0 ** backoff_steps), backoff_cap))
+        backoff_steps = min(backoff_steps + 1, 16)  # 2**16 already clears any cap
 
     while True:
         if max_tasks is not None and stats.claimed >= max_tasks:
             break
         try:
-            reply = _post_json(url, "/claim", {"worker": wid})
+            chaos_trip("claim", tag=wid)
+            reply = _post_json(url, "/claim", {"worker": wid}, timeout=http_timeout)
+        except ChaosError:
+            _nap()  # injected claim loss: retry on the next poll
+            continue
         except (urllib.error.URLError, OSError):
             now = time.monotonic()
             if offline_since is None:
                 offline_since = now
             if now - offline_since >= offline_grace_s:
                 break  # coordinator gone: campaign over
-            time.sleep(poll_interval)
+            _nap()
             continue
         offline_since = None
         if reply.get("stop"):
@@ -882,10 +1040,14 @@ def run_http_worker(
         if task_id is None:
             if idle_exit_s is not None and time.monotonic() - idle_since >= idle_exit_s:
                 break
-            time.sleep(poll_interval)
+            _nap()
             continue
+        backoff_steps = 0
         stats.claimed += 1
-        _process_http_claim(url, wid, str(task_id), reply, heartbeat_s, verify_keys, stats)
+        _process_http_claim(
+            url, wid, str(task_id), reply, heartbeat_s, verify_keys, stats,
+            run_timeout=run_timeout, http_timeout=http_timeout,
+        )
         # Execution time must not count as idle time.
         idle_since = time.monotonic()
     return stats
@@ -899,6 +1061,8 @@ def _process_http_claim(
     heartbeat_s: float,
     verify_keys: bool,
     stats: WorkerStats,
+    run_timeout: Optional[float] = None,
+    http_timeout: float = 10.0,
 ) -> None:
     try:
         task = task_spec_from_dict(reply.get("spec") or {})
@@ -912,7 +1076,10 @@ def _process_http_claim(
                     f"embedded cache key {task.key!r} does not match the spec"
                 )
     except PersistenceError as exc:
-        _upload_failure(url, worker_id, task_id, str(exc), "")
+        _upload_failure(
+            url, worker_id, task_id, str(exc), "",
+            kind=type(exc).__name__, timeout=http_timeout,
+        )
         stats.failed += 1
         return
 
@@ -945,34 +1112,45 @@ def _process_http_claim(
             at=time.time(),
         )
         try:
-            _post_json(url, "/progress", progress_event_to_dict(event))
-        except (urllib.error.URLError, OSError):
+            chaos_trip("publish", tag=task.scenario.label)
+            _post_json(
+                url, "/progress", progress_event_to_dict(event),
+                timeout=http_timeout,
+            )
+        except (urllib.error.URLError, OSError, ChaosError):
             pass  # progress is observational: never fail the task over it
 
-    heartbeat = _HttpHeartbeat(url, worker_id, task_id, heartbeat_s)
+    heartbeat = _HttpHeartbeat(url, worker_id, task_id, heartbeat_s, timeout=http_timeout)
     heartbeat.start()
     mark = time.perf_counter()
-    try:
+    run_count = int(getattr(task, "run_count", 1) or 1)
+    deadline = None if run_timeout is None else run_timeout * run_count
+
+    def _execute() -> bytes:
         if is_batch:
             # One runner instance serves the whole seed wave; runs are
             # announced as they finish and uploaded as one envelope.
-            runs = task.execute(on_run=_announce)
-            payload = dump_run_batch_bytes(runs)
-        else:
-            run = task.execute()
-            _announce(run)
-            payload = dump_run_result_bytes(run)
+            return dump_run_batch_bytes(task.execute(on_run=_announce))
+        run = task.execute()
+        _announce(run)
+        return dump_run_result_bytes(run)
+
+    try:
+        payload = run_with_deadline(
+            _execute, deadline, label=f"task {task_id} ({run_count} runs)"
+        )
     except Exception as exc:  # noqa: BLE001 - any failure must reach the coordinator
         _upload_failure(
             url, worker_id, task_id,
             f"{type(exc).__name__}: {exc}", traceback.format_exc(),
+            kind=type(exc).__name__, timeout=http_timeout,
         )
         stats.failed += 1
         return
     finally:
         heartbeat.stop()
     try:
-        _upload_result(url, worker_id, task_id, payload)
+        _upload_result(url, worker_id, task_id, payload, timeout=http_timeout)
         stats.executed += done_in_claim
     except urllib.error.HTTPError as exc:
         # The coordinator rejected the upload (it validates schema,

@@ -34,12 +34,14 @@ renders it, and the coordinator folds it into the campaign summary.
 Spool layout::
 
     <spool>/
-      tasks/    open task specs (one JSON file per run)
-      claims/   specs claimed by a worker; mtime = worker heartbeat
-      failed/   terminal task failures (error + traceback JSON)
-      workers/  one heartbeat file per live worker (capacity introspection)
-      progress/ per-worker NDJSON progress sidecars (live campaign progress)
-      stop      sentinel: workers drain and exit when it appears
+      tasks/      open task specs (one JSON file per run)
+      claims/     specs claimed by a worker; mtime = worker heartbeat
+      failed/     terminal task failures (error + traceback JSON)
+      quarantine/ specs parked after an exhausted retry budget
+                  (``on_failure="quarantine"``) — inspect and re-spool by hand
+      workers/    one heartbeat file per live worker (capacity introspection)
+      progress/   per-worker NDJSON progress sidecars (live campaign progress)
+      stop        sentinel: workers drain and exit when it appears
 
 Abandoned campaigns leave all of this behind; :func:`spool_gc` (CLI:
 ``wavm3 campaign --gc-spool``) removes artifacts older than a grace age,
@@ -63,11 +65,18 @@ from dataclasses import dataclass
 from typing import Collection, Optional, Set, Union
 
 from repro.errors import ExperimentError
+from repro.experiments.chaos import ChaosError, chaos_trip
 from repro.experiments.executor import (
     ExecutorBackend,
     RunCache,
     RunTask,
     execute_batch,
+)
+from repro.experiments.faults import (
+    RunFailure,
+    TaskFailure,
+    run_with_deadline,
+    traceback_digest,
 )
 from repro.experiments.results import ProgressEvent, run_sample_count
 from repro.io import (
@@ -139,12 +148,14 @@ class _Spool:
         self.tasks = self.root / "tasks"
         self.claims = self.root / "claims"
         self.failed = self.root / "failed"
+        self.quarantine = self.root / "quarantine"
         self.workers = self.root / "workers"
         self.progress = self.root / "progress"
         self.stop = self.root / "stop"
         if create:
             for directory in (
-                self.tasks, self.claims, self.failed, self.workers, self.progress,
+                self.tasks, self.claims, self.failed, self.quarantine,
+                self.workers, self.progress,
             ):
                 directory.mkdir(parents=True, exist_ok=True)
 
@@ -156,6 +167,9 @@ class _Spool:
 
     def failure_path(self, task_id: str) -> pathlib.Path:
         return self.failed / f"{task_id}.json"
+
+    def quarantine_path(self, task_id: str) -> pathlib.Path:
+        return self.quarantine / f"{task_id}.json"
 
 
 def _write_json_atomic(path: pathlib.Path, payload: dict) -> None:
@@ -200,6 +214,8 @@ class QueueStats:
     tasks_requeued: int = 0    # stale claims returned to the open queue
     tasks_resubmitted: int = 0 # lost/corrupt tasks re-spooled
     corrupt_results: int = 0   # cache files that failed validation
+    leases_failed: int = 0     # claims failed after the stale-requeue budget
+    tasks_quarantined: int = 0 # specs parked in quarantine/
 
 
 class _QueueFuture(Future):
@@ -236,6 +252,12 @@ class QueueBackend(ExecutorBackend):
     worker_fresh_s:
         A worker-heartbeat file younger than this counts as a live worker
         for :attr:`capacity`.
+    max_requeues:
+        Stale-requeue budget per task (per submit): once a task's lease
+        has expired this many times it is *failed* (a ``failed/`` record
+        with ``retryable: false``) instead of recycled forever — the
+        executor's ``on_failure`` policy then decides its fate.  ``None``
+        (default) keeps the historical unbounded requeue behaviour.
     """
 
     name = "queue"
@@ -248,17 +270,23 @@ class QueueBackend(ExecutorBackend):
         stale_timeout: float = 60.0,
         stop_workers_on_shutdown: bool = False,
         worker_fresh_s: float = 15.0,
+        max_requeues: Optional[int] = None,
     ) -> None:
         if poll_interval <= 0:
             raise ExperimentError(f"poll_interval must be positive, got {poll_interval}")
         if stale_timeout <= 0:
             raise ExperimentError(f"stale_timeout must be positive, got {stale_timeout}")
+        if max_requeues is not None and int(max_requeues) < 0:
+            raise ExperimentError(f"max_requeues must be >= 0, got {max_requeues}")
         self.spool = _Spool(spool_dir)
         self.cache = cache
         self.poll_interval = float(poll_interval)
         self.stale_timeout = float(stale_timeout)
         self.stop_workers_on_shutdown = bool(stop_workers_on_shutdown)
         self.worker_fresh_s = float(worker_fresh_s)
+        self.max_requeues = None if max_requeues is None else int(max_requeues)
+        #: Stale-lease requeues per task id since its last submit.
+        self._requeue_counts: dict[str, int] = {}
         self.stats = QueueStats()
         #: Task ids submitted by this coordinator: drain_progress uses it
         #: to keep sidecar events of *other* campaigns sharing the spool
@@ -315,8 +343,10 @@ class QueueBackend(ExecutorBackend):
     def submit(self, task) -> Future:
         task_id = task_id_for(task)
         # A failure record from an earlier campaign must not resolve the
-        # fresh attempt, so clear it before the spec becomes claimable.
+        # fresh attempt, so clear it before the spec becomes claimable;
+        # a fresh attempt also gets a fresh stale-requeue budget.
         self.spool.failure_path(task_id).unlink(missing_ok=True)
+        self._requeue_counts.pop(task_id, None)
         save_task_spec(task, self.spool.task_path(task_id))
         self.stats.tasks_submitted += 1
         # Workers announce progress per *run*, so a batch task owns one
@@ -344,17 +374,40 @@ class QueueBackend(ExecutorBackend):
         latest = {e.task_id: e for e in events}
         return sorted(latest.values(), key=lambda e: e.at)
 
-    def wait(self, pending: Collection[Future]) -> Set[Future]:
+    def wait(
+        self, pending: Collection[Future], timeout: Optional[float] = None
+    ) -> Set[Future]:
+        started = time.monotonic()
         while True:
             self._requeue_stale_claims()
             done = {future for future in pending if self._poll(future)}
             if done:
                 return done
+            if (
+                timeout is not None
+                and time.monotonic() - started + self.poll_interval > timeout
+            ):
+                return done  # empty: the scheduler has timers to service
             time.sleep(self.poll_interval)
 
     def shutdown(self) -> None:
         if self.stop_workers_on_shutdown:
             self.spool.stop.touch()
+
+    def quarantine(self, task, task_id: str) -> bool:
+        """Park a budget-exhausted task's spec in ``quarantine/``.
+
+        The spec is preserved verbatim for post-mortem inspection (and
+        manual re-spooling into ``tasks/``); its open/claimed copies are
+        removed so no worker picks it up again.  The ``failed/`` record
+        of the final attempt is left in place — ``spool_status()``
+        reports both.
+        """
+        save_task_spec(task, self.spool.quarantine_path(task_id))
+        self.spool.task_path(task_id).unlink(missing_ok=True)
+        self.spool.claim_path(task_id).unlink(missing_ok=True)
+        self.stats.tasks_quarantined += 1
+        return True
 
     # -- internals -------------------------------------------------------
     def _poll(self, future: _QueueFuture) -> bool:
@@ -399,9 +452,33 @@ class QueueBackend(ExecutorBackend):
                 record = json.loads(failure.read_text(encoding="utf-8"))
                 message = record.get("error", "unknown worker failure")
             except (json.JSONDecodeError, OSError):
+                record = {}
                 message = "unreadable worker failure record"
+            # Structured failure for the coordinator's retry budget: the
+            # record's "kind"/"retryable" fields are written by current
+            # workers; older records degrade to a parsed exception-class
+            # prefix and a retryable default.
+            head = message.split(":", 1)[0]
+            kind = record.get("kind") or (
+                head if head.isidentifier() else "WorkerFailure"
+            )
+            run_failure = RunFailure(
+                task_id=future.task_id,
+                scenario=task.scenario.label,
+                run_indices=tuple(indices),
+                attempt=1,  # the executor stamps its own attempt count
+                worker=str(record.get("worker", "?")),
+                kind=str(kind),
+                message=str(message),
+                traceback_digest=traceback_digest(record.get("traceback")),
+                at=time.time(),
+            )
             future.set_exception(
-                ExperimentError(f"queue task {future.task_id} failed: {message}")
+                TaskFailure(
+                    f"queue task {future.task_id} failed: {message}",
+                    failure=run_failure,
+                    retryable=bool(record.get("retryable", True)),
+                )
             )
             return True
         # No result, no failure: the spec must still be claimable or
@@ -416,7 +493,13 @@ class QueueBackend(ExecutorBackend):
         return False
 
     def _requeue_stale_claims(self) -> None:
-        """Return claims with an expired heartbeat to the open queue."""
+        """Return claims with an expired heartbeat to the open queue.
+
+        With :attr:`max_requeues` set, a task whose lease keeps expiring
+        is failed (``retryable: false``) once the budget is spent — a
+        worker-killing task must not be recycled to every worker in the
+        fleet forever.
+        """
         now = self._spool_now()
         for claim in self.spool.claims.glob("*.json"):
             try:
@@ -424,9 +507,31 @@ class QueueBackend(ExecutorBackend):
                     continue
             except OSError:
                 continue  # completed between glob and stat
+            task_id = claim.stem
+            spent = self._requeue_counts.get(task_id, 0)
+            if self.max_requeues is not None and spent >= self.max_requeues:
+                _write_json_atomic(
+                    self.spool.failure_path(task_id),
+                    {
+                        "schema": TASK_FAILURE_SCHEMA,
+                        "task_id": task_id,
+                        "worker": "coordinator",
+                        "error": (
+                            f"lease expired {spent + 1} times "
+                            f"(stale-requeue budget {self.max_requeues} exhausted)"
+                        ),
+                        "kind": "StaleLease",
+                        "retryable": False,
+                        "traceback": None,
+                    },
+                )
+                claim.unlink(missing_ok=True)
+                self.stats.leases_failed += 1
+                continue
             try:
                 claim.rename(self.spool.tasks / claim.name)
                 self.stats.tasks_requeued += 1
+                self._requeue_counts[task_id] = spent + 1
             except OSError:
                 continue  # another coordinator beat us to it
 
@@ -457,9 +562,10 @@ def spool_status(
     -------
     dict
         Counts and details: ``tasks_open``, ``tasks_leased``,
-        ``leases_stale``, ``tasks_failed``, ``workers``/``workers_live``,
+        ``leases_stale``, ``tasks_failed``, ``tasks_quarantined`` (plus
+        the ``quarantined`` task-id list), ``workers``/``workers_live``,
         ``stopping``, a ``failures`` list of the ``failed/`` records
-        (task id, worker, error), plus live progress: ``progress`` (one
+        (task id, worker, error, kind), plus live progress: ``progress`` (one
         entry per worker sidecar — runs completed, samples/sec, last
         task, age of the last announcement) and ``progress_events`` (the
         total event count across sidecars).
@@ -518,8 +624,14 @@ def spool_status(
                 "task_id": record.get("task_id", path.stem),
                 "worker": record.get("worker", "?"),
                 "error": record.get("error", "unreadable failure record"),
+                "kind": record.get("kind", "?"),
             }
         )
+    quarantined = (
+        sorted(path.stem for path in spool.quarantine.glob("*.json"))
+        if spool.quarantine.is_dir()
+        else []
+    )
     return {
         "schema": STATUS_SCHEMA,
         "backend": "queue",
@@ -529,6 +641,8 @@ def spool_status(
         "leases_stale": sum(1 for _, age in claims if age > stale_timeout),
         "tasks_failed": len(failures),
         "failures": failures,
+        "tasks_quarantined": len(quarantined),
+        "quarantined": quarantined,
         "workers": workers,
         "workers_live": sum(1 for w in workers if w["live"]),
         "progress": progress,
@@ -570,7 +684,8 @@ def spool_gc(
     -------
     dict
         Per-category removal counts (``tasks``, ``claims``, ``failures``,
-        ``workers``, ``progress``, ``stop``), ``removed_total``, the
+        ``quarantine``, ``workers``, ``progress``, ``stop``),
+        ``removed_total``, the
         ``files`` list (spool-relative paths, sorted), and the echoed
         ``dry_run`` flag.
 
@@ -589,7 +704,10 @@ def spool_gc(
     # once for the whole sweep — a skewed coordinator clock must not GC
     # a live campaign's artifacts.
     now = time.time() + _measure_spool_skew(spool.root)
-    counts = {"tasks": 0, "claims": 0, "failures": 0, "workers": 0, "progress": 0, "stop": 0}
+    counts = {
+        "tasks": 0, "claims": 0, "failures": 0, "quarantine": 0,
+        "workers": 0, "progress": 0, "stop": 0,
+    }
     removed: list[str] = []
 
     def _sweep(directory: pathlib.Path, pattern: str, category: str) -> None:
@@ -609,6 +727,7 @@ def spool_gc(
     _sweep(spool.tasks, "*.json", "tasks")
     _sweep(spool.claims, "*.json", "claims")
     _sweep(spool.failed, "*.json", "failures")
+    _sweep(spool.quarantine, "*.json", "quarantine")
     _sweep(spool.workers, "*.json", "workers")
     _sweep(spool.progress, "*.ndjson", "progress")
     # Orphaned atomic-write temp files (writer died mid-rename).  The
@@ -616,8 +735,8 @@ def spool_gc(
     # sentinel's temp lands at the spool root.
     for directory, category in (
         (spool.tasks, "tasks"), (spool.claims, "claims"),
-        (spool.failed, "failures"), (spool.workers, "workers"),
-        (spool.progress, "progress"),
+        (spool.failed, "failures"), (spool.quarantine, "quarantine"),
+        (spool.workers, "workers"), (spool.progress, "progress"),
     ):
         _sweep(directory, "*.tmp", category)
     _sweep(spool.root, "stop.*.tmp", "stop")
@@ -662,7 +781,10 @@ class _ClaimHeartbeat(threading.Thread):
     def run(self) -> None:
         while not self._stopped.wait(self._interval_s):
             try:
+                chaos_trip("heartbeat", tag=self._path.stem)
                 os.utime(self._path)
+            except ChaosError:
+                return  # injected beat loss: the lease goes stale and is requeued
             except OSError:
                 return  # claim vanished (task finished or was requeued)
 
@@ -706,6 +828,7 @@ def _claim_next_task(spool: _Spool) -> Optional[pathlib.Path]:
 def _record_failure(
     spool: _Spool, task_id: str, claim: pathlib.Path, worker_id: str,
     error: str, trace: Optional[str] = None,
+    kind: Optional[str] = None, retryable: bool = True,
 ) -> None:
     _write_json_atomic(
         spool.failure_path(task_id),
@@ -714,6 +837,8 @@ def _record_failure(
             "task_id": task_id,
             "worker": worker_id,
             "error": error,
+            "kind": kind,
+            "retryable": bool(retryable),
             "traceback": trace,
         },
     )
@@ -729,6 +854,7 @@ def run_worker(
     idle_exit_s: Optional[float] = None,
     worker_id: Optional[str] = None,
     verify_keys: bool = True,
+    run_timeout: Optional[float] = None,
 ) -> WorkerStats:
     """Serve a spool directory until stopped: claim, execute, deposit.
 
@@ -737,7 +863,9 @@ def run_worker(
     spool_dir / cache_dir:
         The shared spool and run cache (same values the coordinator uses).
     poll_interval:
-        Sleep between scans while the queue is empty.
+        Base sleep between scans while the queue is empty; consecutive
+        empty scans back off exponentially (capped near ``heartbeat_s``)
+        so a big idle fleet does not hammer the shared filesystem.
     heartbeat_s:
         Cadence of claim-mtime and worker-liveness heartbeats; must stay
         well under the coordinator's ``stale_timeout``.
@@ -751,6 +879,11 @@ def run_worker(
     verify_keys:
         Recompute each spec's cache key and refuse mismatching specs
         (defence against corrupted or tampered spool files).
+    run_timeout:
+        Watchdog deadline per run, in seconds: a claimed batch may take
+        at most ``run_timeout * len(batch)`` of wall clock before the
+        worker abandons it with a failure record instead of hanging the
+        lease forever.  ``None`` disables the watchdog.
 
     Returns
     -------
@@ -764,6 +897,10 @@ def run_worker(
     stats = WorkerStats()
     idle_since = time.monotonic()
     last_beat = 0.0
+    idle_scans = 0
+    # Idle polls back off exponentially, but never so far that the worker
+    # misses its own heartbeat cadence (which also bounds stop latency).
+    idle_cap = max(poll_interval, min(poll_interval * 16.0, heartbeat_s))
 
     try:
         while True:
@@ -775,14 +912,23 @@ def run_worker(
             if now - last_beat >= heartbeat_s or not beat_path.exists():
                 _write_json_atomic(beat_path, {"worker": wid, "pid": os.getpid()})
                 last_beat = now
-            claim = _claim_next_task(spool)
+            try:
+                chaos_trip("claim", tag=wid)
+                claim = _claim_next_task(spool)
+            except ChaosError:
+                claim = None  # injected claim loss: retry on the next scan
             if claim is None:
                 if idle_exit_s is not None and now - idle_since >= idle_exit_s:
                     break
-                time.sleep(poll_interval)
+                time.sleep(min(poll_interval * (2.0 ** idle_scans), idle_cap))
+                idle_scans = min(idle_scans + 1, 16)  # 2**16 already clears any cap
                 continue
+            idle_scans = 0
             stats.claimed += 1
-            _process_claim(spool, cache, claim, wid, heartbeat_s, verify_keys, stats)
+            _process_claim(
+                spool, cache, claim, wid, heartbeat_s, verify_keys, stats,
+                run_timeout=run_timeout,
+            )
             # Execution time must not count as idle time, so the clock
             # restarts only after the claim is fully processed.
             idle_since = time.monotonic()
@@ -799,6 +945,7 @@ def _process_claim(
     heartbeat_s: float,
     verify_keys: bool,
     stats: WorkerStats,
+    run_timeout: Optional[float] = None,
 ) -> None:
     task_id = claim.stem
     try:
@@ -815,7 +962,10 @@ def _process_claim(
     except PersistenceError as exc:
         if not claim.exists():
             return  # lease lost (requeued mid-read) — not this worker's task
-        _record_failure(spool, task_id, claim, worker_id, str(exc))
+        _record_failure(
+            spool, task_id, claim, worker_id, str(exc),
+            kind=type(exc).__name__,
+        )
         stats.failed += 1
         return
 
@@ -841,8 +991,9 @@ def _process_claim(
             at=time.time(),
         )
         try:
+            chaos_trip("publish", tag=task.scenario.label)
             append_progress_event(event, spool.progress / f"{worker_id}.ndjson")
-        except OSError:
+        except (OSError, ChaosError):
             pass  # progress is observational: never fail the task over it
 
     def _deposit(run) -> None:
@@ -868,15 +1019,22 @@ def _process_claim(
         if missing:
             # One runner instance serves the whole seed wave — scenario
             # validation is hoisted, per-run seeds stay derive_seed-exact.
-            execute_batch(
-                task.seed, task.settings, task.migration_config,
-                task.stabilization, task.scenario, missing,
-                on_run=_deposit,
+            # The watchdog deadline scales with the batch: every run gets
+            # its run_timeout allowance.
+            run_with_deadline(
+                lambda: execute_batch(
+                    task.seed, task.settings, task.migration_config,
+                    task.stabilization, task.scenario, missing,
+                    on_run=_deposit,
+                ),
+                None if run_timeout is None else run_timeout * len(missing),
+                label=f"task {task_id} ({len(missing)} runs)",
             )
     except Exception as exc:  # noqa: BLE001 - any failure must reach the coordinator
         _record_failure(
             spool, task_id, claim, worker_id,
             f"{type(exc).__name__}: {exc}", traceback.format_exc(),
+            kind=type(exc).__name__,
         )
         stats.failed += 1
     else:

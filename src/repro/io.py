@@ -57,6 +57,10 @@ __all__ = [
     "progress_event_from_dict",
     "append_progress_event",
     "load_progress_events",
+    "run_failure_to_dict",
+    "run_failure_from_dict",
+    "append_failure_record",
+    "load_failure_records",
 ]
 
 _PathLike = Union[str, pathlib.Path]
@@ -73,6 +77,7 @@ TASK_SPEC_SCHEMA = "wavm3-taskspec/1"
 # becomes a contiguous (run_start, run_count) range.
 TASK_BATCH_SCHEMA = "wavm3-taskspec/2"
 PROGRESS_SCHEMA = "wavm3-progress/1"
+FAILURE_SCHEMA = "wavm3-failure/1"
 
 
 class PersistenceError(ReproError):
@@ -333,9 +338,14 @@ def save_run_result(run, path: _PathLike) -> None:
         Destination file (conventionally ``run-NNNN.pkl`` inside a
         :class:`~repro.experiments.executor.RunCache` entry).
     """
+    from repro.experiments.chaos import chaos_bytes  # local: avoid cycle
+
     path = pathlib.Path(path)
     tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
-    tmp.write_bytes(dump_run_result_bytes(run))
+    # The "cache-put" chaos seam: an active schedule may crash, delay or
+    # corrupt the payload here (corruption is caught on read — a corrupt
+    # entry loads as a cache miss and the run is recomputed).
+    tmp.write_bytes(chaos_bytes("cache-put", dump_run_result_bytes(run)))
     tmp.replace(path)
 
 
@@ -651,6 +661,151 @@ def load_progress_events(path: _PathLike) -> list:
         except (json.JSONDecodeError, PersistenceError):
             continue  # torn or corrupt line: skip, keep the stream usable
     return events
+
+
+# ---------------------------------------------------------------------------
+# Failure records <-> JSON / NDJSON (the campaign failure ledger)
+# ---------------------------------------------------------------------------
+def run_failure_to_dict(failure) -> dict:
+    """Serialise a :class:`~repro.experiments.faults.RunFailure`.
+
+    This dict is the ``wavm3-failure/1`` wire format: one NDJSON line in
+    the campaign's failure ledger (``failures.ndjson`` next to the run
+    cache), and the shape of the ``failures`` entries in
+    ``spool_status()`` and the HTTP backend's ``GET /status``.
+
+    Parameters
+    ----------
+    failure:
+        The :class:`~repro.experiments.faults.RunFailure` to serialise.
+
+    Returns
+    -------
+    dict
+        A JSON-ready ``wavm3-failure/1`` document.
+    """
+    return {
+        "schema": FAILURE_SCHEMA,
+        "task_id": str(failure.task_id),
+        "scenario": str(failure.scenario),
+        "run_indices": [int(i) for i in failure.run_indices],
+        "attempt": int(failure.attempt),
+        "worker": str(failure.worker),
+        "kind": str(failure.kind),
+        "message": str(failure.message),
+        "traceback_digest": (
+            str(failure.traceback_digest)
+            if failure.traceback_digest is not None
+            else None
+        ),
+        "wall_s": float(failure.wall_s) if failure.wall_s is not None else None,
+        "at": float(failure.at),
+        "fate": str(failure.fate),
+    }
+
+
+def run_failure_from_dict(payload: dict):
+    """Rebuild a :class:`~repro.experiments.faults.RunFailure`.
+
+    Parameters
+    ----------
+    payload:
+        A ``wavm3-failure/1`` document (:func:`run_failure_to_dict`
+        output).
+
+    Returns
+    -------
+    RunFailure
+        The reconstructed record.
+
+    Raises
+    ------
+    PersistenceError
+        On a wrong schema tag or any missing/mistyped field.
+    """
+    from repro.experiments.faults import RunFailure  # local: avoid cycle
+
+    if not isinstance(payload, dict) or payload.get("schema") != FAILURE_SCHEMA:
+        raise PersistenceError(
+            f"unexpected failure schema "
+            f"{payload.get('schema') if isinstance(payload, dict) else type(payload)!r} "
+            f"(want {FAILURE_SCHEMA!r})"
+        )
+    try:
+        digest = payload.get("traceback_digest")
+        wall = payload.get("wall_s")
+        return RunFailure(
+            task_id=str(payload["task_id"]),
+            scenario=str(payload["scenario"]),
+            run_indices=tuple(int(i) for i in payload["run_indices"]),
+            attempt=int(payload["attempt"]),
+            worker=str(payload["worker"]),
+            kind=str(payload["kind"]),
+            message=str(payload["message"]),
+            traceback_digest=str(digest) if digest is not None else None,
+            wall_s=float(wall) if wall is not None else None,
+            at=float(payload["at"]),
+            fate=str(payload["fate"]),
+        )
+    except (KeyError, TypeError, ValueError, ReproError) as exc:
+        # ReproError covers RunFailure's own validation (unknown fate).
+        raise PersistenceError(f"malformed failure record: {exc}") from exc
+
+
+def append_failure_record(failure, path: _PathLike) -> None:
+    """Append one failure record to an NDJSON ledger file.
+
+    Mirrors :func:`append_progress_event`: one ``\\n``-terminated line
+    per record, parent directory created on demand, so the ledger
+    survives a crashed coordinator and is tail-able while a campaign
+    runs.
+
+    Parameters
+    ----------
+    failure:
+        The :class:`~repro.experiments.faults.RunFailure` to record.
+    path:
+        The ledger file (conventionally ``failures.ndjson`` next to the
+        run cache).
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(run_failure_to_dict(failure), sort_keys=True) + "\n"
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line)
+
+
+def load_failure_records(path: _PathLike) -> list:
+    """Read every valid failure record from an NDJSON ledger.
+
+    Tolerant like :func:`load_progress_events`: torn or malformed lines
+    are skipped, a missing file reads as an empty ledger.
+
+    Parameters
+    ----------
+    path:
+        The ledger file.
+
+    Returns
+    -------
+    list[RunFailure]
+        The decodable records, in file (chronological) order.
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return []
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(run_failure_from_dict(json.loads(line)))
+        except (json.JSONDecodeError, PersistenceError):
+            continue  # torn or corrupt line: skip, keep the ledger usable
+    return records
 
 
 # ---------------------------------------------------------------------------

@@ -50,8 +50,9 @@ class TestSpoolStatus:
         assert status["leases_stale"] == 1
         assert status["tasks_failed"] == 1
         assert status["failures"][0] == {
-            "task_id": "cccc-0000", "worker": "w9", "error": "boom",
+            "task_id": "cccc-0000", "worker": "w9", "error": "boom", "kind": "?",
         }
+        assert status["tasks_quarantined"] == 0
         assert status["workers_live"] == 1
         assert len(status["workers"]) == 2
         assert status["stopping"] is False
