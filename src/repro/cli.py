@@ -148,6 +148,48 @@ def build_parser() -> argparse.ArgumentParser:
         "dispatch) or 'auto' to divide each wave across the backend's "
         "capacity (default: auto; results are bit-identical either way)",
     )
+    camp.add_argument(
+        "--speculate",
+        action="store_true",
+        help="clone straggling tasks onto idle lanes once a wave is "
+        "mostly done and a task has been out far longer than the "
+        "median run (first valid result wins; duplicates dedupe "
+        "through the run cache, so results stay bit-identical)",
+    )
+    camp.add_argument(
+        "--speculate-slowdown",
+        type=_positive_float,
+        default=2.0,
+        metavar="X",
+        help="straggler threshold: speculate when a task has been out "
+        "longer than X times its expected duration (default 2.0)",
+    )
+    camp.add_argument(
+        "--speculate-wave-fraction",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="only speculate once this fraction of the scenario's wave "
+        "has completed (default 0.5)",
+    )
+    camp.add_argument(
+        "--samples",
+        default=None,
+        metavar="PATH",
+        help="also write every kept sample: with --aggregate json a "
+        "single samples JSON file (byte-identical to the library "
+        "writer), with --aggregate columnar a directory of compressed "
+        "npz shards plus an NDJSON manifest",
+    )
+    camp.add_argument(
+        "--aggregate",
+        choices=("json", "columnar"),
+        default="json",
+        help="sample aggregation format for --samples: 'json' streams "
+        "the classic samples JSON document (default), 'columnar' "
+        "streams wavm3-columnar/1 shards with O(flush-window) "
+        "coordinator memory and online mean/var summaries",
+    )
     camp_mode = camp.add_mutually_exclusive_group()
     camp_mode.add_argument(
         "--spool-dir",
@@ -528,6 +570,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         run_timeout=args.run_timeout,
         campaign_timeout=args.campaign_timeout,
     )
+    if args.speculate:
+        from repro.experiments.scheduler import SpeculationPolicy
+
+        fault_knobs["speculation"] = SpeculationPolicy(
+            wave_fraction=args.speculate_wave_fraction,
+            slowdown=args.speculate_slowdown,
+        )
     settings = RunnerSettings(compute=args.compute, seed_bank=args.seed_bank)
     if args.spool_dir is not None:
         executor = CampaignExecutor(
@@ -592,6 +641,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"{qstats.tasks_resubmitted} resubmitted, "
             f"{qstats.corrupt_results} corrupt results discarded"
         )
+    if executor.cache is not None:
+        counters = executor.cache.counters()
+        print(
+            f"cache: {counters['hits']} hits, {counters['misses']} misses, "
+            f"{counters['bytes_read']:,} B read, "
+            f"{counters['bytes_written']:,} B written"
+        )
+    if stats.tasks_speculated:
+        print(
+            f"speculation: {stats.tasks_speculated} tasks re-dispatched, "
+            f"{stats.runs_deduped} duplicate runs ignored"
+        )
     print(executor.ledger.summary_line())
     if stats.degraded:
         print(
@@ -611,6 +672,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"worker{'s' if len(workers) != 1 else ''}, "
             f"{total_samples:,} samples at {rate:,.0f} samples/s"
         )
+    if args.samples is not None:
+        import pathlib
+
+        path = pathlib.Path(args.samples)
+        if args.aggregate == "columnar":
+            from repro.experiments.aggregate import ColumnarStore
+
+            store = ColumnarStore(path)
+            store.extend(result.iter_samples())
+            summary = store.finalize()
+            print(
+                f"samples: {summary['samples']} samples in "
+                f"{summary['shards']} columnar shards -> {path}"
+            )
+        else:
+            from repro.experiments.aggregate import (
+                write_samples_json_streaming,
+            )
+
+            count = write_samples_json_streaming(result.iter_samples(), path)
+            print(f"samples: {count} samples (json) -> {path}")
     return _EXIT_DEGRADED if stats.degraded else 0
 
 
@@ -703,6 +785,14 @@ def _render_campaign_status(status: dict, origin: str) -> None:
     for entry in workers:
         liveness = "live" if entry["live"] else "stale"
         print(f"    {entry['worker']:32s} {liveness:5s} last seen {entry['age_s']:.1f}s ago")
+    cache = status.get("cache")
+    if cache is not None:
+        print(
+            f"  cache: {cache.get('hits', 0)} hits, "
+            f"{cache.get('misses', 0)} misses, "
+            f"{cache.get('bytes_read', 0):,} B read, "
+            f"{cache.get('bytes_written', 0):,} B written"
+        )
     progress = status.get("progress", [])
     if progress:
         print(f"  progress: {status.get('progress_events', len(progress))} events")
@@ -815,6 +905,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             else ""
         )
     )
+    if "sched" in results:
+        sched = results["sched"]
+        print(
+            f"  sched [{sched['scenario']} x{sched['runs']}, "
+            f"{sched['lanes']} lanes]: "
+            f"static {sched['static']['wall_s']:.2f}s | "
+            f"adaptive {sched['adaptive']['wall_s']:.2f}s | "
+            f"tail collapse {sched['tail_x']:.2f}x"
+        )
+    if "agg" in results:
+        agg = results["agg"]
+        print(
+            f"  agg [{agg['runs']:,} runs, {agg['samples']:,} samples]: "
+            f"json peak {agg['json']['peak_mb']:.1f} MB | "
+            f"columnar peak {agg['columnar']['peak_mb']:.1f} MB | "
+            f"memory ratio {agg['mem_x']:.2f}x"
+        )
     path = write_bench_json(payload, args.output_dir)
     print(f"wrote {path}")
     if args.check is not None:

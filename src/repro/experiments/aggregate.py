@@ -1,0 +1,417 @@
+"""Streaming columnar campaign-sample aggregation (``wavm3-columnar/1``).
+
+A full Table IIa campaign holds hundreds of runs and every run yields
+two :class:`~repro.models.features.MigrationSample` records with seven
+per-reading arrays each; :func:`repro.io.save_samples_json` materialises
+the complete sample list, one dict per sample *and* the final dump
+string — O(total runs) coordinator memory three times over.  This module
+keeps aggregation at **O(flush window)**:
+
+* :class:`ColumnarStore` appends samples into numpy-backed column
+  buffers and spills one compressed ``.npz`` shard per flush window,
+  with an NDJSON *manifest* recording, in order, one row per sample
+  (scalar fields + ``(shard, slot)`` addressing) and one row per shard.
+  Online per-column :class:`OnlineMoments` (count/mean/variance) are
+  maintained while streaming and written as the manifest's ``summary``
+  row, so campaign statistics never need a second pass.
+
+* :func:`iter_columnar_samples` streams the store back in insertion
+  order, holding one shard in memory at a time.
+
+* :func:`write_samples_json_streaming` emits exactly the bytes of
+  :func:`repro.io.save_samples_json` — same schema envelope, same
+  ``json.dumps`` separators, same per-record field order — while
+  holding one sample at a time, so the columnar path is **byte-
+  identical** to the JSON path on every scenario archetype (pinned by
+  ``tests/test_aggregate.py``).
+
+Wire format (``wavm3-columnar/1``)::
+
+    <dir>/manifest.ndjson      # header, then sample/shard/summary rows
+    <dir>/shard-00000.npz      # one per flush window (compressed)
+
+Shard layout: for every array field ``F`` of the samples schema the
+shard holds ``F`` (all samples' values concatenated) and ``F_len``
+(int64 per-sample lengths, so slot offsets are a cumulative sum).
+Scalar fields, role and notes live in the manifest's sample rows —
+JSON-native types round-trip losslessly, which the byte-identity
+guarantee requires.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.io import (
+    COLUMNAR_SCHEMA,
+    SAMPLES_SCHEMA,
+    PersistenceError,
+    _ARRAY_FIELDS,
+    _SCALAR_FIELDS,
+    _sample_from_dict,
+    _sample_to_dict,
+)
+from repro.models.features import MigrationSample
+
+__all__ = [
+    "ColumnarStore",
+    "OnlineMoments",
+    "iter_columnar_samples",
+    "load_columnar_summary",
+    "write_samples_json_streaming",
+]
+
+_PathLike = Union[str, pathlib.Path]
+
+#: Scalar sample fields folded into the online summary statistics (the
+#: string/bool/index fields are identifiers, not measurements).
+_NUMERIC_SCALARS = (
+    "data_bytes", "mem_mb", "mean_bw_bps",
+    "energy_initiation_j", "energy_transfer_j", "energy_activation_j",
+    "downtime_s",
+)
+
+
+class OnlineMoments:
+    """Streaming count/mean/variance (Welford / Chan merge form).
+
+    Numerically stable single-pass accumulation: scalars fold in via
+    :meth:`push`, whole array chunks via :meth:`push_many` (the chunk's
+    moments are computed vectorised, then merged).  ``variance`` matches
+    ``np.var(..., ddof=1)`` up to floating-point reassociation — these
+    are observability statistics, not part of any byte-identity
+    contract.
+    """
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, value: float) -> None:
+        """Fold one observation in."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    def push_many(self, values) -> None:
+        """Fold a chunk of observations in (vectorised, then merged)."""
+        chunk = np.asarray(values, dtype=np.float64).ravel()
+        n = chunk.size
+        if n == 0:
+            return
+        chunk_mean = float(chunk.mean())
+        chunk_m2 = float(((chunk - chunk_mean) ** 2).sum())
+        if self.count == 0:
+            self.count, self.mean, self._m2 = n, chunk_mean, chunk_m2
+            return
+        total = self.count + n
+        delta = chunk_mean - self.mean
+        self._m2 += chunk_m2 + delta * delta * self.count * n / total
+        self.mean += delta * n / total
+        self.count = total
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); NaN below two observations."""
+        if self.count < 2:
+            return float("nan")
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1); NaN below two observations."""
+        variance = self.variance
+        return math.sqrt(variance) if not math.isnan(variance) else variance
+
+    def as_dict(self) -> dict:
+        """JSON-ready ``{count, mean, var}`` (NaN serialised as ``None``)."""
+        variance = self.variance
+        return {
+            "count": self.count,
+            "mean": self.mean if self.count else None,
+            "var": None if math.isnan(variance) else variance,
+        }
+
+
+class ColumnarStore:
+    """Append-only streaming writer of a ``wavm3-columnar/1`` store.
+
+    Parameters
+    ----------
+    root:
+        Directory of the store (created if missing).  Refuses a
+        directory that already holds a manifest — stores are per
+        campaign, never mixed.
+    flush_window:
+        Samples buffered before spilling one compressed shard; this is
+        the aggregation path's entire working-set bound.
+
+    Raises
+    ------
+    ExperimentError
+        On an invalid flush window or a root already holding a store.
+    """
+
+    MANIFEST = "manifest.ndjson"
+
+    def __init__(self, root: _PathLike, flush_window: int = 256) -> None:
+        if flush_window < 1:
+            raise ExperimentError(f"flush_window must be >= 1, got {flush_window}")
+        self.root = pathlib.Path(root)
+        self.flush_window = int(flush_window)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._manifest = self.root / self.MANIFEST
+        if self._manifest.exists():
+            raise ExperimentError(
+                f"{self.root} already holds a columnar store "
+                "(one store per campaign; pick a fresh directory)"
+            )
+        self.samples = 0
+        self.shards = 0
+        self.moments: dict[str, OnlineMoments] = {
+            name: OnlineMoments() for name in _ARRAY_FIELDS + _NUMERIC_SCALARS
+        }
+        self._buffer: list[MigrationSample] = []
+        self._finalized = False
+        self._append_line({
+            "schema": COLUMNAR_SCHEMA,
+            "flush_window": self.flush_window,
+        })
+
+    # -- writing --------------------------------------------------------
+    def append(self, sample: MigrationSample) -> None:
+        """Buffer one sample; spills a shard every ``flush_window``."""
+        if self._finalized:
+            raise ExperimentError("columnar store is finalized")
+        self._buffer.append(sample)
+        for name in _ARRAY_FIELDS:
+            self.moments[name].push_many(getattr(sample, name))
+        for name in _NUMERIC_SCALARS:
+            self.moments[name].push(float(getattr(sample, name)))
+        self.samples += 1
+        if len(self._buffer) >= self.flush_window:
+            self._flush()
+
+    def extend(self, samples: Iterable[MigrationSample]) -> None:
+        """Append every sample of an iterable (streaming, in order)."""
+        for sample in samples:
+            self.append(sample)
+
+    def finalize(self) -> dict:
+        """Spill the tail shard and write the manifest's summary row.
+
+        Returns
+        -------
+        dict
+            The summary row: total sample/shard counts plus per-column
+            online moments.
+        """
+        if self._finalized:
+            raise ExperimentError("columnar store is already finalized")
+        if self._buffer:
+            self._flush()
+        summary = {
+            "kind": "summary",
+            "samples": self.samples,
+            "shards": self.shards,
+            "columns": {
+                name: self.moments[name].as_dict()
+                for name in _ARRAY_FIELDS + _NUMERIC_SCALARS
+            },
+        }
+        self._append_line(summary)
+        self._finalized = True
+        return summary
+
+    def _shard_path(self, index: int) -> pathlib.Path:
+        return self.root / f"shard-{index:05d}.npz"
+
+    def _flush(self) -> None:
+        """One shard: array columns to ``.npz``, sample rows to the manifest."""
+        index = self.shards
+        arrays: dict[str, np.ndarray] = {}
+        for name in _ARRAY_FIELDS:
+            dtype = np.int64 if name == "phase" else np.float64
+            columns = [
+                np.asarray(getattr(sample, name), dtype=dtype)
+                for sample in self._buffer
+            ]
+            arrays[name] = (
+                np.concatenate(columns) if columns else np.empty(0, dtype=dtype)
+            )
+            arrays[f"{name}_len"] = np.array(
+                [column.size for column in columns], dtype=np.int64
+            )
+        np.savez_compressed(self._shard_path(index), **arrays)
+        lines = []
+        for slot, sample in enumerate(self._buffer):
+            row = {"kind": "sample", "shard": index, "slot": slot,
+                   "role": sample.role.value, "notes": dict(sample.notes)}
+            for name in _SCALAR_FIELDS:
+                row[name] = getattr(sample, name)
+            lines.append(row)
+        lines.append({
+            "kind": "shard",
+            "index": index,
+            "file": self._shard_path(index).name,
+            "samples": len(self._buffer),
+        })
+        self._append_line(*lines)
+        self.shards += 1
+        self._buffer = []
+
+    def _append_line(self, *rows: dict) -> None:
+        with self._manifest.open("a", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+
+
+def _manifest_rows(root: pathlib.Path) -> Iterator[dict]:
+    """Validated manifest rows of a store (header checked, then yielded)."""
+    manifest = root / ColumnarStore.MANIFEST
+    try:
+        lines = manifest.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise PersistenceError(f"{manifest}: unreadable manifest: {exc}") from exc
+    header: Optional[dict] = None
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"{manifest}: malformed row: {exc}") from exc
+        if header is None:
+            header = row
+            if not isinstance(row, dict) or row.get("schema") != COLUMNAR_SCHEMA:
+                raise PersistenceError(
+                    f"{manifest}: unexpected schema "
+                    f"{row.get('schema') if isinstance(row, dict) else row!r} "
+                    f"(want {COLUMNAR_SCHEMA!r})"
+                )
+            continue
+        yield row
+
+
+class _ShardReader:
+    """Slot-addressable view of one shard (arrays split per sample)."""
+
+    def __init__(self, root: pathlib.Path, index: int) -> None:
+        path = root / f"shard-{index:05d}.npz"
+        try:
+            with np.load(path) as payload:
+                self._columns = {}
+                for name in _ARRAY_FIELDS:
+                    lengths = payload[f"{name}_len"]
+                    offsets = np.concatenate(([0], np.cumsum(lengths)))
+                    data = payload[name]
+                    self._columns[name] = [
+                        data[offsets[i]:offsets[i + 1]]
+                        for i in range(lengths.size)
+                    ]
+        except (OSError, KeyError, ValueError) as exc:
+            raise PersistenceError(f"{path}: unreadable shard: {exc}") from exc
+
+    def arrays_for(self, slot: int) -> dict:
+        try:
+            return {name: self._columns[name][slot] for name in _ARRAY_FIELDS}
+        except IndexError as exc:
+            raise PersistenceError(f"shard has no slot {slot}") from exc
+
+
+def iter_columnar_samples(root: _PathLike) -> Iterator[MigrationSample]:
+    """Stream a store's samples back in insertion order, one shard at a time.
+
+    Parameters
+    ----------
+    root:
+        A directory written by :class:`ColumnarStore`.
+
+    Yields
+    ------
+    MigrationSample
+        Each sample, bit-identical arrays and all (float64/int64 columns
+        round-trip exactly through the ``.npz`` shards, scalar fields
+        through the JSON manifest).
+
+    Raises
+    ------
+    PersistenceError
+        On a missing/malformed manifest or shard.
+    """
+    root = pathlib.Path(root)
+    reader: Optional[_ShardReader] = None
+    reader_index = -1
+    for row in _manifest_rows(root):
+        if row.get("kind") != "sample":
+            continue
+        shard, slot = int(row["shard"]), int(row["slot"])
+        if shard != reader_index:
+            reader = _ShardReader(root, shard)
+            reader_index = shard
+        record = {"role": row["role"], "notes": row.get("notes", {})}
+        try:
+            for name in _SCALAR_FIELDS:
+                record[name] = row[name]
+        except KeyError as exc:
+            raise PersistenceError(f"manifest sample row missing {exc}") from exc
+        assert reader is not None
+        record.update(reader.arrays_for(slot))
+        yield _sample_from_dict(record)
+
+
+def load_columnar_summary(root: _PathLike) -> Optional[dict]:
+    """The manifest's ``summary`` row, or ``None`` if never finalized."""
+    summary = None
+    for row in _manifest_rows(pathlib.Path(root)):
+        if row.get("kind") == "summary":
+            summary = row
+    return summary
+
+
+def write_samples_json_streaming(
+    samples: Iterable[MigrationSample], path: _PathLike
+) -> int:
+    """Write a samples JSON file holding one sample in memory at a time.
+
+    Emits **exactly** the bytes of :func:`repro.io.save_samples_json`
+    for the same sample sequence: the envelope is assembled with the
+    same ``json.dumps`` default separators (``", "`` between items,
+    ``": "`` after keys) the one-shot dump uses, and each record goes
+    through the same :func:`repro.io._sample_to_dict` field order.
+
+    Parameters
+    ----------
+    samples:
+        The sample stream (e.g. :func:`iter_columnar_samples` or
+        :meth:`~repro.experiments.results.ExperimentResult.iter_samples`).
+    path:
+        Output file.
+
+    Returns
+    -------
+    int
+        How many samples were written.
+    """
+    path = pathlib.Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write('{"schema": ' + json.dumps(SAMPLES_SCHEMA) + ', "samples": [')
+        for sample in samples:
+            if count:
+                handle.write(", ")
+            handle.write(json.dumps(_sample_to_dict(sample)))
+            count += 1
+        handle.write("]}")
+    return count

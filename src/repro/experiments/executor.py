@@ -78,6 +78,7 @@ from repro.experiments.results import (
     run_sample_count,
 )
 from repro.experiments.runner import RunnerSettings, ScenarioRunner, resolve_run_count
+from repro.experiments.scheduler import SpeculationPolicy, ThroughputModel
 from repro.hypervisor.migration import MigrationConfig
 from repro.io import PersistenceError, load_run_result, save_run_result
 from repro.models.features import HostRole
@@ -355,8 +356,22 @@ class RunCache:
         self.root = pathlib.Path(root)
         self.hits = 0
         self.misses = 0
+        #: Payload bytes served from / persisted into the cache — the
+        #: warm-rerun and speculation-dedup observability counters
+        #: surfaced by the campaign summary and ``campaign-status``.
+        self.bytes_read = 0
+        self.bytes_written = 0
         #: Per-key memo of the meta.json validation verdict.
         self._meta_verdict: dict[str, bool] = {}
+
+    def counters(self) -> dict:
+        """Hit/miss/byte counters as a JSON-ready dict (status views)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
 
     # -- keying ---------------------------------------------------------
     @staticmethod
@@ -479,6 +494,10 @@ class RunCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            self.bytes_read += path.stat().st_size
+        except OSError:
+            pass  # the payload is in hand; the counter is observability
         return run
 
     def put(
@@ -516,7 +535,12 @@ class RunCache:
             )
             tmp.replace(meta)
             self._meta_verdict[key] = True
-        save_run_result(run, self._run_path(key, run.run_index))
+        path = self._run_path(key, run.run_index)
+        save_run_result(run, path)
+        try:
+            self.bytes_written += path.stat().st_size
+        except OSError:
+            pass  # counter only; the write itself already succeeded
 
 
 # ---------------------------------------------------------------------------
@@ -738,6 +762,8 @@ class ExecutorStats:
     tasks_quarantined: int = 0  # tasks captured in a backend quarantine store
     runs_abandoned: int = 0   # run indices given up after budget exhaustion
     scenarios_dropped: int = 0  # scenarios with zero usable runs
+    tasks_speculated: int = 0   # straggler chunks cloned to an idle lane
+    runs_deduped: int = 0       # duplicate speculative runs ignored idempotently
 
     @property
     def runs_total(self) -> int:
@@ -847,6 +873,20 @@ class CampaignExecutor:
         on expiry every in-flight task is recorded in the ledger and the
         campaign aborts with :class:`~repro.errors.ExperimentError`
         instead of hanging.
+    speculation:
+        Optional :class:`~repro.experiments.scheduler.SpeculationPolicy`
+        arming straggler re-dispatch: once a wave is mostly complete, a
+        chunk outstanding far beyond its expected duration is cloned to
+        an idle lane; the first valid result wins and the loser's
+        publications are deduplicated idempotently through the per-run
+        cache keys.  ``None`` (default) never speculates.
+    throughput:
+        Optional shared :class:`~repro.experiments.scheduler.ThroughputModel`
+        seeding the adaptive span planner (e.g. warmed by a previous
+        campaign on the same fleet); by default each executor builds its
+        own, fed by the live progress stream and persisting across its
+        campaigns.  With no observations yet, auto batch sizing is
+        exactly the legacy even split.
 
     Raises
     ------
@@ -872,6 +912,8 @@ class CampaignExecutor:
         retry_policy: Optional[RetryPolicy] = None,
         run_timeout: Optional[float] = None,
         campaign_timeout: Optional[float] = None,
+        speculation: Optional[SpeculationPolicy] = None,
+        throughput: Optional[ThroughputModel] = None,
     ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
@@ -913,6 +955,13 @@ class CampaignExecutor:
         if self._explicit_wave_size is not None and self._explicit_wave_size < 1:
             raise ExperimentError(f"wave_size must be >= 1, got {wave_size}")
         self.batch_size = None if batch_size is None else int(batch_size)
+        #: Straggler re-dispatch policy; ``None`` disables speculation.
+        self.speculation = speculation
+        #: Per-worker EWMA throughput driving adaptive auto batch sizing
+        #: (and the speculation policy's notion of an expected run wall).
+        #: Deliberately *not* reset per campaign: a warm model keeps
+        #: informing the next campaign on the same fleet.
+        self.throughput = throughput if throughput is not None else ThroughputModel()
         self.stats = ExecutorStats()
         #: Attempt counter per task id of the current campaign.
         self._attempts: dict[str, int] = {}
@@ -939,19 +988,56 @@ class CampaignExecutor:
             return self._explicit_wave_size
         return max(self._backend.capacity or self.jobs, 1)
 
-    def _chunk_size(self, missing: int) -> int:
-        """Runs per dispatched task for a wave of ``missing`` runs.
+    def _plan_wave_chunks(
+        self, missing: Sequence[int]
+    ) -> list[tuple[int, ...]]:
+        """Chunks (tuples of run indices) covering a wave's missing runs.
 
-        Explicit ``batch_size`` wins; in auto mode the wave is divided
-        evenly across the backend's *current* capacity (``jobs`` while
-        capacity is unknown — the same cold-start fallback as
-        :attr:`wave_size`).  Evaluated at dispatch time, so capacity
-        appearing mid-campaign reshapes only subsequent waves.
+        Explicit ``batch_size`` keeps fixed-size chunks (with per-span
+        tail remainders), exactly as before.  In auto mode, while the
+        :attr:`throughput` model is cold the wave is divided evenly
+        across the backend's *current* capacity (``jobs`` while capacity
+        is unknown — the same cold-start fallback as :attr:`wave_size`)
+        and chopped per contiguous span, reproducing the legacy dispatch
+        shape bit for bit.  Once workers have reported throughput,
+        chunk sizes come from :meth:`ThroughputModel.plan_spans` —
+        proportional to per-worker EWMA rates so every lane's expected
+        finish time is equal — and are carved across the spans in order
+        (a planned size is cut at a span boundary; chunks never bridge a
+        cache hole).  Evaluated at dispatch time, so capacity appearing
+        mid-campaign reshapes only subsequent waves.
         """
-        if self.batch_size is not None:
-            return self.batch_size
+        if not missing:
+            return []
+        spans = _contiguous_spans(missing)
         lanes = max(self._backend.capacity or self.jobs, 1)
-        return max(1, math.ceil(missing / lanes))
+        chunk_size: Optional[int]
+        if self.batch_size is not None:
+            chunk_size = self.batch_size
+        elif not self.throughput.workers() or len(missing) <= lanes:
+            chunk_size = max(1, math.ceil(len(missing) / lanes))
+        else:
+            chunk_size = None  # adaptive: proportional plan below
+        chunks: list[tuple[int, ...]] = []
+        if chunk_size is not None:
+            for span in spans:
+                for pos in range(0, len(span), chunk_size):
+                    chunks.append(tuple(span[pos : pos + chunk_size]))
+            return chunks
+        sizes = iter(self.throughput.plan_spans(len(missing), lanes))
+        carry = 0
+        for span in spans:
+            pos = 0
+            while pos < len(span):
+                take = carry if carry else next(sizes)
+                carry = 0
+                avail = len(span) - pos
+                if take > avail:
+                    carry = take - avail
+                    take = avail
+                chunks.append(tuple(span[pos : pos + take]))
+                pos += take
+        return chunks
 
     @property
     def serve_url(self) -> Optional[str]:
@@ -1196,27 +1282,92 @@ class CampaignExecutor:
         submitted_at: dict[Future, float] = {}
         #: Chunks sitting out their backoff: (ready_at, state, chunk).
         retry_queue: list[tuple[float, _ScenarioState, tuple[int, ...]]] = []
+        #: (id(state), chunk) -> live futures racing for that chunk.
+        #: A chunk normally has one; a speculated straggler has two.
+        clone_groups: dict[tuple[int, tuple[int, ...]], set[Future]] = {}
+        policy = self.speculation
+        speculation_armed = policy is not None and policy.enabled
+        #: Only pay for mid-drive progress drains when something consumes
+        #: them: adaptive auto-batching or the speculation policy.
+        feed_live = self.batch_size is None or speculation_armed
+        last_drain = 0.0
         deadline = (
             time.monotonic() + self.campaign_timeout
             if self.campaign_timeout is not None
             else None
         )
 
-        def dispatch(state: _ScenarioState, chunk: Sequence[int]) -> None:
-            """Submit one chunk (fresh or retry) and count the attempt."""
+        def dispatch(
+            state: _ScenarioState,
+            chunk: Sequence[int],
+            speculative: bool = False,
+        ) -> None:
+            """Submit one chunk (fresh, retry, or clone); count the attempt."""
             state.inflight.update(chunk)
             if len(chunk) == 1:
                 task = self._task_for(state, chunk[0])
             else:
                 task = self._batch_task_for(state, chunk[0], len(chunk))
             task_id = self._chunk_task_id(state, chunk)
-            self._attempts[task_id] = self._attempts.get(task_id, 0) + 1
+            if speculative:
+                # Clones are free re-dispatches, not attempts: the retry
+                # budget keeps counting the original chunk only.
+                self.stats.tasks_speculated += 1
+            else:
+                self._attempts[task_id] = self._attempts.get(task_id, 0) + 1
             # Clock starts before submit: the serial backend executes
             # inside submit(), and its wall time must not read as zero.
             t_submit = time.perf_counter()
             future = self._backend.submit(task)
             pending[future] = (state, tuple(chunk), task)
             submitted_at[future] = t_submit
+            clone_groups.setdefault((id(state), tuple(chunk)), set()).add(future)
+
+        def feed_model(now: float) -> None:
+            """Throttled drain of live worker progress into the model.
+
+            Both backends' ``drain_progress`` is non-consuming (sidecars
+            are re-read; the HTTP history is copied), so mid-drive
+            drains never starve the final campaign-summary merge, and
+            the model dedupes overlapping drains by ``(task_id, at)``.
+            """
+            nonlocal last_drain
+            if not feed_live or now - last_drain < 0.25:
+                return
+            last_drain = now
+            try:
+                events = self._backend.drain_progress()
+            except (PersistenceError, OSError):
+                return  # a torn sidecar must not take the campaign down
+            self.throughput.observe_all(events)
+
+        def maybe_speculate() -> None:
+            """Clone straggling chunks onto idle lanes (first result wins)."""
+            if not speculation_armed:
+                return
+            median = self.throughput.median_run_wall()
+            if median is None:
+                return
+            capacity = max(self._backend.capacity or self.jobs, 1)
+            budget = capacity - len(pending)
+            if budget <= 0:
+                return
+            now_perf = time.perf_counter()
+            for future, (state, indices, _task) in list(pending.items()):
+                if budget <= 0:
+                    break
+                group = clone_groups.get((id(state), indices))
+                if group is not None and len(group) > 1:
+                    continue  # already racing a clone
+                submitted = submitted_at.get(future)
+                if submitted is None:
+                    continue
+                done_frac = len(state.runs) / max(state.target, 1)
+                if policy.is_straggler(
+                    now_perf - submitted, len(indices), median, done_frac
+                ):
+                    dispatch(state, indices, speculative=True)
+                    budget -= 1
 
         def advance(state: _ScenarioState) -> None:
             """Dispatch missing runs below target; evaluate once complete."""
@@ -1239,10 +1390,8 @@ class CampaignExecutor:
                         self.stats.runs_cached += 1
                     else:
                         missing.append(index)
-                chunk_size = self._chunk_size(len(missing)) if missing else 1
-                for span in _contiguous_spans(missing):
-                    for pos in range(0, len(span), chunk_size):
-                        dispatch(state, span[pos : pos + chunk_size])
+                for chunk in self._plan_wave_chunks(missing):
+                    dispatch(state, chunk)
                 if state.inflight:
                     return  # evaluate when the wave completes
                 if any(i in state.abandoned for i in range(state.target)):
@@ -1307,6 +1456,8 @@ class CampaignExecutor:
             now = time.monotonic()
             if deadline is not None and now >= deadline:
                 self._abort_on_deadline(pending, retry_queue)
+            feed_model(now)
+            maybe_speculate()
             if retry_queue:
                 due = [entry for entry in retry_queue if entry[0] <= now]
                 if due:
@@ -1326,15 +1477,32 @@ class CampaignExecutor:
                 bounds.append(min(entry[0] for entry in retry_queue) - now)
             if deadline is not None:
                 bounds.append(deadline - now)
+            if speculation_armed:
+                # Wake periodically even with nothing due, so straggler
+                # checks run while a slow chunk is the only work left.
+                bounds.append(0.25)
             if bounds:
                 timeout = max(min(bounds), 0.0)
             done = self._backend.wait(list(pending), timeout=timeout)
             for future in done:
+                if future not in pending:
+                    continue  # a speculation sibling already covered it
                 state, indices, task = pending.pop(future)
+                group_key = (id(state), indices)
                 try:
                     result = future.result()
                 except Exception as exc:  # noqa: BLE001 - routed through the budget
                     submitted_at.pop(future, None)
+                    # Failure fates the whole clone group: whether a
+                    # sibling can still resolve is backend-specific (the
+                    # HTTP backend orphans a re-submitted task's first
+                    # future), so the retry budget arbitrates instead of
+                    # waiting on a future that may never fire.
+                    siblings = clone_groups.pop(group_key, set())
+                    siblings.discard(future)
+                    for sibling in siblings:
+                        pending.pop(sibling, None)
+                        submitted_at.pop(sibling, None)
                     fail(state, indices, task, exc)
                     continue
                 runs = result if isinstance(result, list) else [result]
@@ -1344,6 +1512,22 @@ class CampaignExecutor:
                         f"{len(runs)} runs, expected {len(indices)}"
                     )
                 submitted = submitted_at.pop(future, None)
+                # First valid result wins: the loser's futures (and any
+                # backoff retry of the same chunk) are dropped here, and
+                # its eventual publication deduplicates through the
+                # per-run cache keys / the backend's duplicate handling.
+                siblings = clone_groups.pop(group_key, set())
+                siblings.discard(future)
+                for sibling in siblings:
+                    if pending.pop(sibling, None) is not None:
+                        submitted_at.pop(sibling, None)
+                        self.stats.runs_deduped += len(indices)
+                if siblings:
+                    retry_queue[:] = [
+                        entry
+                        for entry in retry_queue
+                        if not (entry[1] is state and entry[2] == indices)
+                    ]
                 total_wall = getattr(future, "wall_s", None)
                 if total_wall is None:
                     total_wall = time.perf_counter() - (
@@ -1359,19 +1543,21 @@ class CampaignExecutor:
                     state.inflight.discard(index)
                     self.stats.runs_executed += 1
                     samples = run_sample_count(run)
-                    self.progress_events.append(
-                        ProgressEvent(
-                            task_id=self._task_progress_id(state, index),
-                            scenario=state.scenario.label,
-                            run_index=index,
-                            worker=worker,
-                            runs_completed=self.stats.runs_executed,
-                            samples=samples,
-                            wall_s=wall,
-                            samples_per_s=samples / wall,
-                            at=time.time(),
-                        )
+                    event = ProgressEvent(
+                        task_id=self._task_progress_id(state, index),
+                        scenario=state.scenario.label,
+                        run_index=index,
+                        worker=worker,
+                        runs_completed=self.stats.runs_executed,
+                        samples=samples,
+                        wall_s=wall,
+                        samples_per_s=samples / wall,
+                        at=time.time(),
                     )
+                    self.progress_events.append(event)
+                    # Coordinator-side observations keep the model warm
+                    # even for backends without live progress sidecars.
+                    self.throughput.observe(event)
                     # Queue futures resolve *from* the shared cache (a
                     # worker already deposited the result), so skip the
                     # re-write.

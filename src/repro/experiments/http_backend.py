@@ -770,6 +770,7 @@ class HttpBackend(ExecutorBackend):
                 "workers_live": sum(1 for w in workers if w["live"]),
                 "progress": progress,
                 "progress_events": progress_events,
+                "cache": self.cache.counters(),
                 "stopping": self._state.stopping,
             }
 

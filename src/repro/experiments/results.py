@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -45,8 +45,11 @@ class ProgressEvent:
     the in-process backends, appended to per-worker NDJSON sidecars in the
     spool (queue backend), POSTed to ``/progress`` (HTTP backend) — then
     surfaced by ``wavm3 campaign-status --follow`` and aggregated into the
-    campaign summary.  Purely observational: no entry in this stream ever
-    influences scheduling or results.
+    campaign summary.  The stream also feeds the adaptive scheduler's
+    :class:`~repro.experiments.scheduler.ThroughputModel` (per-worker
+    EWMA throughput → wave span sizing, straggler speculation); it can
+    reshape *dispatch*, never results — runs are deterministic in
+    ``(seed, label, index)`` whatever lane executes them.
     """
 
     #: Spool/service task identifier (``<key16>-<index>``), or
@@ -317,12 +320,28 @@ class ExperimentResult:
         live: Optional[bool] = None,
     ) -> list[MigrationSample]:
         """Model samples of the whole campaign, optionally kind-filtered."""
-        out: list[MigrationSample] = []
+        return list(self.iter_samples(roles=roles, live=live))
+
+    def iter_samples(
+        self,
+        roles: Iterable[HostRole] = (HostRole.SOURCE, HostRole.TARGET),
+        live: Optional[bool] = None,
+    ) -> Iterator[MigrationSample]:
+        """Stream the campaign's samples lazily, in :meth:`samples` order.
+
+        Only one sample is materialised at a time on the producer side,
+        so a streaming consumer — the columnar aggregator
+        (:mod:`repro.experiments.aggregate`), an incremental JSON writer
+        — folds a large campaign in O(flush window) memory instead of
+        holding the full sample list.
+        """
+        roles = tuple(roles)
         for sr in self.scenario_results:
             if live is not None and sr.scenario.live is not live:
                 continue
-            out.extend(sr.samples(roles))
-        return out
+            for run in sr.runs:
+                for role in roles:
+                    yield run.sample_for(role)
 
     def train_test_split(
         self,

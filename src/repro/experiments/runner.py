@@ -22,7 +22,10 @@ from __future__ import annotations
 import math
 import pathlib
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoided at runtime
+    from repro.experiments.scheduler import SpeculationPolicy
 
 import numpy as np
 
@@ -548,6 +551,7 @@ class ScenarioRunner:
         serve: Optional[str] = None,
         http_options: Optional[dict] = None,
         batch_size: Optional[int] = 1,
+        speculation: Optional["SpeculationPolicy"] = None,
     ) -> ExperimentResult:
         """Run a list of scenarios into one :class:`ExperimentResult`.
 
@@ -593,6 +597,13 @@ class ScenarioRunner:
             seed ranges into ``RunBatchTask`` units, and ``None`` sizes
             batches automatically from backend capacity.  Results are
             bit-identical for every value.
+        speculation:
+            Optional
+            :class:`~repro.experiments.scheduler.SpeculationPolicy`
+            enabling straggler re-dispatch in the executor-backed modes
+            (first valid result wins; duplicates dedupe through the run
+            cache, so results stay bit-identical).  Ignored on the plain
+            serial path, where there is nothing to race.
 
         Returns
         -------
@@ -620,7 +631,7 @@ class ScenarioRunner:
                 self, backend=parallel, cache_dir=cache_dir,
                 spool_dir=spool_dir, queue_options=queue_options,
                 serve=serve, http_options=http_options,
-                batch_size=batch_size,
+                batch_size=batch_size, speculation=speculation,
             )
             result = executor.run_campaign(scenarios, min_runs=min_runs, max_runs=max_runs)
             self.last_executor_stats = executor.stats
@@ -632,7 +643,7 @@ class ScenarioRunner:
 
             executor = CampaignExecutor(
                 self, jobs=parallel or 1, cache_dir=cache_dir,
-                batch_size=batch_size,
+                batch_size=batch_size, speculation=speculation,
             )
             result = executor.run_campaign(scenarios, min_runs=min_runs, max_runs=max_runs)
             self.last_executor_stats = executor.stats

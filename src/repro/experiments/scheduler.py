@@ -1,0 +1,238 @@
+"""Adaptive campaign scheduling: throughput modelling + speculation policy.
+
+The wave scheduler in :mod:`repro.experiments.executor` historically
+sized ``--batch-size auto`` chunks as ``ceil(missing / capacity)`` —
+correct when every lane is equally fast, but a heterogeneous fleet then
+finishes each wave at the pace of its slowest worker.  This module turns
+the live :class:`~repro.experiments.results.ProgressEvent` stream
+(already collected via ``ExecutorBackend.drain_progress()`` for the
+campaign summary) into a control signal:
+
+* :class:`ThroughputModel` keeps a per-worker EWMA of observed run and
+  sample throughput and plans wave spans **proportional to worker
+  speed**, so every lane's expected finish time is equal.  With no
+  observations yet (cold start) it reproduces the legacy even split
+  exactly, byte for byte of dispatch behaviour.
+
+* :class:`SpeculationPolicy` decides when a still-outstanding chunk has
+  become a *straggler* — the wave is mostly done and the chunk has been
+  out longer than ``slowdown ×`` its expected duration — and is worth
+  cloning to an idle lane.  Because every run is deterministic in
+  ``(seed, label, index)`` and results are deduplicated through the
+  per-run :class:`~repro.experiments.executor.RunCache` keys, a clone
+  can never change campaign bytes; it can only finish earlier.
+
+Scheduling decisions affect *only* dispatch shape and wall-clock time —
+the variance-stopping rule still sees index-ordered energies, so the
+returned result stays bit-identical to the serial path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.results import ProgressEvent
+
+__all__ = [
+    "SpeculationPolicy",
+    "ThroughputModel",
+]
+
+
+class ThroughputModel:
+    """Per-worker EWMA throughput tracker feeding adaptive wave planning.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor in ``(0, 1]``: the weight of the newest
+        observation.  ``1.0`` tracks only the latest run; small values
+        smooth over noisy per-run walls.
+    window:
+        How many recent per-run wall times feed :meth:`median_run_wall`
+        (the speculation policy's notion of a "normal" run).
+    """
+
+    def __init__(self, alpha: float = 0.3, window: int = 64) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ExperimentError(f"alpha must be in (0, 1], got {alpha}")
+        if window < 1:
+            raise ExperimentError(f"window must be >= 1, got {window}")
+        self.alpha = float(alpha)
+        self.window = int(window)
+        #: worker id -> EWMA runs/sec.
+        self._run_rates: dict[str, float] = {}
+        #: worker id -> EWMA samples/sec (observability; not used to plan).
+        self._sample_rates: dict[str, float] = {}
+        #: Recent per-run wall times (all workers), newest last.
+        self._recent_walls: list[float] = []
+        #: ``(task_id, at)`` of events already folded in — drains overlap
+        #: (sidecars are re-read, the HTTP history is not consumed), so
+        #: the same announcement must never update the EWMA twice.
+        self._seen: set[tuple[str, float]] = set()
+        self.observations = 0
+
+    # -- feeding --------------------------------------------------------
+    def observe(self, event: ProgressEvent) -> bool:
+        """Fold one progress announcement in; ``False`` if already seen."""
+        stamp = (event.task_id, event.at)
+        if stamp in self._seen:
+            return False
+        self._seen.add(stamp)
+        wall = float(event.wall_s)
+        if wall <= 0.0 or not math.isfinite(wall):
+            return False
+        run_rate = 1.0 / wall
+        previous = self._run_rates.get(event.worker)
+        self._run_rates[event.worker] = (
+            run_rate
+            if previous is None
+            else self.alpha * run_rate + (1.0 - self.alpha) * previous
+        )
+        sample_rate = float(event.samples_per_s)
+        if sample_rate > 0.0 and math.isfinite(sample_rate):
+            previous = self._sample_rates.get(event.worker)
+            self._sample_rates[event.worker] = (
+                sample_rate
+                if previous is None
+                else self.alpha * sample_rate + (1.0 - self.alpha) * previous
+            )
+        self._recent_walls.append(wall)
+        if len(self._recent_walls) > self.window:
+            del self._recent_walls[: -self.window]
+        self.observations += 1
+        return True
+
+    def observe_all(self, events: Sequence[ProgressEvent]) -> int:
+        """Fold a drained batch in; returns how many were new."""
+        return sum(1 for event in events if self.observe(event))
+
+    # -- queries --------------------------------------------------------
+    def run_rate(self, worker: str) -> Optional[float]:
+        """The worker's EWMA runs/sec, or ``None`` if never observed."""
+        return self._run_rates.get(worker)
+
+    def sample_rate(self, worker: str) -> Optional[float]:
+        """The worker's EWMA samples/sec, or ``None`` if never observed."""
+        return self._sample_rates.get(worker)
+
+    def workers(self) -> list[str]:
+        """Workers observed so far, fastest first."""
+        return sorted(self._run_rates, key=self._run_rates.__getitem__, reverse=True)
+
+    def median_run_wall(self) -> Optional[float]:
+        """Median of the recent per-run wall times (``None`` when empty)."""
+        if not self._recent_walls:
+            return None
+        ordered = sorted(self._recent_walls)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    # -- planning -------------------------------------------------------
+    def plan_spans(self, missing: int, lanes: int) -> list[int]:
+        """Chunk sizes for a wave of ``missing`` runs across ``lanes``.
+
+        With no observations the plan is exactly the legacy even split:
+        ``ceil(missing / lanes)``-sized chunks.  Once workers have
+        reported throughput, sizes are proportional to per-worker EWMA
+        rates (largest-remainder rounding; lanes beyond the observed
+        workers are assumed to run at the mean observed rate), ordered
+        fastest-lane-first so the biggest chunk is claimable first.
+        Sizes always sum to ``missing`` and are each >= 1 after zero
+        spans are dropped.
+
+        Parameters
+        ----------
+        missing:
+            Runs to cover (>= 0; ``0`` plans nothing).
+        lanes:
+            Dispatch lanes available (>= 1).
+
+        Returns
+        -------
+        list[int]
+            Chunk sizes, summing to ``missing``.
+        """
+        if lanes < 1:
+            raise ExperimentError(f"lanes must be >= 1, got {lanes}")
+        if missing <= 0:
+            return []
+        rates = [self._run_rates[w] for w in self.workers()]
+        if not rates or missing <= lanes:
+            # Cold start (or nothing to balance): the legacy even split.
+            size = max(1, math.ceil(missing / lanes))
+            spans = [size] * (missing // size)
+            if missing % size:
+                spans.append(missing % size)
+            return spans
+        mean = sum(rates) / len(rates)
+        weights = (rates[:lanes] + [mean] * max(0, lanes - len(rates)))
+        total = sum(weights)
+        raw = [missing * w / total for w in weights]
+        sizes = [int(r) for r in raw]
+        remainder = missing - sum(sizes)
+        by_fraction = sorted(
+            range(len(sizes)), key=lambda i: raw[i] - sizes[i], reverse=True
+        )
+        for i in by_fraction[:remainder]:
+            sizes[i] += 1
+        return [s for s in sizes if s > 0]
+
+
+@dataclass(frozen=True)
+class SpeculationPolicy:
+    """When to clone a straggling chunk to an idle lane.
+
+    A chunk qualifies for speculation when **all** of:
+
+    * the policy is ``enabled``;
+    * its scenario's wave is at least ``wave_fraction`` complete (runs
+      finished out of the current target), so speculation spends idle
+      tail capacity, not mid-wave bandwidth;
+    * the chunk has been outstanding longer than ``slowdown ×`` its
+      expected duration (``run count × median observed per-run wall``),
+      with at least ``min_elapsed_s`` on the clock so trivial waves
+      never speculate;
+    * an idle lane exists and the chunk has not been cloned already.
+
+    Cloning is always safe: results are deterministic and deduplicated
+    through the per-run cache keys, so the first valid publication wins
+    and the loser costs only the duplicated work.
+    """
+
+    enabled: bool = True
+    wave_fraction: float = 0.5
+    slowdown: float = 2.0
+    min_elapsed_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.wave_fraction <= 1.0:
+            raise ExperimentError(
+                f"wave_fraction must be in [0, 1], got {self.wave_fraction}"
+            )
+        if self.slowdown <= 0:
+            raise ExperimentError(f"slowdown must be > 0, got {self.slowdown}")
+        if self.min_elapsed_s < 0:
+            raise ExperimentError(
+                f"min_elapsed_s must be >= 0, got {self.min_elapsed_s}"
+            )
+
+    def is_straggler(
+        self,
+        elapsed_s: float,
+        run_count: int,
+        median_run_wall: Optional[float],
+        wave_done_fraction: float,
+    ) -> bool:
+        """Whether an outstanding chunk should be cloned now."""
+        if not self.enabled or median_run_wall is None:
+            return False
+        if wave_done_fraction < self.wave_fraction:
+            return False
+        expected = max(run_count, 1) * median_run_wall
+        return elapsed_s >= max(self.slowdown * expected, self.min_elapsed_s)

@@ -61,6 +61,7 @@ __all__ = [
     "run_failure_from_dict",
     "append_failure_record",
     "load_failure_records",
+    "COLUMNAR_SCHEMA",
 ]
 
 _PathLike = Union[str, pathlib.Path]
@@ -78,6 +79,10 @@ TASK_SPEC_SCHEMA = "wavm3-taskspec/1"
 TASK_BATCH_SCHEMA = "wavm3-taskspec/2"
 PROGRESS_SCHEMA = "wavm3-progress/1"
 FAILURE_SCHEMA = "wavm3-failure/1"
+#: The streaming columnar campaign-sample store: one compressed ``.npz``
+#: shard per flush window plus an NDJSON manifest (see
+#: :mod:`repro.experiments.aggregate`).
+COLUMNAR_SCHEMA = "wavm3-columnar/1"
 
 
 class PersistenceError(ReproError):
@@ -629,12 +634,36 @@ def append_progress_event(event, path: _PathLike) -> None:
         handle.write(line)
 
 
+def _ndjson_lines(path: pathlib.Path) -> list[str]:
+    """Best-effort decoded lines of an NDJSON file that may be mid-append.
+
+    Decodes per line from raw bytes rather than ``read_text``-ing the
+    whole file: a reader racing a live appender can observe a final line
+    torn in the middle of a multi-byte UTF-8 sequence, which a
+    whole-file decode turns into a ``UnicodeDecodeError`` that takes the
+    status view down.  Undecodable lines are dropped exactly like
+    malformed JSON ones — the appender's next flush completes them.
+    """
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return []
+    lines = []
+    for raw in data.split(b"\n"):
+        try:
+            lines.append(raw.decode("utf-8"))
+        except UnicodeDecodeError:
+            continue  # torn multi-byte tail of an in-flight append
+    return lines
+
+
 def load_progress_events(path: _PathLike) -> list:
     """Read every valid progress event from an NDJSON sidecar.
 
     Tolerant by design: the file may be mid-append by a live worker, so a
-    torn or malformed trailing line is skipped rather than fatal (the
-    status views re-read the file on their next refresh).
+    torn or malformed trailing line — even one cut inside a multi-byte
+    UTF-8 sequence — is skipped rather than fatal (the status views
+    re-read the file on their next refresh).
 
     Parameters
     ----------
@@ -646,13 +675,8 @@ def load_progress_events(path: _PathLike) -> list:
     list[ProgressEvent]
         The decodable events, in file (chronological) order.
     """
-    path = pathlib.Path(path)
-    try:
-        text = path.read_text(encoding="utf-8")
-    except OSError:
-        return []
     events = []
-    for line in text.splitlines():
+    for line in _ndjson_lines(pathlib.Path(path)):
         line = line.strip()
         if not line:
             continue
@@ -791,13 +815,8 @@ def load_failure_records(path: _PathLike) -> list:
     list[RunFailure]
         The decodable records, in file (chronological) order.
     """
-    path = pathlib.Path(path)
-    try:
-        text = path.read_text(encoding="utf-8")
-    except OSError:
-        return []
     records = []
-    for line in text.splitlines():
+    for line in _ndjson_lines(pathlib.Path(path)):
         line = line.strip()
         if not line:
             continue

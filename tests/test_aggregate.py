@@ -1,0 +1,236 @@
+"""Streaming columnar campaign aggregation (``wavm3-columnar/1``).
+
+Covers the online moment accumulators against numpy, the sharded
+columnar store round-trip (order, arrays, scalars, notes), the manifest
+summary, and the acceptance contract that matters most: samples routed
+through the columnar store — or through the streaming JSON writer —
+serialise to **byte-identical** JSON as the in-memory
+``save_samples_json`` path.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.aggregate import (
+    ColumnarStore,
+    OnlineMoments,
+    iter_columnar_samples,
+    load_columnar_summary,
+    write_samples_json_streaming,
+)
+from repro.experiments.design import MigrationScenario
+from repro.experiments.runner import RunnerSettings, ScenarioRunner
+from repro.io import COLUMNAR_SCHEMA, save_samples_json
+from repro.models.features import HostRole, MigrationSample
+
+SEED = 20150901
+
+FAST = dict(
+    min_warmup_s=2.0, max_warmup_s=6.0, min_post_s=2.0, max_post_s=6.0,
+    check_interval_s=1.0,
+)
+
+
+def _synth_samples(count: int = 10, readings: int = 8, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    samples = []
+    for index in range(count):
+        samples.append(MigrationSample(
+            scenario=f"agg/synth/{index}",
+            experiment="CPULOAD-SOURCE",
+            live=bool(index % 2),
+            family="m",
+            role=HostRole.SOURCE if index % 2 else HostRole.TARGET,
+            run_index=index,
+            times=np.arange(1, readings + 1, dtype=np.float64),
+            power_w=rng.uniform(40.0, 90.0, readings),
+            phase=rng.integers(0, 4, readings).astype(np.int64),
+            cpu_host_pct=rng.uniform(0.0, 100.0, readings),
+            cpu_vm_pct=rng.uniform(0.0, 100.0, readings),
+            bw_bps=rng.uniform(0.0, 1.18e9, readings),
+            dr_pct=rng.uniform(0.0, 30.0, readings),
+            data_bytes=float(rng.integers(1, 1 << 33)),
+            mem_mb=4096.0,
+            mean_bw_bps=9.0e8,
+            energy_initiation_j=float(rng.uniform(1.0, 10.0)),
+            energy_transfer_j=float(rng.uniform(10.0, 400.0)),
+            energy_activation_j=float(rng.uniform(1.0, 10.0)),
+            downtime_s=float(rng.uniform(0.0, 3.0)),
+            notes={"lane": f"l{index % 3}"} if index % 4 == 0 else {},
+        ))
+    return samples
+
+
+class TestOnlineMoments:
+    def test_push_matches_numpy(self):
+        values = np.random.default_rng(0).normal(50.0, 12.0, 257)
+        moments = OnlineMoments()
+        for value in values:
+            moments.push(float(value))
+        assert moments.count == values.size
+        assert moments.mean == pytest.approx(float(values.mean()), rel=1e-12)
+        assert moments.variance == pytest.approx(
+            float(values.var(ddof=1)), rel=1e-10
+        )
+        assert moments.std == pytest.approx(float(values.std(ddof=1)), rel=1e-10)
+
+    def test_push_many_merge_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        chunks = [rng.uniform(0.0, 1e6, n) for n in (1, 17, 0, 256, 3)]
+        moments = OnlineMoments()
+        for chunk in chunks:
+            moments.push_many(chunk)
+        everything = np.concatenate(chunks)
+        assert moments.count == everything.size
+        assert moments.mean == pytest.approx(float(everything.mean()), rel=1e-12)
+        assert moments.variance == pytest.approx(
+            float(everything.var(ddof=1)), rel=1e-9
+        )
+
+    def test_below_two_observations(self):
+        moments = OnlineMoments()
+        assert math.isnan(moments.variance) and math.isnan(moments.std)
+        assert moments.as_dict() == {"count": 0, "mean": None, "var": None}
+        moments.push(3.5)
+        assert math.isnan(moments.variance)
+        as_dict = moments.as_dict()
+        assert as_dict == {"count": 1, "mean": 3.5, "var": None}
+        json.dumps(as_dict)  # strictly JSON-ready: no NaN leaks
+
+
+class TestColumnarStore:
+    def test_flush_window_validated(self, tmp_path):
+        with pytest.raises(ExperimentError, match="flush_window"):
+            ColumnarStore(tmp_path / "c", flush_window=0)
+
+    def test_refuses_existing_store(self, tmp_path):
+        ColumnarStore(tmp_path / "c")
+        with pytest.raises(ExperimentError, match="already holds"):
+            ColumnarStore(tmp_path / "c")
+
+    def test_round_trip_preserves_order_arrays_and_scalars(self, tmp_path):
+        samples = _synth_samples(count=10)
+        store = ColumnarStore(tmp_path / "c", flush_window=4)
+        store.extend(samples)
+        summary = store.finalize()
+        assert summary["samples"] == 10
+        assert summary["shards"] == 3  # 4 + 4 + 2
+        assert len(list((tmp_path / "c").glob("shard-*.npz"))) == 3
+
+        loaded = list(iter_columnar_samples(tmp_path / "c"))
+        assert len(loaded) == len(samples)
+        for out, ref in zip(loaded, samples):
+            assert out.scenario == ref.scenario
+            assert out.role == ref.role
+            assert out.live == ref.live
+            assert out.run_index == ref.run_index
+            assert out.notes == ref.notes
+            assert out.data_bytes == ref.data_bytes
+            assert out.downtime_s == ref.downtime_s
+            np.testing.assert_array_equal(out.times, ref.times)
+            np.testing.assert_array_equal(out.power_w, ref.power_w)
+            np.testing.assert_array_equal(out.phase, ref.phase)
+            np.testing.assert_array_equal(out.bw_bps, ref.bw_bps)
+            np.testing.assert_array_equal(out.dr_pct, ref.dr_pct)
+
+    def test_summary_moments_match_numpy(self, tmp_path):
+        samples = _synth_samples(count=6)
+        store = ColumnarStore(tmp_path / "c", flush_window=256)
+        store.extend(samples)
+        summary = store.finalize()
+        power = np.concatenate([s.power_w for s in samples])
+        column = summary["columns"]["power_w"]
+        assert column["count"] == power.size
+        assert column["mean"] == pytest.approx(float(power.mean()), rel=1e-10)
+        assert column["var"] == pytest.approx(float(power.var(ddof=1)), rel=1e-8)
+        downtimes = np.array([s.downtime_s for s in samples])
+        column = summary["columns"]["downtime_s"]
+        assert column["count"] == len(samples)
+        assert column["mean"] == pytest.approx(float(downtimes.mean()), rel=1e-10)
+
+    def test_append_after_finalize_rejected(self, tmp_path):
+        store = ColumnarStore(tmp_path / "c")
+        store.extend(_synth_samples(count=1))
+        store.finalize()
+        with pytest.raises(ExperimentError, match="finalized"):
+            store.append(_synth_samples(count=1)[0])
+        with pytest.raises(ExperimentError, match="finalized"):
+            store.finalize()
+
+    def test_summary_loader(self, tmp_path):
+        store = ColumnarStore(tmp_path / "c", flush_window=2)
+        store.extend(_synth_samples(count=3))
+        assert load_columnar_summary(tmp_path / "c") is None  # not finalized yet
+        store.finalize()
+        summary = load_columnar_summary(tmp_path / "c")
+        assert summary is not None
+        assert summary["samples"] == 3 and summary["shards"] == 2
+
+    def test_manifest_header_carries_schema(self, tmp_path):
+        store = ColumnarStore(tmp_path / "c")
+        store.finalize()
+        first = (tmp_path / "c" / ColumnarStore.MANIFEST).read_text(
+            encoding="utf-8"
+        ).splitlines()[0]
+        assert json.loads(first)["schema"] == COLUMNAR_SCHEMA
+
+    def test_empty_store_round_trips(self, tmp_path):
+        store = ColumnarStore(tmp_path / "c")
+        summary = store.finalize()
+        assert summary["samples"] == 0 and summary["shards"] == 0
+        assert list(iter_columnar_samples(tmp_path / "c")) == []
+
+
+class TestByteIdentity:
+    """The acceptance contract: whichever path samples take — in-memory
+    list, streaming generator, or a columnar store round-trip — the JSON
+    artifact must come out byte for byte identical."""
+
+    def _assert_all_paths_identical(self, samples, tmp_path):
+        reference = tmp_path / "reference.json"
+        save_samples_json(samples, reference)
+
+        streamed = tmp_path / "streamed.json"
+        count = write_samples_json_streaming(iter(samples), streamed)
+        assert count == len(samples)
+        assert streamed.read_bytes() == reference.read_bytes()
+
+        store = ColumnarStore(tmp_path / "columnar", flush_window=3)
+        store.extend(samples)
+        store.finalize()
+        round_tripped = tmp_path / "columnar.json"
+        count = write_samples_json_streaming(
+            iter_columnar_samples(tmp_path / "columnar"), round_tripped
+        )
+        assert count == len(samples)
+        assert round_tripped.read_bytes() == reference.read_bytes()
+
+    def test_synthetic_samples(self, tmp_path):
+        self._assert_all_paths_identical(_synth_samples(count=7), tmp_path)
+
+    def test_empty_sample_set(self, tmp_path):
+        self._assert_all_paths_identical([], tmp_path)
+
+    def test_real_campaign_samples(self, tmp_path):
+        """Samples produced by an actual (fast) campaign — both live and
+        non-live archetypes — survive every aggregation path bit-exactly."""
+        runner = ScenarioRunner(seed=SEED, settings=RunnerSettings(**FAST))
+        result = runner.run_campaign(
+            [
+                MigrationScenario(
+                    "CPULOAD-SOURCE", "agg/nl/0vm", live=False, load_vm_count=0
+                ),
+                MigrationScenario(
+                    "CPULOAD-SOURCE", "agg/lv/1vm", live=True, load_vm_count=1
+                ),
+            ],
+            min_runs=2,
+            max_runs=2,
+        )
+        samples = list(result.iter_samples())
+        assert samples
+        self._assert_all_paths_identical(samples, tmp_path)

@@ -30,7 +30,7 @@ from repro.experiments.http_backend import (
 )
 from repro.experiments.queue_backend import task_id_for
 from repro.experiments.runner import RunnerSettings, ScenarioRunner
-from repro.io import dump_run_result_bytes
+from repro.io import dump_run_result_bytes, save_samples_json
 from repro.models.features import HostRole
 from repro.telemetry.stabilization import StabilizationRule
 
@@ -524,3 +524,64 @@ class TestCliEndToEnd:
         ])
         assert warm.wait(timeout=600) == 0
         assert "(0 executed, 12 from cache" in warm.stdout.read()
+
+
+class TestDuplicatePublication:
+    """Two workers racing one speculated task over the wire: the first
+    valid upload resolves the future, the identical second upload is
+    acknowledged as a duplicate, and the cache deposit is idempotent."""
+
+    def test_second_valid_upload_acknowledged_as_duplicate(self, backend, tmp_path):
+        task = _task(run_index=0)
+        future = backend.submit(task)
+        reply = _claim(backend.url, worker="w1")
+        expected = ScenarioRunner(seed=SEED).run_once(_SCENARIO, run_index=0)
+        body = dump_run_result_bytes(expected)
+
+        # A worker that lost the race to claim still holds the right
+        # bytes (runs are deterministic): its upload wins the task.
+        first = _post(backend.url, "/result", body, "application/octet-stream",
+                      headers={"X-Wavm3-Task-Id": reply["task_id"],
+                               "X-Wavm3-Worker": "w2"})
+        assert first == {"ok": True}
+        assert future.done() and future.worker == "w2"
+
+        # The lease holder finishes later and publishes the same result.
+        second = _post(backend.url, "/result", body, "application/octet-stream",
+                       headers={"X-Wavm3-Task-Id": reply["task_id"],
+                                "X-Wavm3-Worker": "w1"})
+        assert second == {"ok": True, "duplicate": True}
+
+        # One completion, one (idempotent) cache deposit.
+        status = fetch_status(backend.url)
+        assert status["tasks_completed"] == 1
+        assert status["tasks_open"] == 0 and status["tasks_leased"] == 0
+        cached = backend.cache.get(task.key, _SCENARIO, 0)
+        assert cached is not None
+
+        # Whichever publication served a consumer, the samples JSON is
+        # byte-identical to the locally computed run's.
+        roles = (HostRole.SOURCE, HostRole.TARGET)
+        paths = []
+        for tag, run in (
+            ("expected", expected), ("cached", cached), ("future", future.result()),
+        ):
+            path = tmp_path / f"{tag}.json"
+            save_samples_json([run.sample_for(role) for role in roles], path)
+            paths.append(path)
+        reference = paths[0].read_bytes()
+        assert all(path.read_bytes() == reference for path in paths[1:])
+
+    def test_status_surfaces_cache_counters(self, backend):
+        task = _task(run_index=0)
+        backend.submit(task)
+        reply = _claim(backend.url, worker="w1")
+        body = dump_run_result_bytes(
+            ScenarioRunner(seed=SEED).run_once(_SCENARIO, run_index=0)
+        )
+        _post(backend.url, "/result", body, "application/octet-stream",
+              headers={"X-Wavm3-Task-Id": reply["task_id"],
+                       "X-Wavm3-Worker": "w1"})
+        cache = fetch_status(backend.url)["cache"]
+        assert cache == backend.cache.counters()
+        assert cache["bytes_written"] > 0

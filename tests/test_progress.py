@@ -89,6 +89,21 @@ class TestProgressIo:
         loaded = load_progress_events(path)
         assert len(loaded) == 1 and loaded[0].run_index == 0
 
+    def test_ndjson_tolerates_tail_torn_mid_multibyte(self, tmp_path):
+        """Regression: a reader racing a live appender can see the final
+        line cut in the *middle of a multi-byte UTF-8 sequence*; the
+        resulting ``UnicodeDecodeError`` must stay confined to that line
+        instead of taking the whole status view down."""
+        path = tmp_path / "w.ndjson"
+        append_progress_event(_event(run_index=0), path)
+        torn = json.dumps(
+            {"schema": "wavm3-progress/1", "worker": "café"}, ensure_ascii=False
+        ).encode("utf-8")
+        with path.open("ab") as handle:
+            handle.write(torn[: torn.index(b"\xc3") + 1])  # half of the 'é'
+        loaded = load_progress_events(path)
+        assert len(loaded) == 1 and loaded[0].run_index == 0
+
     def test_missing_file_reads_empty(self, tmp_path):
         assert load_progress_events(tmp_path / "absent.ndjson") == []
 
@@ -418,6 +433,27 @@ class TestBenchHistory:
         assert "aaa" in table and "bbb" in table
         assert "6.00" in table and "7.00" in table  # campaign + consolidation speedups
         assert render_bench_history([]) == "no BENCH_<rev>.json files found"
+
+    def test_history_renders_missing_sched_agg_metrics_as_dash(self, tmp_path):
+        """Older BENCH_<rev>.json payloads predate the scheduler and
+        aggregation benchmarks; their rows render "-" in the new columns
+        instead of raising."""
+        from repro.bench import collect_bench_history, render_bench_history
+
+        old = self._payload("old", 5.0, 100.0)
+        new = self._payload("new", 6.0, 200.0)
+        new["generated_at"] = 300.0
+        new["results"]["sched"] = {"tail_x": 2.5}
+        new["results"]["agg"] = {"mem_x": 12.0}
+        (tmp_path / "BENCH_old.json").write_text(json.dumps(old), encoding="utf-8")
+        (tmp_path / "BENCH_new.json").write_text(json.dumps(new), encoding="utf-8")
+        table = render_bench_history(collect_bench_history(tmp_path))
+        lines = table.splitlines()
+        assert "sched x" in lines[0] and "agg mem x" in lines[0]
+        old_row = next(line for line in lines if line.startswith("old"))
+        new_row = next(line for line in lines if line.startswith("new"))
+        assert old_row.split()[-2:] == ["-", "-"]
+        assert "2.50" in new_row and "12.00" in new_row
 
     def test_cli_history(self, tmp_path, capsys):
         (tmp_path / "BENCH_ccc.json").write_text(

@@ -38,6 +38,7 @@ from repro.io import (
     append_progress_event,
     load_progress_events,
     load_task_spec,
+    save_samples_json,
     save_task_spec,
     task_spec_to_dict,
 )
@@ -693,3 +694,71 @@ class TestClockSkew:
         assert report["files"] == ["failed/old.json"]
         assert report["failures"] == 1
         assert list(backend.spool.tasks.glob("*.json"))  # fresh spec survived
+
+
+class TestDuplicatePublication:
+    """Two workers finishing the same speculated batch: the adaptive
+    scheduler may re-submit a straggling chunk, so a second worker can
+    legitimately execute and publish a task that already completed.  The
+    cache deposit must be idempotent, progress accounting must stay
+    single per run, and both publications must serialise byte-identical
+    samples."""
+
+    def _batch_task(self, run_count: int = 2) -> RunBatchTask:
+        settings = RunnerSettings()
+        rule = StabilizationRule()
+        key = RunCache.scenario_key(SEED, _SCENARIO, settings, None, rule)
+        return RunBatchTask(
+            seed=SEED, settings=settings, migration_config=None,
+            stabilization=rule, scenario=_SCENARIO,
+            run_start=0, run_count=run_count, key=key,
+        )
+
+    def test_speculated_batch_finished_by_two_workers(self, tmp_path):
+        backend = _backend(tmp_path)
+        task = self._batch_task(run_count=2)
+
+        first = backend.submit(task)
+        stats1 = run_worker(
+            tmp_path / "spool", tmp_path / "cache",
+            poll_interval=0.02, max_tasks=1, idle_exit_s=60.0, worker_id="w1",
+        )
+        assert stats1.claimed == 1 and stats1.executed == 2
+
+        # The speculative clone: the coordinator re-submits the same
+        # chunk (same task id, same cache key) to another lane.
+        second = backend.submit(task)
+        stats2 = run_worker(
+            tmp_path / "spool", tmp_path / "cache",
+            poll_interval=0.02, max_tasks=1, idle_exit_s=60.0, worker_id="w2",
+        )
+        # Idempotent deposit: w2 short-circuits from the cache entries
+        # w1 already wrote — nothing is simulated twice.
+        assert stats2.claimed == 1 and stats2.executed == 0
+        assert stats2.cached > 0
+
+        done = backend.wait([first, second])
+        assert done == {first, second}
+        runs1, runs2 = first.result(), second.result()
+        assert [r.run_index for r in runs1] == [0, 1]
+
+        # Byte-identical samples JSON from either publication.
+        roles = (HostRole.SOURCE, HostRole.TARGET)
+        save_samples_json(
+            [run.sample_for(role) for run in runs1 for role in roles],
+            tmp_path / "first.json",
+        )
+        save_samples_json(
+            [run.sample_for(role) for run in runs2 for role in roles],
+            tmp_path / "second.json",
+        )
+        assert (tmp_path / "first.json").read_bytes() == (
+            tmp_path / "second.json"
+        ).read_bytes()
+
+        # Single progress accounting: both workers announced the same
+        # per-run progress ids; the drain keeps the latest per task id.
+        events = backend.drain_progress()
+        ids = [event.task_id for event in events]
+        assert len(ids) == len(set(ids)) == 2
+        assert sorted(event.run_index for event in events) == [0, 1]
